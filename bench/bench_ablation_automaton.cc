@@ -1,0 +1,143 @@
+// Ablation: the automaton lifting (general Boolean events) vs the paper's
+// two-world method on the events both support, and automaton growth on the
+// richer events only the lifting supports.
+//
+//   (1) PRESENCE/PATTERN: prior+joint runtime of TwoWorldModel vs
+//       AutomatonWorldModel — the specialization cost of generality.
+//   (2) "at least k visits" events: automaton size and runtime vs window
+//       length — secrets outside the paper's event classes.
+#include <functional>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+#include "priste/common/timer.h"
+#include "priste/core/automaton_world.h"
+#include "priste/core/joint.h"
+#include "priste/core/prior.h"
+#include "priste/core/two_world.h"
+#include "priste/event/pattern.h"
+
+namespace {
+
+using namespace priste;
+
+double TimePriorJoint(const core::LiftedEventModel& model, const linalg::Vector& pi,
+                      const std::vector<linalg::Vector>& emissions) {
+  Timer timer;
+  double sink = core::EventPrior(model, pi);
+  core::JointCalculator calc(&model, pi);
+  for (const auto& e : emissions) calc.Push(e);
+  sink += calc.JointEvent();
+  benchmark::DoNotOptimize(sink);
+  return timer.ElapsedSeconds();
+}
+
+event::BoolExpr::Ptr AtLeastK(const std::vector<int>& cells, int t_lo, int t_hi,
+                              int k) {
+  const auto at = [&](int t) {
+    std::vector<event::BoolExpr::Ptr> preds;
+    for (int c : cells) preds.push_back(event::BoolExpr::Pred(t, c));
+    return event::BoolExpr::OrAll(preds);
+  };
+  // OR over all k-subsets of the window of the AND of their visits.
+  std::vector<event::BoolExpr::Ptr> terms;
+  std::vector<int> subset;
+  const std::function<void(int)> recurse = [&](int t) {
+    if (static_cast<int>(subset.size()) == k) {
+      std::vector<event::BoolExpr::Ptr> conj;
+      for (int tt : subset) conj.push_back(at(tt));
+      terms.push_back(event::BoolExpr::AndAll(conj));
+      return;
+    }
+    if (t > t_hi) return;
+    subset.push_back(t);
+    recurse(t + 1);
+    subset.pop_back();
+    recurse(t + 1);
+  };
+  recurse(t_lo);
+  return event::BoolExpr::OrAll(terms);
+}
+
+}  // namespace
+
+int main() {
+  using namespace priste;
+  const auto scale = bench::Banner("Ablation: automaton lifting",
+                                   "two-world vs event-automaton models");
+  const int side = scale.full ? 14 : 10;
+  const geo::Grid grid(side, side, 1.0);
+  const geo::GaussianGridModel mobility(grid, 1.0);
+  const size_t m = grid.num_cells();
+  const auto schedule = markov::TransitionSchedule::Homogeneous(mobility.transition());
+  const linalg::Vector pi = linalg::Vector::UniformProbability(m);
+  Rng rng(1901);
+
+  // Part 1: specialization cost on PRESENCE.
+  {
+    eval::TablePrinter table({"event", "two-world (ms)", "automaton (ms)",
+                              "automaton states"});
+    for (const int window : {2, 4, 6}) {
+      const auto ev = event::PresenceEvent::Make(m, 1, 8, 3, 2 + window);
+      std::vector<linalg::Vector> emissions;
+      for (int t = 0; t < ev->end() + 3; ++t) {
+        linalg::Vector e(m);
+        for (size_t i = 0; i < m; ++i) e[i] = 0.1 + 0.9 * rng.NextDouble();
+        emissions.push_back(e);
+      }
+      const core::TwoWorldModel two_world(mobility.transition(), ev);
+      auto automaton = core::AutomatonWorldModel::Create(schedule,
+                                                         *ev->ToBooleanExpr());
+      if (!automaton.ok()) continue;
+      const double t_two = TimePriorJoint(two_world, pi, emissions);
+      const double t_auto = TimePriorJoint(**automaton, pi, emissions);
+      table.AddRow({StrFormat("PRESENCE window=%d", window),
+                    StrFormat("%.3f", t_two * 1000.0),
+                    StrFormat("%.3f", t_auto * 1000.0),
+                    StrFormat("%d", (*automaton)->automaton().num_automaton_states())});
+    }
+    std::printf("\n(1) specialization cost on PRESENCE (same probabilities)\n");
+    table.Print(std::cout);
+  }
+
+  // Part 2: "at least k visits" growth.
+  {
+    eval::TablePrinter table({"window", "k", "predicates", "automaton states",
+                              "prior+joint (ms)"});
+    const std::vector<int> area = {0, 1, 2, 3};
+    for (const int window : {3, 4, 5, 6}) {
+      for (const int k : {2, 3}) {
+        if (k > window) continue;
+        const auto expr = AtLeastK(area, 2, 1 + window, k);
+        auto model = core::AutomatonWorldModel::Create(schedule, *expr,
+                                                       /*max_automaton_states=*/4096);
+        if (!model.ok()) {
+          table.AddRow({StrFormat("%d", window), StrFormat("%d", k),
+                        StrFormat("%zu", expr->NumPredicates()),
+                        "over cap", "-"});
+          continue;
+        }
+        std::vector<linalg::Vector> emissions;
+        for (int t = 0; t < (*model)->event_end() + 2; ++t) {
+          linalg::Vector e(m);
+          for (size_t i = 0; i < m; ++i) e[i] = 0.1 + 0.9 * rng.NextDouble();
+          emissions.push_back(e);
+        }
+        const double elapsed = TimePriorJoint(**model, pi, emissions);
+        table.AddRow({StrFormat("%d", window), StrFormat("%d", k),
+                      StrFormat("%zu", expr->NumPredicates()),
+                      StrFormat("%d", (*model)->automaton().num_automaton_states()),
+                      StrFormat("%.3f", elapsed * 1000.0)});
+      }
+    }
+    std::printf("\n(2) at-least-k-visits events (beyond PRESENCE/PATTERN)\n");
+    table.Print(std::cout);
+    std::printf(
+        "\nReading: counting events need O(window·k)-ish automaton states — the\n"
+        "lifted chain stays small even though the Boolean expression has\n"
+        "exponentially many terms.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Ablation (DESIGN.md §4): Algorithm 2's budget decay rate. The paper fixes
+// 1/2 and notes the efficiency/utility trade-off (Section IV-C); this sweep
+// quantifies it: small decay converges in fewer retries but over-perturbs,
+// large decay retries more for a finer budget.
+#include "bench_common.h"
+
+int main() {
+  using namespace priste;
+  const auto scale =
+      bench::Banner("Ablation: decay rate", "budget decay in Algorithm 2");
+  const eval::SyntheticWorkload workload(scale, /*sigma=*/1.0);
+  const auto ev = bench::ScaledPresence(scale, workload.grid.num_cells(), 10, 4, 8);
+  std::printf("event: %s, eps=0.2, initial alpha=1.0\n", ev->ToString().c_str());
+
+  eval::TablePrinter table({"decay", "ave budget", "ave euclid (km)",
+                            "ave runtime (s)"});
+  for (const double decay : {0.25, 0.5, 0.75, 0.9}) {
+    core::PristeOptions options = eval::DefaultBenchOptions(0.2, 1.0);
+    options.decay = decay;
+    const auto stats = eval::RunRepeatedGeoInd(
+        workload.grid, workload.Chain(), {ev}, options, scale, /*seed=*/1701);
+    table.AddRow({StrFormat("%.2f", decay),
+                  StrFormat("%.4f", stats.mean_budget.mean()),
+                  StrFormat("%.3f", stats.euclid_km.mean()),
+                  StrFormat("%.2f", stats.run_seconds.mean())});
+  }
+  table.Print(std::cout);
+  return 0;
+}

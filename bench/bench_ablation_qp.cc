@@ -1,0 +1,76 @@
+// Ablation (DESIGN.md §4): QP search strategy — LP-slice sweep only, PGA
+// multistart only, or both. Measures the maximum found (higher = tighter
+// certification; the strategies are lower bounds on the true max) and the
+// wall time, on Theorem IV.1 objectives harvested from a real PriSTE run.
+#include "bench_common.h"
+
+#include "priste/common/timer.h"
+#include "priste/core/quantifier.h"
+#include "priste/core/two_world.h"
+#include "priste/lppm/planar_laplace.h"
+
+int main() {
+  using namespace priste;
+  const auto scale =
+      bench::Banner("Ablation: QP strategy", "slice sweep vs PGA vs combined");
+  const eval::SyntheticWorkload workload(scale, /*sigma=*/1.0);
+  const size_t m = workload.grid.num_cells();
+  const auto ev = bench::ScaledPresence(scale, m, 10, 4, 8);
+
+  // Harvest objectives: run a plain PLM and collect Theorem vectors.
+  const core::TwoWorldModel model(workload.model.transition(), ev);
+  const core::PrivacyQuantifier quantifier(&model);
+  const lppm::PlanarLaplaceMechanism plm(workload.grid, 0.5);
+  Rng rng(1601);
+  const markov::MarkovChain chain = workload.Chain();
+  const geo::Trajectory truth(chain.Sample(scale.horizon, rng));
+  std::vector<linalg::Vector> history;
+  std::vector<core::TheoremVectors> objectives;
+  for (int t = 1; t <= scale.horizon; ++t) {
+    const int o = plm.Perturb(truth.At(t), rng);
+    history.push_back(plm.emission().EmissionColumn(o));
+    objectives.push_back(quantifier.ComputeVectors(history));
+  }
+
+  struct Strategy {
+    const char* name;
+    core::QpSolver::Options options;
+  };
+  core::QpSolver::Options slices_only;
+  slices_only.pga_restarts = 0;
+  core::QpSolver::Options pga_only;
+  pga_only.grid_points = 0;
+  pga_only.refine_iters = 0;
+  pga_only.pga_restarts = 12;
+  pga_only.pga_iters = 200;
+  const Strategy strategies[] = {{"slices-only", slices_only},
+                                 {"pga-only", pga_only},
+                                 {"combined", core::QpSolver::Options{}}};
+
+  eval::TablePrinter table({"strategy", "mean max15", "max(max15)",
+                            "mean time/check (ms)", "satisfied@eps=0.5"});
+  for (const Strategy& strategy : strategies) {
+    const core::QpSolver solver(strategy.options);
+    double sum_max = 0.0, worst = -1e300;
+    int satisfied = 0;
+    Timer timer;
+    for (const auto& v : objectives) {
+      const auto check =
+          quantifier.CheckArbitraryPrior(v, 0.5, solver, Deadline::Infinite());
+      sum_max += check.max_condition15;
+      worst = std::max(worst, check.max_condition15);
+      satisfied += check.satisfied ? 1 : 0;
+    }
+    const double elapsed_ms = timer.ElapsedSeconds() * 1000.0 /
+                              static_cast<double>(objectives.size());
+    table.AddRow({strategy.name,
+                  StrFormat("%.3e", sum_max / static_cast<double>(objectives.size())),
+                  StrFormat("%.3e", worst), StrFormat("%.2f", elapsed_ms),
+                  StrFormat("%d/%zu", satisfied, objectives.size())});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nReading: a strategy finding LOWER maxima than 'combined' on the same\n"
+      "objectives is missing violations — it under-searches the prior space.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+#ifndef PRISTE_BENCH_BENCH_COMMON_H_
+#define PRISTE_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "priste/common/strings.h"
+#include "priste/eval/experiment.h"
+#include "priste/eval/table_printer.h"
+#include "priste/event/presence.h"
+
+namespace priste::bench {
+
+/// Prints the experiment banner with the active scale so bench logs are
+/// self-describing (reduced scale unless PRISTE_FULL=1; see DESIGN.md §3).
+inline eval::ExperimentScale Banner(const char* figure, const char* description) {
+  const eval::ExperimentScale scale = eval::ExperimentScale::FromEnv();
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure, description);
+  std::printf("scale: %dx%d grid, T=%d, runs=%d%s\n", scale.grid_width,
+              scale.grid_height, scale.horizon, scale.runs,
+              scale.full ? " (paper scale)" : " (reduced; PRISTE_FULL=1 for paper scale)");
+  std::printf("==============================================================\n");
+  return scale;
+}
+
+/// The paper's PRESENCE(S={s_lo:s_hi}, T={t_lo:t_hi}) shorthand, mapped onto
+/// the active scale.
+inline event::EventPtr ScaledPresence(const eval::ExperimentScale& scale,
+                                      size_t num_cells, int s_hi_paper,
+                                      int t_lo_paper, int t_hi_paper) {
+  const int s_hi = scale.MapStateCount(s_hi_paper);
+  const int t_lo = scale.MapTimestamp(t_lo_paper);
+  const int t_hi = std::max(t_lo, scale.MapTimestamp(t_hi_paper));
+  return event::PresenceEvent::Make(num_cells, 1, s_hi, t_lo, t_hi);
+}
+
+/// Prints a per-timestamp series table: one row per timestamp, one column
+/// per configuration (mean ± stddev of the released budget).
+inline void PrintBudgetSeries(const std::string& title,
+                              const std::vector<std::string>& config_labels,
+                              const std::vector<eval::RepeatedRunStats>& stats) {
+  std::printf("\n%s\n", title.c_str());
+  std::vector<std::string> headers = {"t"};
+  for (const auto& label : config_labels) headers.push_back(label);
+  eval::TablePrinter table(headers);
+  const size_t T = stats.front().budget_per_timestamp.length();
+  for (size_t t = 0; t < T; ++t) {
+    std::vector<std::string> row = {StrFormat("%zu", t + 1)};
+    for (const auto& s : stats) {
+      row.push_back(StrFormat("%.4f±%.3f", s.budget_per_timestamp.At(t).mean(),
+                              s.budget_per_timestamp.At(t).stddev()));
+    }
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+}
+
+/// Prints whole-run scalar metrics per configuration.
+inline void PrintRunSummary(const std::string& title,
+                            const std::vector<std::string>& config_labels,
+                            const std::vector<eval::RepeatedRunStats>& stats) {
+  std::printf("\n%s\n", title.c_str());
+  eval::TablePrinter table(
+      {"config", "ave budget", "ave euclid (km)", "ave run (s)", "ave conserv."});
+  for (size_t i = 0; i < stats.size(); ++i) {
+    table.AddRow({config_labels[i], StrFormat("%.4f", stats[i].mean_budget.mean()),
+                  StrFormat("%.3f", stats[i].euclid_km.mean()),
+                  StrFormat("%.2f", stats[i].run_seconds.mean()),
+                  StrFormat("%.1f", stats[i].conservative_releases.mean())});
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace priste::bench
+
+#endif  // PRISTE_BENCH_BENCH_COMMON_H_

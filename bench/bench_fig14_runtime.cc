@@ -1,0 +1,140 @@
+// Figure 14: runtime of computing a PATTERN event's prior + joint
+// probabilities — the exponential Appendix-B baseline vs the linear
+// two-possible-world method.
+//   left panel : event width 5, event length 5..15;
+//   right panel: event length 5, event width 5..15.
+// Expected shape (paper): the baseline grows exponentially (in both length
+// and width) while PriSTE stays linear in length / polynomial in width.
+// Baseline sizes beyond the path cap are SKIPPED and reported as such —
+// never silently truncated.
+#include <cmath>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+#include "priste/common/timer.h"
+#include "priste/core/joint.h"
+#include "priste/core/naive_baseline.h"
+#include "priste/core/prior.h"
+#include "priste/core/two_world.h"
+#include "priste/event/pattern.h"
+
+namespace {
+
+using namespace priste;
+
+constexpr double kBaselinePathCap = 2e7;
+
+// Random PATTERN of `length` window steps, each a random region of `width`
+// cells, starting at timestamp 2.
+event::EventPtr RandomPattern(size_t m, int length, int width, Rng& rng) {
+  std::vector<geo::Region> regions;
+  for (int i = 0; i < length; ++i) {
+    geo::Region region(m);
+    while (region.Count() < static_cast<size_t>(width)) {
+      region.Add(static_cast<int>(rng.NextBelow(m)));
+    }
+    regions.push_back(region);
+  }
+  return std::make_shared<event::PatternEvent>(regions, /*start=*/2);
+}
+
+struct Timing {
+  double priste_s = 0.0;
+  double baseline_s = -1.0;  // <0: skipped (over cap)
+};
+
+Timing MeasureOne(const eval::SyntheticWorkload& workload, int length, int width,
+                  Rng& rng) {
+  const size_t m = workload.grid.num_cells();
+  const auto ev = RandomPattern(m, length, width, rng);
+  const auto* pattern = static_cast<const event::PatternEvent*>(ev.get());
+  const linalg::Vector pi = linalg::Vector::UniformProbability(m);
+  const markov::MarkovChain chain(workload.model.transition(), pi);
+
+  std::vector<linalg::Vector> emissions;
+  for (int t = 0; t < ev->end(); ++t) {
+    linalg::Vector e(m);
+    for (size_t i = 0; i < m; ++i) e[i] = 0.1 + 0.9 * rng.NextDouble();
+    emissions.push_back(e);
+  }
+
+  Timing timing;
+  {
+    Timer timer;
+    const core::TwoWorldModel model(workload.model.transition(), ev);
+    double sink = core::EventPrior(model, pi);
+    core::JointCalculator calc(&model, pi);
+    for (const auto& e : emissions) calc.Push(e);
+    sink += calc.JointEvent();
+    benchmark::DoNotOptimize(sink);
+    timing.priste_s = timer.ElapsedSeconds();
+  }
+  if (core::NaivePatternPathCount(*pattern) <= kBaselinePathCap) {
+    std::vector<linalg::Vector> window_emissions(
+        emissions.begin() + (ev->start() - 1), emissions.end());
+    Timer timer;
+    double sink = core::NaivePatternPrior(chain, *pattern);
+    sink += core::NaivePatternJoint(chain.transition(),
+                                    chain.MarginalAt(ev->start() - 1),
+                                    /*step_before=*/true, *pattern,
+                                    window_emissions);
+    benchmark::DoNotOptimize(sink);
+    timing.baseline_s = timer.ElapsedSeconds();
+  }
+  return timing;
+}
+
+void RunPanel(const char* title, const eval::SyntheticWorkload& workload,
+              const std::vector<std::pair<int, int>>& cases, int repeats) {
+  std::printf("\n%s\n", title);
+  eval::TablePrinter table({"length", "width", "paths", "PriSTE (s)",
+                            "baseline (s)", "speedup"});
+  Rng rng(1401);
+  for (const auto& [length, width] : cases) {
+    double priste_total = 0.0, baseline_total = 0.0;
+    bool baseline_ran = true;
+    for (int r = 0; r < repeats; ++r) {
+      const Timing t = MeasureOne(workload, length, width, rng);
+      priste_total += t.priste_s;
+      if (t.baseline_s < 0.0) {
+        baseline_ran = false;
+      } else {
+        baseline_total += t.baseline_s;
+      }
+    }
+    const double paths = std::pow(static_cast<double>(width), length);
+    table.AddRow(
+        {StrFormat("%d", length), StrFormat("%d", width), StrFormat("%.2e", paths),
+         StrFormat("%.5f", priste_total / repeats),
+         baseline_ran ? StrFormat("%.5f", baseline_total / repeats)
+                      : std::string("skipped (> path cap)"),
+         baseline_ran
+             ? StrFormat("%.1fx", (baseline_total / repeats) /
+                                      std::max(priste_total / repeats, 1e-9))
+             : std::string("-")});
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  using namespace priste;
+  const auto scale = bench::Banner(
+      "Fig. 14", "runtime: exponential baseline vs linear two-world method");
+  const eval::SyntheticWorkload workload(scale, /*sigma=*/1.0);
+  const int repeats = scale.full ? 5 : 2;
+  std::printf("baseline path cap: %.0e paths (larger cases reported as skipped)\n",
+              kBaselinePathCap);
+
+  std::vector<std::pair<int, int>> by_length;
+  for (int length = 5; length <= 15; length += 2) by_length.push_back({length, 5});
+  RunPanel("(left) event width = 5, varying length", workload, by_length, repeats);
+
+  std::vector<std::pair<int, int>> by_width;
+  for (int width = 5; width <= 15; width += 2) by_width.push_back({5, width});
+  RunPanel("(right) event length = 5, varying width", workload, by_width, repeats);
+  return 0;
+}

@@ -1,0 +1,114 @@
+// google-benchmark microbenchmarks for the library's hot kernels:
+// two-world construction, prior evaluation, joint pushes, Theorem-vector
+// computation, the QP check, and PLM emission construction.
+#include <benchmark/benchmark.h>
+
+#include "priste/core/joint.h"
+#include "priste/core/prior.h"
+#include "priste/core/quantifier.h"
+#include "priste/core/two_world.h"
+#include "priste/event/presence.h"
+#include "priste/geo/gaussian_grid_model.h"
+#include "priste/lppm/planar_laplace.h"
+
+namespace {
+
+using namespace priste;
+
+struct Fixture {
+  explicit Fixture(int side)
+      : grid(side, side, 1.0),
+        mobility(grid, 1.0),
+        ev(event::PresenceEvent::Make(grid.num_cells(), 1, 8, 3, 5)),
+        model(mobility.transition(), ev),
+        pi(linalg::Vector::UniformProbability(grid.num_cells())),
+        plm(grid, 0.5) {}
+
+  geo::Grid grid;
+  geo::GaussianGridModel mobility;
+  event::EventPtr ev;
+  core::TwoWorldModel model;
+  linalg::Vector pi;
+  lppm::PlanarLaplaceMechanism plm;
+};
+
+Fixture& SharedFixture(int side) {
+  static auto* fixtures = new std::map<int, Fixture*>();
+  auto it = fixtures->find(side);
+  if (it == fixtures->end()) {
+    it = fixtures->emplace(side, new Fixture(side)).first;
+  }
+  return *it->second;
+}
+
+void BM_TwoWorldConstruction(benchmark::State& state) {
+  Fixture& f = SharedFixture(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    core::TwoWorldModel model(f.mobility.transition(), f.ev);
+    benchmark::DoNotOptimize(model.PriorContraction().Sum());
+  }
+}
+BENCHMARK(BM_TwoWorldConstruction)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_EventPrior(benchmark::State& state) {
+  Fixture& f = SharedFixture(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::EventPrior(f.model, f.pi));
+  }
+}
+BENCHMARK(BM_EventPrior)->Arg(8)->Arg(16);
+
+void BM_JointPush(benchmark::State& state) {
+  Fixture& f = SharedFixture(static_cast<int>(state.range(0)));
+  const linalg::Vector column = f.plm.emission().EmissionColumn(0);
+  for (auto _ : state) {
+    core::JointCalculator calc(&f.model, f.pi);
+    for (int t = 0; t < 10; ++t) calc.Push(column);
+    benchmark::DoNotOptimize(calc.JointEvent());
+  }
+}
+BENCHMARK(BM_JointPush)->Arg(8)->Arg(16);
+
+void BM_TheoremVectors(benchmark::State& state) {
+  Fixture& f = SharedFixture(static_cast<int>(state.range(0)));
+  const core::PrivacyQuantifier quantifier(&f.model);
+  const std::vector<linalg::Vector> history(
+      8, f.plm.emission().EmissionColumn(3));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quantifier.ComputeVectors(history).b_bar.Sum());
+  }
+}
+BENCHMARK(BM_TheoremVectors)->Arg(8)->Arg(16);
+
+void BM_QpCheck(benchmark::State& state) {
+  Fixture& f = SharedFixture(static_cast<int>(state.range(0)));
+  const core::PrivacyQuantifier quantifier(&f.model);
+  const std::vector<linalg::Vector> history(
+      5, f.plm.emission().EmissionColumn(3));
+  const core::TheoremVectors vectors = quantifier.ComputeVectors(history);
+  core::QpSolver::Options options;
+  options.grid_points = 17;
+  options.refine_iters = 6;
+  options.pga_restarts = 1;
+  const core::QpSolver solver(options);
+  for (auto _ : state) {
+    const auto check =
+        quantifier.CheckArbitraryPrior(vectors, 0.5, solver, Deadline::Infinite());
+    benchmark::DoNotOptimize(check.satisfied);
+  }
+}
+BENCHMARK(BM_QpCheck)->Arg(8)->Arg(12);
+
+void BM_PlmEmissionBuild(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  const geo::Grid grid(side, side, 1.0);
+  for (auto _ : state) {
+    lppm::PlanarLaplaceMechanism plm(grid, 0.5);
+    benchmark::DoNotOptimize(plm.emission()(0, 0));
+  }
+}
+BENCHMARK(BM_PlmEmissionBuild)->Arg(8)->Arg(16)->Arg(20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// Quantification-only example: how much spatiotemporal event privacy does an
+// OFF-THE-SHELF LPPM provide? This is the paper's first research question —
+// before converting a mechanism, PriSTE's quantification component can audit
+// an existing one.
+//
+// We take plain α-Planar-Laplace mechanisms (no calibration) and measure, for
+// a PRESENCE event, the smallest ε they would certify at each timestamp —
+// i.e. the spatiotemporal event privacy loss of geo-indistinguishability.
+//
+// Build & run:  ./build/examples/lppm_audit
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "priste/core/quantifier.h"
+#include "priste/core/two_world.h"
+#include "priste/event/presence.h"
+#include "priste/geo/gaussian_grid_model.h"
+#include "priste/lppm/geo_ind_audit.h"
+#include "priste/lppm/planar_laplace.h"
+
+namespace {
+
+// Smallest ε (within the probe list) whose conditions the QP certifies.
+double SmallestCertifiedEpsilon(const priste::core::PrivacyQuantifier& quantifier,
+                                const priste::core::TheoremVectors& vectors,
+                                const priste::core::QpSolver& solver) {
+  for (const double eps : {0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+    const auto check = quantifier.CheckArbitraryPrior(
+        vectors, eps, solver, priste::Deadline::After(5.0));
+    if (check.satisfied) return eps;
+  }
+  return INFINITY;
+}
+
+}  // namespace
+
+int main() {
+  using namespace priste;
+  Rng rng(11);
+
+  const geo::Grid grid(8, 8, 1.0);
+  const geo::GaussianGridModel mobility(grid, 1.0);
+  const auto event = event::PresenceEvent::Make(grid.num_cells(),
+                                                /*first_state=*/1,
+                                                /*last_state=*/6,
+                                                /*start=*/3, /*end=*/4);
+  const core::TwoWorldModel model(mobility.transition(), event);
+  const core::PrivacyQuantifier quantifier(&model);
+  const core::QpSolver solver;
+
+  std::printf("auditing plain PLMs against %s\n\n", event->ToString().c_str());
+  std::printf("%8s  %22s  %s\n", "alpha", "geo-ind tight alpha",
+              "certified eps per timestamp (t=1..6)");
+
+  const markov::MarkovChain chain = mobility.ChainUniformStart();
+  for (const double alpha : {0.2, 0.5, 1.0}) {
+    const lppm::PlanarLaplaceMechanism plm(grid, alpha);
+    const auto geo_audit =
+        lppm::AuditGeoIndistinguishability(plm.emission(), grid, alpha);
+
+    Rng traj_rng(17);
+    const geo::Trajectory truth(chain.Sample(6, traj_rng));
+    std::vector<linalg::Vector> history;
+    std::printf("%8.2f  %22.4f  ", alpha, geo_audit.tightest_alpha);
+    Rng mech_rng(23);
+    for (int t = 1; t <= 6; ++t) {
+      const int o = plm.Perturb(truth.At(t), mech_rng);
+      history.push_back(plm.emission().EmissionColumn(o));
+      const auto vectors = quantifier.ComputeVectors(history);
+      const double eps = SmallestCertifiedEpsilon(quantifier, vectors, solver);
+      std::printf("%5.2f ", eps);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nReading: a stricter PLM (smaller alpha) certifies a smaller ε —\n"
+      "location privacy alone gives only a weak, budget-dependent level of\n"
+      "spatiotemporal event privacy, which is the paper's motivation for\n"
+      "the PriSTE calibration loop.\n");
+  return 0;
+}

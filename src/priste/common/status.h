@@ -1,0 +1,162 @@
+#ifndef PRISTE_COMMON_STATUS_H_
+#define PRISTE_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace priste {
+
+/// Canonical error codes, modelled after the subset of absl::StatusCode that a
+/// numerical privacy library needs. Every fallible public API in PriSTE
+/// returns a Status or StatusOr<T>; exceptions are not used.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kFailedPrecondition = 2,
+  kOutOfRange = 3,
+  kNotFound = 4,
+  kDeadlineExceeded = 5,
+  kResourceExhausted = 6,
+  kInternal = 7,
+  kUnimplemented = 8,
+};
+
+/// Returns the canonical lowercase name of a code ("ok", "invalid_argument"…).
+const char* StatusCodeToString(StatusCode code);
+
+/// A lightweight success/error result carrying a code and a human-readable
+/// message. Copyable and cheap to move; the OK status carries no allocation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message. A code of kOk with
+  /// a non-empty message is normalized to a plain OK status.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(code == StatusCode::kOk ? std::string() : std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Either a value of type T or an error Status. Accessing the value of a
+/// non-OK StatusOr aborts the process (see PRISTE_CHECK in check.h), matching
+/// the contract of absl::StatusOr.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from an error status. Must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Constructs from a value; the status is OK.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    AbortIfError();
+    return *value_;
+  }
+  T& value() & {
+    AbortIfError();
+    return *value_;
+  }
+  T&& value() && {
+    AbortIfError();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when holding an error.
+  T value_or(T fallback) const { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  void AbortIfError() const;
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal_status {
+[[noreturn]] void DieBadStatusAccess(const Status& status);
+}  // namespace internal_status
+
+template <typename T>
+void StatusOr<T>::AbortIfError() const {
+  if (!ok()) internal_status::DieBadStatusAccess(status_);
+}
+
+}  // namespace priste
+
+/// Evaluates `expr` (a Status expression); returns it from the enclosing
+/// function if not OK.
+#define PRISTE_RETURN_IF_ERROR(expr)                    \
+  do {                                                  \
+    ::priste::Status priste_status_tmp_ = (expr);       \
+    if (!priste_status_tmp_.ok()) return priste_status_tmp_; \
+  } while (false)
+
+/// Evaluates `rexpr` (a StatusOr<T> expression); on success moves the value
+/// into `lhs`, otherwise returns the error from the enclosing function.
+#define PRISTE_ASSIGN_OR_RETURN(lhs, rexpr)                             \
+  PRISTE_ASSIGN_OR_RETURN_IMPL_(                                        \
+      PRISTE_STATUS_CONCAT_(priste_statusor_, __LINE__), lhs, rexpr)
+
+#define PRISTE_ASSIGN_OR_RETURN_IMPL_(statusor, lhs, rexpr) \
+  auto statusor = (rexpr);                                  \
+  if (!statusor.ok()) return statusor.status();             \
+  lhs = std::move(statusor).value()
+
+#define PRISTE_STATUS_CONCAT_(a, b) PRISTE_STATUS_CONCAT_IMPL_(a, b)
+#define PRISTE_STATUS_CONCAT_IMPL_(a, b) a##b
+
+#endif  // PRISTE_COMMON_STATUS_H_

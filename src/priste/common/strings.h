@@ -1,0 +1,21 @@
+#ifndef PRISTE_COMMON_STRINGS_H_
+#define PRISTE_COMMON_STRINGS_H_
+
+#include <string>
+#include <vector>
+
+namespace priste {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Joins `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Formats a double with `digits` significant digits, trimming trailing
+/// zeros ("0.5", "1", "0.125").
+std::string FormatDouble(double value, int digits = 6);
+
+}  // namespace priste
+
+#endif  // PRISTE_COMMON_STRINGS_H_

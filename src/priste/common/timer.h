@@ -1,0 +1,57 @@
+#ifndef PRISTE_COMMON_TIMER_H_
+#define PRISTE_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace priste {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// A wall-clock budget. `Deadline::Infinite()` never expires; used by the
+/// QP solver's conservative-release threshold (paper Section IV-C).
+class Deadline {
+ public:
+  /// A deadline `seconds` from now. Non-positive values expire immediately.
+  static Deadline After(double seconds) {
+    Deadline d;
+    d.infinite_ = false;
+    d.deadline_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                     std::chrono::duration<double>(seconds));
+    return d;
+  }
+
+  static Deadline Infinite() { return Deadline(); }
+
+  bool Expired() const {
+    return !infinite_ && Clock::now() >= deadline_;
+  }
+
+  bool is_infinite() const { return infinite_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Deadline() : infinite_(true) {}
+
+  bool infinite_;
+  Clock::time_point deadline_{};
+};
+
+}  // namespace priste
+
+#endif  // PRISTE_COMMON_TIMER_H_

@@ -1,0 +1,156 @@
+#include "priste/core/automaton_world.h"
+
+#include "priste/common/check.h"
+
+namespace priste::core {
+
+StatusOr<std::shared_ptr<AutomatonWorldModel>> AutomatonWorldModel::Create(
+    markov::TransitionSchedule schedule, const event::BoolExpr& expr,
+    int max_automaton_states) {
+  PRISTE_ASSIGN_OR_RETURN(
+      event::EventAutomaton automaton,
+      event::EventAutomaton::Compile(expr, schedule.num_states(),
+                                     max_automaton_states));
+  auto model = std::shared_ptr<AutomatonWorldModel>(
+      new AutomatonWorldModel(std::move(schedule), std::move(automaton)));
+
+  const size_t m = model->num_states();
+  const int k = model->automaton_.num_automaton_states();
+  linalg::Vector mask(model->lifted_size());
+  for (int q = 0; q < k; ++q) {
+    if (!model->automaton_.IsAccepting(q)) continue;
+    for (size_t s = 0; s < m; ++s) {
+      mask[static_cast<size_t>(q) * m + s] = 1.0;
+    }
+  }
+  model->InitializeDerived(std::move(mask));
+  return model;
+}
+
+linalg::Vector AutomatonWorldModel::LiftInitial(const linalg::Vector& pi) const {
+  const size_t m = num_states();
+  PRISTE_CHECK(pi.size() == m);
+  linalg::Vector lifted(lifted_size());
+  const int q0 = automaton_.initial_state();
+  if (automaton_.start() == 1) {
+    // The automaton consumes the state at time 1 immediately.
+    for (size_t s = 0; s < m; ++s) {
+      const int q = automaton_.Next(q0, 1, static_cast<int>(s));
+      lifted[static_cast<size_t>(q) * m + s] = pi[s];
+    }
+  } else {
+    for (size_t s = 0; s < m; ++s) {
+      lifted[static_cast<size_t>(q0) * m + s] = pi[s];
+    }
+  }
+  return lifted;
+}
+
+linalg::Vector AutomatonWorldModel::ContractColumn(const linalg::Vector& col) const {
+  const size_t m = num_states();
+  PRISTE_CHECK(col.size() == lifted_size());
+  linalg::Vector g(m);
+  const int q0 = automaton_.initial_state();
+  if (automaton_.start() == 1) {
+    for (size_t s = 0; s < m; ++s) {
+      const int q = automaton_.Next(q0, 1, static_cast<int>(s));
+      g[s] = col[static_cast<size_t>(q) * m + s];
+    }
+  } else {
+    for (size_t s = 0; s < m; ++s) {
+      g[s] = col[static_cast<size_t>(q0) * m + s];
+    }
+  }
+  return g;
+}
+
+linalg::Vector AutomatonWorldModel::StepRow(const linalg::Vector& v, int t) const {
+  const size_t m = num_states();
+  const int k = automaton_.num_automaton_states();
+  PRISTE_CHECK(v.size() == lifted_size());
+  PRISTE_CHECK(t >= 1);
+  const linalg::Matrix& base = schedule_.AtStep(t).matrix();
+  const int tau = t + 1;
+  const bool in_window = tau >= automaton_.start() && tau <= automaton_.end();
+
+  linalg::Vector out(lifted_size());
+  for (int q = 0; q < k; ++q) {
+    const double* vq = v.data() + static_cast<size_t>(q) * m;
+    // Skip empty automaton slices (most are, outside the frontier).
+    bool any = false;
+    for (size_t s = 0; s < m && !any; ++s) any = vq[s] != 0.0;
+    if (!any) continue;
+    // u[s'] = Σ_s vq[s]·M(s, s').
+    linalg::Vector u(m);
+    for (size_t s = 0; s < m; ++s) {
+      const double scale = vq[s];
+      if (scale == 0.0) continue;
+      const double* row = base.RowPtr(s);
+      for (size_t sp = 0; sp < m; ++sp) u[sp] += scale * row[sp];
+    }
+    if (in_window) {
+      for (size_t sp = 0; sp < m; ++sp) {
+        const int qp = automaton_.Next(q, tau, static_cast<int>(sp));
+        out[static_cast<size_t>(qp) * m + sp] += u[sp];
+      }
+    } else {
+      for (size_t sp = 0; sp < m; ++sp) {
+        out[static_cast<size_t>(q) * m + sp] += u[sp];
+      }
+    }
+  }
+  return out;
+}
+
+linalg::Vector AutomatonWorldModel::StepColumn(const linalg::Vector& v, int t) const {
+  const size_t m = num_states();
+  const int k = automaton_.num_automaton_states();
+  PRISTE_CHECK(v.size() == lifted_size());
+  PRISTE_CHECK(t >= 1);
+  const linalg::Matrix& base = schedule_.AtStep(t).matrix();
+  const int tau = t + 1;
+  const bool in_window = tau >= automaton_.start() && tau <= automaton_.end();
+
+  linalg::Vector out(lifted_size());
+  for (int q = 0; q < k; ++q) {
+    // z[s'] = v[δ(q, τ, s')·m + s'] — the successor's value per destination.
+    linalg::Vector z(m);
+    if (in_window) {
+      for (size_t sp = 0; sp < m; ++sp) {
+        const int qp = automaton_.Next(q, tau, static_cast<int>(sp));
+        z[sp] = v[static_cast<size_t>(qp) * m + sp];
+      }
+    } else {
+      for (size_t sp = 0; sp < m; ++sp) {
+        z[sp] = v[static_cast<size_t>(q) * m + sp];
+      }
+    }
+    // out[(q, s)] = Σ_{s'} M(s, s')·z[s'].
+    double* oq = out.data() + static_cast<size_t>(q) * m;
+    for (size_t s = 0; s < m; ++s) {
+      const double* row = base.RowPtr(s);
+      double acc = 0.0;
+      for (size_t sp = 0; sp < m; ++sp) acc += row[sp] * z[sp];
+      oq[s] = acc;
+    }
+  }
+  return out;
+}
+
+linalg::Vector AutomatonWorldModel::ApplyEmission(const linalg::Vector& emission,
+                                                  const linalg::Vector& v) const {
+  const size_t m = num_states();
+  const int k = automaton_.num_automaton_states();
+  PRISTE_CHECK(emission.size() == m);
+  PRISTE_CHECK(v.size() == lifted_size());
+  linalg::Vector out(lifted_size());
+  for (int q = 0; q < k; ++q) {
+    const size_t offset = static_cast<size_t>(q) * m;
+    for (size_t s = 0; s < m; ++s) {
+      out[offset + s] = emission[s] * v[offset + s];
+    }
+  }
+  return out;
+}
+
+}  // namespace priste::core

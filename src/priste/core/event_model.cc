@@ -1,0 +1,28 @@
+#include "priste/core/event_model.h"
+
+#include "priste/common/check.h"
+
+namespace priste::core {
+
+void LiftedEventModel::InitializeDerived(linalg::Vector accepting_mask) {
+  PRISTE_CHECK(accepting_mask.size() == lifted_size());
+  accepting_mask_ = std::move(accepting_mask);
+
+  const int end = event_end();
+  PRISTE_CHECK(end >= 1);
+  suffix_.assign(static_cast<size_t>(end), linalg::Vector());
+  linalg::Vector v = accepting_mask_;
+  suffix_[static_cast<size_t>(end - 1)] = v;
+  for (int t = end - 1; t >= 1; --t) {
+    v = StepColumn(v, t);
+    suffix_[static_cast<size_t>(t - 1)] = v;
+  }
+  a_bar_ = ContractColumn(suffix_[0]);
+}
+
+const linalg::Vector& LiftedEventModel::SuffixTrue(int t) const {
+  PRISTE_CHECK(t >= 1 && t <= event_end());
+  return suffix_[static_cast<size_t>(t - 1)];
+}
+
+}  // namespace priste::core

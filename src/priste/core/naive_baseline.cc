@@ -1,0 +1,89 @@
+#include "priste/core/naive_baseline.h"
+
+#include <functional>
+
+#include "priste/common/check.h"
+
+namespace priste::core {
+
+double NaivePatternPrior(const markov::MarkovChain& chain,
+                         const event::PatternEvent& ev) {
+  PRISTE_CHECK(ev.num_states() == chain.num_states());
+  const linalg::Vector p_start = chain.MarginalAt(ev.start());
+  const auto& transition = chain.transition();
+
+  double total = 0.0;
+  std::vector<int> path;
+  const int len = ev.window_length();
+  path.reserve(static_cast<size_t>(len));
+
+  const std::function<void(int, double)> recurse = [&](int offset, double prob) {
+    if (offset == len) {
+      total += prob;
+      return;
+    }
+    for (int s : ev.RegionAt(ev.start() + offset).States()) {
+      const double p = offset == 0
+                           ? p_start[static_cast<size_t>(s)]
+                           : prob * transition(static_cast<size_t>(path.back()),
+                                               static_cast<size_t>(s));
+      if (p == 0.0) continue;
+      path.push_back(s);
+      recurse(offset + 1, offset == 0 ? p : p);
+      path.pop_back();
+    }
+  };
+  recurse(0, 1.0);
+  return total;
+}
+
+double NaivePatternJoint(const markov::TransitionMatrix& transition,
+                         const linalg::Vector& p_before, bool step_before,
+                         const event::PatternEvent& ev,
+                         const std::vector<linalg::Vector>& emissions) {
+  PRISTE_CHECK(ev.num_states() == transition.num_states());
+  PRISTE_CHECK(static_cast<int>(emissions.size()) == ev.window_length());
+  // p at the window start: p_{start−1}·M per Algorithm 4, or p_before
+  // directly when the window starts at time 1.
+  const linalg::Vector p_start =
+      step_before ? transition.Propagate(p_before) : p_before;
+
+  double total = 0.0;
+  std::vector<int> path;
+  const int len = ev.window_length();
+  path.reserve(static_cast<size_t>(len));
+
+  const std::function<void(int, double)> recurse = [&](int offset, double prob) {
+    if (offset == len) {
+      total += prob;
+      return;
+    }
+    const linalg::Vector& em = emissions[static_cast<size_t>(offset)];
+    for (int s : ev.RegionAt(ev.start() + offset).States()) {
+      double p;
+      if (offset == 0) {
+        p = p_start[static_cast<size_t>(s)] * em[static_cast<size_t>(s)];
+      } else {
+        p = prob *
+            transition(static_cast<size_t>(path.back()), static_cast<size_t>(s)) *
+            em[static_cast<size_t>(s)];
+      }
+      if (p == 0.0) continue;
+      path.push_back(s);
+      recurse(offset + 1, p);
+      path.pop_back();
+    }
+  };
+  recurse(0, 1.0);
+  return total;
+}
+
+double NaivePatternPathCount(const event::PatternEvent& ev) {
+  double count = 1.0;
+  for (int t = ev.start(); t <= ev.end(); ++t) {
+    count *= static_cast<double>(ev.RegionAt(t).Count());
+  }
+  return count;
+}
+
+}  // namespace priste::core

@@ -1,0 +1,41 @@
+#ifndef PRISTE_CORE_NAIVE_BASELINE_H_
+#define PRISTE_CORE_NAIVE_BASELINE_H_
+
+#include <vector>
+
+#include "priste/event/pattern.h"
+#include "priste/linalg/vector.h"
+#include "priste/markov/markov_chain.h"
+
+namespace priste::core {
+
+/// Appendix B's exponential baselines (the Fig. 14 comparators). Both
+/// enumerate every window path of the PATTERN — |s_start|·…·|s_end| of them —
+/// so their cost is exponential in the event length and polynomial (per
+/// path) in nothing; the two-world method replaces them with chains of
+/// matrix-vector products.
+
+/// Naive Pr(PATTERN): Σ over satisfying window paths of
+/// p_start[u_start]·∏ M(u_{τ−1}, u_τ), with p_start the chain's marginal at
+/// the window start (Example B.1).
+double NaivePatternPrior(const markov::MarkovChain& chain,
+                         const event::PatternEvent& ev);
+
+/// Algorithm 4: the joint probability Pr(o_start..o_end, PATTERN) given the
+/// pre-window marginal p_{start−1} (for start == 1 pass the chain's initial
+/// distribution semantics via `p_before` = π and the algorithm skips the
+/// leading Markov step). `emissions[i]` is the emission column p̃ at window
+/// timestamp start+i; its size must equal the window length.
+double NaivePatternJoint(const markov::TransitionMatrix& transition,
+                         const linalg::Vector& p_before, bool step_before,
+                         const event::PatternEvent& ev,
+                         const std::vector<linalg::Vector>& emissions);
+
+/// Number of window paths the naive algorithms would enumerate — used by the
+/// Fig. 14 harness to cap infeasible baseline sizes (the cap is reported,
+/// never silently applied).
+double NaivePatternPathCount(const event::PatternEvent& ev);
+
+}  // namespace priste::core
+
+#endif  // PRISTE_CORE_NAIVE_BASELINE_H_

@@ -1,0 +1,66 @@
+#ifndef PRISTE_CORE_PRISTE_H_
+#define PRISTE_CORE_PRISTE_H_
+
+#include <vector>
+
+#include "priste/core/qp_solver.h"
+#include "priste/geo/trajectory.h"
+
+namespace priste::core {
+
+/// Options shared by the PriSTE instantiations (Algorithm 1's framework
+/// parameters plus the Section IV-C knobs).
+struct PristeOptions {
+  /// ε of ε-spatiotemporal event privacy (Eq. 1).
+  double epsilon = 0.5;
+
+  /// The underlying α-PLM's budget — Algorithm 2 restarts from this value at
+  /// every timestamp.
+  double initial_alpha = 0.2;
+
+  /// Budget decay on a failed check (the paper's rate 1/2, line 19; the
+  /// trade-off is studied by bench_ablation_decay). Must be in (0, 1).
+  double decay = 0.5;
+
+  /// Below this budget the algorithm releases with the uniform mechanism
+  /// (α = 0), which always satisfies the conditions (Section IV-C's
+  /// convergence argument).
+  double min_alpha = 1e-4;
+
+  /// Conservative-release threshold (seconds) for each quadratic-program
+  /// check; non-positive means unlimited. On timeout the location is *not*
+  /// released and the budget is halved — privacy is never assumed.
+  double qp_threshold_seconds = 1.0;
+
+  /// Rescale emission columns for numerical stability (see PrivacyQuantifier).
+  bool normalize_emissions = true;
+
+  QpSolver::Options qp;
+};
+
+/// Per-timestamp outcome of a PriSTE run.
+struct StepRecord {
+  int t = 0;
+  int true_cell = -1;
+  int released_cell = -1;
+  /// The final PLM budget used for the released location (0 = uniform).
+  double released_alpha = 0.0;
+  /// Number of budget halvings at this timestamp.
+  int halvings = 0;
+  /// Number of QP timeouts (conservative non-releases) at this timestamp.
+  int conservative_timeouts = 0;
+};
+
+/// Outcome of a full PriSTE run over a trajectory.
+struct RunResult {
+  std::vector<StepRecord> steps;
+  geo::Trajectory released;
+  /// Total conservative non-releases across the run (Table III's column).
+  int total_conservative = 0;
+  /// Wall-clock of the whole run, seconds.
+  double total_seconds = 0.0;
+};
+
+}  // namespace priste::core
+
+#endif  // PRISTE_CORE_PRISTE_H_

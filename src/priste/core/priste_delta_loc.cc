@@ -1,0 +1,130 @@
+#include "priste/core/priste_delta_loc.h"
+
+#include "priste/common/strings.h"
+#include "priste/common/timer.h"
+#include "priste/hmm/forward_backward.h"
+#include "priste/lppm/delta_location_set.h"
+
+namespace priste::core {
+
+PristeDeltaLoc::PristeDeltaLoc(geo::Grid grid, markov::TransitionMatrix chain,
+                               std::vector<event::EventPtr> events, double delta,
+                               linalg::Vector initial, PristeOptions options)
+    : grid_(grid),
+      chain_(std::move(chain)),
+      events_(std::move(events)),
+      delta_(delta),
+      initial_(std::move(initial)),
+      options_(options),
+      solver_(options.qp) {
+  PRISTE_CHECK_MSG(!events_.empty(), "PristeDeltaLoc needs at least one event");
+  PRISTE_CHECK(delta_ >= 0.0 && delta_ < 1.0);
+  PRISTE_CHECK(chain_.num_states() == grid_.num_cells());
+  PRISTE_CHECK(initial_.size() == grid_.num_cells());
+  models_.reserve(events_.size());
+  for (const auto& ev : events_) {
+    PRISTE_CHECK(ev->num_states() == grid_.num_cells());
+    models_.push_back(std::make_shared<TwoWorldModel>(chain_, ev));
+  }
+}
+
+StatusOr<RunResult> PristeDeltaLoc::Run(const geo::Trajectory& true_trajectory,
+                                        Rng& rng) const {
+  const int T = true_trajectory.length();
+  if (T < 1) return Status::InvalidArgument("empty trajectory");
+  for (const auto& model : models_) {
+    if (model->event_end() > T) {
+      return Status::InvalidArgument(StrFormat(
+          "trajectory length %d does not cover event window ending at %d", T,
+          model->event_end()));
+    }
+  }
+
+  Timer run_timer;
+  RunResult result;
+  result.steps.reserve(static_cast<size_t>(T));
+  std::vector<linalg::Vector> history;
+  linalg::Vector posterior = initial_;  // p⁺_0 = π
+
+  for (int t = 1; t <= T; ++t) {
+    const int true_cell = true_trajectory.At(t);
+    PRISTE_CHECK(grid_.ContainsCell(true_cell));
+
+    // Line 2: Markov prediction; line 3: δ-location set.
+    const linalg::Vector predicted = chain_.Propagate(posterior);
+    PRISTE_ASSIGN_OR_RETURN(geo::Region location_set,
+                            lppm::DeltaLocationSet(predicted, delta_));
+
+    StepRecord step;
+    step.t = t;
+    step.true_cell = true_cell;
+    double alpha = options_.initial_alpha;
+    linalg::Vector released_column;
+
+    for (;;) {
+      const double effective_alpha =
+          alpha < options_.min_alpha ? 0.0 : alpha;
+      const lppm::DeltaRestrictedPlanarLaplace mech(grid_, effective_alpha,
+                                                    location_set);
+      const int o = mech.Perturb(true_cell, rng);
+      released_column = mech.emission().EmissionColumn(o);
+      history.push_back(released_column);
+
+      if (effective_alpha == 0.0) {
+        // Uniform-over-ΔX release; accept (the α → 0 anchor). Unlike the
+        // unrestricted mechanism this is only uniform within ΔX_t, so we
+        // still run the check when a finite threshold allows it, but never
+        // loop further.
+        step.released_cell = o;
+        step.released_alpha = 0.0;
+        break;
+      }
+
+      bool all_ok = true;
+      bool timed_out = false;
+      for (const auto& model : models_) {
+        const PrivacyQuantifier quantifier(model.get(),
+                                           options_.normalize_emissions);
+        const TheoremVectors vectors = quantifier.ComputeVectors(history);
+        const Deadline deadline =
+            options_.qp_threshold_seconds > 0.0
+                ? Deadline::After(options_.qp_threshold_seconds)
+                : Deadline::Infinite();
+        const PrivacyCheckResult check = quantifier.CheckArbitraryPrior(
+            vectors, options_.epsilon, solver_, deadline);
+        if (!check.satisfied) {
+          all_ok = false;
+          timed_out = timed_out || check.timed_out;
+          break;
+        }
+      }
+
+      if (all_ok) {
+        step.released_cell = o;
+        step.released_alpha = alpha;
+        break;
+      }
+      history.pop_back();
+      if (timed_out) {
+        // total_conservative counts affected timestamps (the paper's "# of
+        // Conservative Release"), not individual retries.
+        if (step.conservative_timeouts == 0) ++result.total_conservative;
+        ++step.conservative_timeouts;
+      }
+      alpha *= options_.decay;
+      ++step.halvings;
+    }
+
+    // Line 8 / Eq. (21): posterior update from the released observation.
+    PRISTE_ASSIGN_OR_RETURN(posterior,
+                            hmm::PosteriorUpdate(predicted, released_column));
+
+    result.released.Append(step.released_cell);
+    result.steps.push_back(step);
+  }
+
+  result.total_seconds = run_timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace priste::core

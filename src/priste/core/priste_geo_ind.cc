@@ -1,0 +1,146 @@
+#include "priste/core/priste_geo_ind.h"
+
+#include "priste/common/strings.h"
+#include "priste/common/timer.h"
+
+namespace priste::core {
+
+namespace {
+
+std::vector<std::shared_ptr<const LiftedEventModel>> BuildTwoWorldModels(
+    const markov::TransitionMatrix& chain,
+    const std::vector<event::EventPtr>& events) {
+  std::vector<std::shared_ptr<const LiftedEventModel>> models;
+  models.reserve(events.size());
+  for (const auto& ev : events) {
+    PRISTE_CHECK(ev != nullptr);
+    models.push_back(std::make_shared<TwoWorldModel>(chain, ev));
+  }
+  return models;
+}
+
+}  // namespace
+
+PristeGeoInd::PristeGeoInd(geo::Grid grid, markov::TransitionMatrix chain,
+                           std::vector<event::EventPtr> events,
+                           PristeOptions options)
+    : PristeGeoInd(grid, BuildTwoWorldModels(chain, events), options) {
+  PRISTE_CHECK(chain.num_states() == grid.num_cells());
+}
+
+PristeGeoInd::PristeGeoInd(
+    geo::Grid grid, std::vector<std::shared_ptr<const LiftedEventModel>> models,
+    PristeOptions options, std::shared_ptr<const lppm::MechanismFamily> family)
+    : grid_(grid),
+      options_(options),
+      solver_(options.qp),
+      models_(std::move(models)),
+      family_(family != nullptr
+                  ? std::move(family)
+                  : std::make_shared<lppm::PlanarLaplaceFamily>(grid)) {
+  PRISTE_CHECK_MSG(!models_.empty(), "PristeGeoInd needs at least one event");
+  PRISTE_CHECK(options_.decay > 0.0 && options_.decay < 1.0);
+  PRISTE_CHECK(options_.initial_alpha >= 0.0);
+  PRISTE_CHECK(family_->num_states() == grid_.num_cells());
+  for (const auto& model : models_) {
+    PRISTE_CHECK(model != nullptr);
+    PRISTE_CHECK(model->num_states() == grid_.num_cells());
+  }
+}
+
+const lppm::Lppm& PristeGeoInd::MechanismFor(double alpha) const {
+  auto it = mechanisms_.find(alpha);
+  if (it == mechanisms_.end()) {
+    it = mechanisms_.emplace(alpha, family_->Instantiate(alpha)).first;
+  }
+  return *it->second;
+}
+
+StatusOr<RunResult> PristeGeoInd::Run(const geo::Trajectory& true_trajectory,
+                                      Rng& rng) const {
+  const int T = true_trajectory.length();
+  if (T < 1) return Status::InvalidArgument("empty trajectory");
+  for (const auto& model : models_) {
+    if (model->event_end() > T) {
+      return Status::InvalidArgument(StrFormat(
+          "trajectory length %d does not cover event window ending at %d", T,
+          model->event_end()));
+    }
+  }
+
+  Timer run_timer;
+  RunResult result;
+  result.steps.reserve(static_cast<size_t>(T));
+  std::vector<linalg::Vector> history;  // released emission columns p̃_{o_i}
+  history.reserve(static_cast<size_t>(T));
+
+  for (int t = 1; t <= T; ++t) {
+    const int true_cell = true_trajectory.At(t);
+    PRISTE_CHECK(grid_.ContainsCell(true_cell));
+
+    StepRecord step;
+    step.t = t;
+    step.true_cell = true_cell;
+    double alpha = options_.initial_alpha;
+
+    for (;;) {
+      if (alpha < options_.min_alpha) {
+        // Uniform release: α = 0 reveals nothing, and rescaling (b̄, c̄) by
+        // 1/m preserves the previously-certified condition signs.
+        const auto& mech = MechanismFor(0.0);
+        const int o = mech.Perturb(true_cell, rng);
+        history.push_back(mech.emission().EmissionColumn(o));
+        step.released_cell = o;
+        step.released_alpha = 0.0;
+        break;
+      }
+
+      const auto& mech = MechanismFor(alpha);
+      const int o = mech.Perturb(true_cell, rng);
+      history.push_back(mech.emission().EmissionColumn(o));
+
+      bool all_ok = true;
+      bool timed_out = false;
+      for (const auto& model : models_) {
+        const PrivacyQuantifier quantifier(model.get(),
+                                           options_.normalize_emissions);
+        const TheoremVectors vectors = quantifier.ComputeVectors(history);
+        const Deadline deadline =
+            options_.qp_threshold_seconds > 0.0
+                ? Deadline::After(options_.qp_threshold_seconds)
+                : Deadline::Infinite();
+        const PrivacyCheckResult check =
+            quantifier.CheckArbitraryPrior(vectors, options_.epsilon, solver_,
+                                           deadline);
+        if (!check.satisfied) {
+          all_ok = false;
+          timed_out = timed_out || check.timed_out;
+          break;
+        }
+      }
+
+      if (all_ok) {
+        step.released_cell = o;
+        step.released_alpha = alpha;
+        break;
+      }
+      history.pop_back();  // candidate rejected
+      if (timed_out) {
+        // total_conservative counts affected timestamps (the paper's "# of
+        // Conservative Release"), not individual retries.
+        if (step.conservative_timeouts == 0) ++result.total_conservative;
+        ++step.conservative_timeouts;
+      }
+      alpha *= options_.decay;
+      ++step.halvings;
+    }
+
+    result.released.Append(step.released_cell);
+    result.steps.push_back(step);
+  }
+
+  result.total_seconds = run_timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace priste::core

@@ -1,0 +1,233 @@
+#include "priste/core/qp_solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "priste/common/check.h"
+#include "priste/common/random.h"
+#include "priste/core/simplex_lp.h"
+
+namespace priste::core {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Range of x = π·a over the constraint set.
+void SliceRange(const linalg::Vector& a, QpSolver::ConstraintSet constraint,
+                double* lo, double* hi) {
+  if (constraint == QpSolver::ConstraintSet::kSimplex) {
+    *lo = a.Min();
+    *hi = a.Max();
+  } else {
+    *lo = 0.0;
+    *hi = 0.0;
+    for (double ai : a) {
+      if (ai < 0.0) {
+        *lo += ai;
+      } else {
+        *hi += ai;
+      }
+    }
+  }
+}
+
+// Solves one slice: maximize (x·d + l)ᵀπ subject to π·a = x (+ simplex row).
+// Returns −inf when the slice is infeasible.
+double SolveSlice(const QpSolver::Objective& objective,
+                  QpSolver::ConstraintSet constraint, double x,
+                  linalg::Vector* argmax) {
+  const size_t n = objective.a.size();
+  const bool simplex = constraint == QpSolver::ConstraintSet::kSimplex;
+  const size_t rows = simplex ? 2 : 1;
+
+  LpProblem lp;
+  lp.a = linalg::Matrix(rows, n);
+  for (size_t j = 0; j < n; ++j) lp.a(0, j) = objective.a[j];
+  lp.b = linalg::Vector(rows);
+  lp.b[0] = x;
+  if (simplex) {
+    for (size_t j = 0; j < n; ++j) lp.a(1, j) = 1.0;
+    lp.b[1] = 1.0;
+  }
+  lp.c = linalg::Vector(n);
+  for (size_t j = 0; j < n; ++j) lp.c[j] = x * objective.d[j] + objective.l[j];
+  lp.upper = linalg::Vector::Ones(n);
+
+  const LpSolution sol = SolveBoundedLp(lp);
+  if (sol.outcome != LpSolution::Outcome::kOptimal) return -kInf;
+  if (argmax != nullptr) *argmax = sol.x;
+  // The LP objective is the linearized form; the true bilinear value uses
+  // the *achieved* π·a (equal to x up to solver tolerance).
+  return objective.Evaluate(sol.x);
+}
+
+void ClipToBox(linalg::Vector* v) {
+  for (size_t i = 0; i < v->size(); ++i) {
+    (*v)[i] = std::clamp((*v)[i], 0.0, 1.0);
+  }
+}
+
+}  // namespace
+
+linalg::Vector ProjectOntoCappedSimplex(const linalg::Vector& v) {
+  const size_t n = v.size();
+  PRISTE_CHECK(n > 0);
+  // Find τ with Σ clamp(v_i − τ, 0, 1) = 1 by bisection.
+  double lo = v.Min() - 1.0;
+  double hi = v.Max();
+  const auto mass = [&v](double tau) {
+    double total = 0.0;
+    for (double x : v) total += std::clamp(x - tau, 0.0, 1.0);
+    return total;
+  };
+  for (int iter = 0; iter < 100; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (mass(mid) > 1.0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const double tau = 0.5 * (lo + hi);
+  linalg::Vector out(n);
+  for (size_t i = 0; i < n; ++i) out[i] = std::clamp(v[i] - tau, 0.0, 1.0);
+  // Exact renormalization of the clipped mass.
+  const double total = out.Sum();
+  if (total > 0.0) out.ScaleInPlace(1.0 / total);
+  return out;
+}
+
+QpSolver::Result QpSolver::Maximize(const Objective& objective,
+                                    const Deadline& deadline) const {
+  const size_t n = objective.a.size();
+  PRISTE_CHECK(objective.d.size() == n && objective.l.size() == n);
+  Result result;
+  result.argmax = linalg::Vector(n);
+  result.max_value = -kInf;
+
+  const auto consider = [&result](double value, const linalg::Vector& pi) {
+    if (value > result.max_value) {
+      result.max_value = value;
+      result.argmax = pi;
+    }
+  };
+
+  double x_lo = 0.0, x_hi = 0.0;
+  SliceRange(objective.a, options_.constraint, &x_lo, &x_hi);
+
+  // --- Slice sweep: grid + local shrink refinement. ---
+  const auto sweep = [&](double lo, double hi, int points) -> bool {
+    if (points < 2 || hi <= lo) {
+      linalg::Vector arg;
+      const double v = SolveSlice(objective, options_.constraint, lo, &arg);
+      ++result.slices_solved;
+      if (v > -kInf) consider(v, arg);
+      return true;
+    }
+    double best_x = lo;
+    for (int g = 0; g < points; ++g) {
+      if (deadline.Expired()) return false;
+      const double x = lo + (hi - lo) * g / (points - 1);
+      linalg::Vector arg;
+      const double v = SolveSlice(objective, options_.constraint, x, &arg);
+      ++result.slices_solved;
+      if (v > -kInf && v >= result.max_value) best_x = x;
+      if (v > -kInf) consider(v, arg);
+    }
+    // Shrinking local refinement around the best slice.
+    double span = (hi - lo) / (points - 1);
+    double center = best_x;
+    for (int it = 0; it < options_.refine_iters; ++it) {
+      if (deadline.Expired()) return false;
+      bool improved = false;
+      for (const double x :
+           {center - span, center - 0.5 * span, center + 0.5 * span, center + span}) {
+        if (x < lo || x > hi) continue;
+        linalg::Vector arg;
+        const double v = SolveSlice(objective, options_.constraint, x, &arg);
+        ++result.slices_solved;
+        if (v > -kInf && v > result.max_value) {
+          consider(v, arg);
+          center = x;
+          improved = true;
+        }
+      }
+      if (!improved) span *= 0.5;
+      if (span < 1e-14 * std::max(1.0, std::fabs(center))) break;
+    }
+    return true;
+  };
+
+  bool finished = sweep(x_lo, x_hi, options_.grid_points);
+
+  // --- Projected gradient ascent multistarts. ---
+  Rng rng(options_.seed);
+  const auto project = [this](linalg::Vector* pi) {
+    if (options_.constraint == ConstraintSet::kSimplex) {
+      *pi = ProjectOntoCappedSimplex(*pi);
+    } else {
+      ClipToBox(pi);
+    }
+  };
+  for (int restart = 0; restart < options_.pga_restarts && finished; ++restart) {
+    if (deadline.Expired()) {
+      finished = false;
+      break;
+    }
+    linalg::Vector pi(n);
+    if (restart == 0 && result.max_value > -kInf) {
+      pi = result.argmax;  // polish the incumbent
+    } else {
+      for (size_t i = 0; i < n; ++i) pi[i] = rng.NextDouble();
+      project(&pi);
+    }
+    double value = objective.Evaluate(pi);
+    double step = 1.0;
+    for (int it = 0; it < options_.pga_iters; ++it) {
+      const double xa = pi.Dot(objective.a);
+      const double xd = pi.Dot(objective.d);
+      linalg::Vector grad(n);
+      for (size_t i = 0; i < n; ++i) {
+        grad[i] = xd * objective.a[i] + xa * objective.d[i] + objective.l[i];
+      }
+      const double gnorm = grad.MaxAbs();
+      if (gnorm < 1e-15) break;
+      bool improved = false;
+      for (int bt = 0; bt < 8; ++bt) {
+        linalg::Vector cand = pi;
+        for (size_t i = 0; i < n; ++i) cand[i] += step / gnorm * grad[i];
+        project(&cand);
+        const double cv = objective.Evaluate(cand);
+        if (cv > value + 1e-15) {
+          pi = std::move(cand);
+          value = cv;
+          improved = true;
+          break;
+        }
+        step *= 0.5;
+      }
+      if (!improved) break;
+    }
+    consider(value, pi);
+  }
+
+  // --- Near-zero escalation: densify before certifying "≤ 0". The band is
+  // relative to the objective's natural magnitude. ---
+  const double objective_scale = std::max(
+      {objective.l.MaxAbs(), objective.a.MaxAbs() * objective.d.MaxAbs(), 1e-300});
+  if (finished && result.max_value <= 0.0 &&
+      result.max_value > -options_.escalation_band * objective_scale) {
+    finished = sweep(x_lo, x_hi, options_.grid_points * options_.escalation_factor);
+  }
+
+  result.timed_out = !finished;
+  if (result.max_value == -kInf) {
+    // Constraint set empty only if n == 0; keep a defined value.
+    result.max_value = 0.0;
+    result.timed_out = true;
+  }
+  return result;
+}
+
+}  // namespace priste::core

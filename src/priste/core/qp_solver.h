@@ -1,0 +1,99 @@
+#ifndef PRISTE_CORE_QP_SOLVER_H_
+#define PRISTE_CORE_QP_SOLVER_H_
+
+#include <cstdint>
+
+#include "priste/common/timer.h"
+#include "priste/linalg/vector.h"
+
+namespace priste::core {
+
+/// The quadratic-programming engine behind Theorem IV.1's arbitrary-prior
+/// check — this library's substitute for the paper's IBM CPLEX (DESIGN.md §1).
+///
+/// Both Theorem conditions have the *bilinear* form
+///
+///   f(π) = (π·a)(π·d) + π·l
+///
+/// because the paper's quadratic matrices are combinations of outer products
+/// of the Theorem vectors ā, b̄, c̄ (rank ≤ 2). The solver exploits this:
+/// for a fixed slice value x = π·a the objective is *linear* in π, so each
+/// slice is an exact bounded-variable LP (simplex_lp.h) with one or two
+/// equality rows; a grid-plus-refinement sweep over x combined with
+/// projected-gradient ascent multistarts approximates the global maximum.
+///
+/// A Deadline bounds the work; when it expires before the sweep finishes,
+/// the result is flagged timed_out and PriSTE's conservative-release rule
+/// (Section IV-C) treats the check as failed — privacy is never certified on
+/// a partial search.
+class QpSolver {
+ public:
+  /// The feasible set for the attacker prior π.
+  enum class ConstraintSet {
+    /// 0 ≤ π_i ≤ 1 and Σπ_i = 1 — every probability distribution. Default:
+    /// this is the semantically meaningful "arbitrary initial probability".
+    kSimplex,
+    /// 0 ≤ π_i ≤ 1 only — the paper's literal Eq. (15)/(16) relaxation;
+    /// a superset of the simplex, hence more conservative.
+    kBox,
+  };
+
+  struct Options {
+    ConstraintSet constraint = ConstraintSet::kSimplex;
+    /// Slice-grid resolution over x = π·a.
+    int grid_points = 65;
+    /// Local refinement passes (ternary-style shrink around the best slice).
+    int refine_iters = 24;
+    /// Projected-gradient-ascent restarts / iterations per restart.
+    int pga_restarts = 4;
+    int pga_iters = 120;
+    /// When the best maximum found lies in (−escalation_band, 0], the sweep
+    /// re-runs at escalation_factor× grid density before certifying — the
+    /// near-boundary case is where a missed global max would matter.
+    double escalation_band = 1e-6;
+    int escalation_factor = 8;
+    uint64_t seed = 0xC0FFEE;
+  };
+
+  /// f(π) = (π·a)(π·d) + π·l. Vectors must share one size.
+  struct Objective {
+    linalg::Vector a;
+    linalg::Vector d;
+    linalg::Vector l;
+
+    double Evaluate(const linalg::Vector& pi) const {
+      return pi.Dot(a) * pi.Dot(d) + pi.Dot(l);
+    }
+  };
+
+  struct Result {
+    /// Best objective value found (lower bound on the true maximum).
+    double max_value = 0.0;
+    /// The maximizing prior found.
+    linalg::Vector argmax;
+    /// True when the deadline expired before the sweep finished.
+    bool timed_out = false;
+    /// Number of LP slices solved (diagnostics / Table III accounting).
+    int slices_solved = 0;
+  };
+
+  QpSolver() = default;
+  explicit QpSolver(Options options) : options_(options) {}
+
+  const Options& options() const { return options_; }
+
+  /// Approximately maximizes `objective` over the constraint set, stopping
+  /// at `deadline`.
+  Result Maximize(const Objective& objective, const Deadline& deadline) const;
+
+ private:
+  Options options_;
+};
+
+/// Projects `v` onto {π : Σπ = 1, 0 ≤ π ≤ 1} in O(n log n) (bisection on the
+/// shift). Exposed for tests.
+linalg::Vector ProjectOntoCappedSimplex(const linalg::Vector& v);
+
+}  // namespace priste::core
+
+#endif  // PRISTE_CORE_QP_SOLVER_H_

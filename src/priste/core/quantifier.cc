@@ -1,0 +1,139 @@
+#include "priste/core/quantifier.h"
+
+#include <cmath>
+
+#include "priste/common/check.h"
+
+namespace priste::core {
+
+PrivacyQuantifier::PrivacyQuantifier(const LiftedEventModel* model,
+                                     bool normalize_emissions)
+    : model_(model), normalize_emissions_(normalize_emissions) {
+  PRISTE_CHECK(model_ != nullptr);
+}
+
+TheoremVectors PrivacyQuantifier::ComputeVectors(
+    const std::vector<linalg::Vector>& emissions) const {
+  const size_t m = model_->num_states();
+  const int t = static_cast<int>(emissions.size());
+  PRISTE_CHECK_MSG(t >= 1, "need at least one observation");
+  for (const auto& e : emissions) PRISTE_CHECK(e.size() == m);
+  const int end = model_->event_end();
+
+  std::vector<linalg::Vector> cols;
+  cols.reserve(emissions.size());
+  for (const auto& e : emissions) {
+    if (normalize_emissions_) {
+      const double scale = e.MaxAbs();
+      PRISTE_CHECK_MSG(scale > 0.0, "emission column is all-zero");
+      cols.push_back(e.Scaled(1.0 / scale));
+    } else {
+      cols.push_back(e);
+    }
+  }
+
+  // Right-to-left application of the Lemma III.2/III.3 chain onto a seed
+  // column; `last` is the number of diag/transition factors to run through
+  // (t during the event, end after it).
+  const auto apply_prefix = [&](linalg::Vector w, int last) {
+    for (int i = last; i >= 1; --i) {
+      w = model_->ApplyEmission(cols[static_cast<size_t>(i - 1)], w);
+      if (i > 1) w = model_->StepColumn(w, i - 1);
+    }
+    return w;
+  };
+
+  TheoremVectors out;
+  out.t = t;
+  out.a_bar = model_->PriorContraction();
+
+  const linalg::Vector ones_lifted = linalg::Vector::Ones(model_->lifted_size());
+  if (t <= end) {
+    // Eq. (18): b seeds with the event suffix v_t, c with the all-ones
+    // column.
+    out.b_bar = model_->ContractColumn(apply_prefix(model_->SuffixTrue(t), t));
+    out.c_bar = model_->ContractColumn(apply_prefix(ones_lifted, t));
+  } else {
+    // Eqs. (19)/(20): backward vector β over o_{end+1}..o_t, then the
+    // during-event prefix up to `end`.
+    linalg::Vector beta = ones_lifted;
+    for (int tau = t - 1; tau >= end; --tau) {
+      beta = model_->ApplyEmission(cols[static_cast<size_t>(tau)], beta);
+      beta = model_->StepColumn(beta, tau);
+    }
+    linalg::Vector beta_true = beta.Hadamard(model_->AcceptingMask());
+    out.b_bar = model_->ContractColumn(apply_prefix(std::move(beta_true), end));
+    out.c_bar = model_->ContractColumn(apply_prefix(std::move(beta), end));
+  }
+  return out;
+}
+
+double PrivacyQuantifier::Condition15(const TheoremVectors& v,
+                                      const linalg::Vector& pi, double epsilon) {
+  const double e_eps = std::exp(epsilon);
+  const double pa = pi.Dot(v.a_bar);
+  const double pb = pi.Dot(v.b_bar);
+  const double pc = pi.Dot(v.c_bar);
+  return pa * ((e_eps - 1.0) * pb - e_eps * pc) + pb;
+}
+
+double PrivacyQuantifier::Condition16(const TheoremVectors& v,
+                                      const linalg::Vector& pi, double epsilon) {
+  const double e_eps = std::exp(epsilon);
+  const double pa = pi.Dot(v.a_bar);
+  const double pb = pi.Dot(v.b_bar);
+  const double pc = pi.Dot(v.c_bar);
+  return pa * ((e_eps - 1.0) * pb + pc) - e_eps * pb;
+}
+
+bool PrivacyQuantifier::CheckFixedPrior(const TheoremVectors& v,
+                                        const linalg::Vector& pi, double epsilon,
+                                        double tol) {
+  return Condition15(v, pi, epsilon) <= tol && Condition16(v, pi, epsilon) <= tol;
+}
+
+PrivacyCheckResult PrivacyQuantifier::CheckArbitraryPrior(
+    const TheoremVectors& raw, double epsilon, const QpSolver& solver,
+    const Deadline& deadline) const {
+  // Joint (b̄, c̄) rescaling is sign-preserving (see the quantifier tests);
+  // normalizing to O(1) keeps the QP objectives well-scaled on long
+  // observation prefixes.
+  TheoremVectors v = raw;
+  const double scale = v.c_bar.MaxAbs();
+  if (scale > 0.0) {
+    v.b_bar.ScaleInPlace(1.0 / scale);
+    v.c_bar.ScaleInPlace(1.0 / scale);
+  }
+  const double e_eps = std::exp(epsilon);
+  const size_t m = v.a_bar.size();
+
+  // Eq. (15): (π·ā)(π·d15) + π·b̄ with d15 = (e^ε−1)b̄ − e^ε c̄.
+  QpSolver::Objective f15;
+  f15.a = v.a_bar;
+  f15.d = linalg::Vector(m);
+  for (size_t i = 0; i < m; ++i) {
+    f15.d[i] = (e_eps - 1.0) * v.b_bar[i] - e_eps * v.c_bar[i];
+  }
+  f15.l = v.b_bar;
+
+  // Eq. (16): (π·ā)(π·d16) − e^ε π·b̄ with d16 = (e^ε−1)b̄ + c̄.
+  QpSolver::Objective f16;
+  f16.a = v.a_bar;
+  f16.d = linalg::Vector(m);
+  for (size_t i = 0; i < m; ++i) {
+    f16.d[i] = (e_eps - 1.0) * v.b_bar[i] + v.c_bar[i];
+  }
+  f16.l = v.b_bar.Scaled(-e_eps);
+
+  PrivacyCheckResult out;
+  const QpSolver::Result r15 = solver.Maximize(f15, deadline);
+  const QpSolver::Result r16 = solver.Maximize(f16, deadline);
+  out.max_condition15 = r15.max_value;
+  out.max_condition16 = r16.max_value;
+  out.timed_out = r15.timed_out || r16.timed_out;
+  out.worst_pi = r15.max_value >= r16.max_value ? r15.argmax : r16.argmax;
+  out.satisfied = !out.timed_out && r15.max_value <= 0.0 && r16.max_value <= 0.0;
+  return out;
+}
+
+}  // namespace priste::core

@@ -1,0 +1,261 @@
+#include "priste/core/simplex_lp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "priste/common/check.h"
+
+namespace priste::core {
+namespace {
+
+constexpr double kTol = 1e-9;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Solves the k×k system B y = rhs by Gaussian elimination with partial
+// pivoting. Returns false when B is (numerically) singular.
+bool SolveSquare(linalg::Matrix b, linalg::Vector rhs, linalg::Vector* out) {
+  const size_t k = b.rows();
+  PRISTE_CHECK(b.cols() == k && rhs.size() == k);
+  for (size_t col = 0; col < k; ++col) {
+    size_t pivot = col;
+    for (size_t r = col + 1; r < k; ++r) {
+      if (std::fabs(b(r, col)) > std::fabs(b(pivot, col))) pivot = r;
+    }
+    if (std::fabs(b(pivot, col)) < 1e-12) return false;
+    if (pivot != col) {
+      for (size_t c = 0; c < k; ++c) std::swap(b(pivot, c), b(col, c));
+      std::swap(rhs[pivot], rhs[col]);
+    }
+    for (size_t r = col + 1; r < k; ++r) {
+      const double f = b(r, col) / b(col, col);
+      if (f == 0.0) continue;
+      for (size_t c = col; c < k; ++c) b(r, c) -= f * b(col, c);
+      rhs[r] -= f * rhs[col];
+    }
+  }
+  linalg::Vector y(k);
+  for (size_t row = k; row-- > 0;) {
+    double acc = rhs[row];
+    for (size_t c = row + 1; c < k; ++c) acc -= b(row, c) * y[c];
+    y[row] = acc / b(row, row);
+  }
+  *out = y;
+  return true;
+}
+
+// Internal simplex state over the extended problem (originals + artificials).
+class BoundedSimplex {
+ public:
+  BoundedSimplex(const LpProblem& problem)
+      : k_(problem.a.rows()), n_(problem.a.cols()) {
+    PRISTE_CHECK(problem.b.size() == k_);
+    PRISTE_CHECK(problem.c.size() == n_);
+    PRISTE_CHECK(problem.upper.size() == n_);
+    total_ = n_ + k_;
+
+    a_ = linalg::Matrix(k_, total_);
+    a_.SetBlock(0, 0, problem.a);
+    b_ = problem.b;
+    upper_.assign(total_, 0.0);
+    for (size_t j = 0; j < n_; ++j) upper_[j] = problem.upper[j];
+
+    // Artificial columns: ±e_i so the artificial starts at |b_i| >= 0.
+    x_.assign(total_, 0.0);
+    at_upper_.assign(total_, false);
+    basis_.resize(k_);
+    for (size_t i = 0; i < k_; ++i) {
+      const double sign = b_[i] >= 0.0 ? 1.0 : -1.0;
+      a_(i, n_ + i) = sign;
+      upper_[n_ + i] = kInf;
+      basis_[i] = n_ + i;
+      x_[n_ + i] = std::fabs(b_[i]);
+    }
+  }
+
+  LpSolution Solve(const linalg::Vector& true_objective) {
+    // Phase 1: maximize −Σ artificials.
+    std::vector<double> phase1(total_, 0.0);
+    for (size_t i = 0; i < k_; ++i) phase1[n_ + i] = -1.0;
+    LpSolution::Outcome outcome = RunSimplex(phase1);
+    if (outcome == LpSolution::Outcome::kIterationLimit) {
+      return Finish(outcome, true_objective);
+    }
+    double artificial_mass = 0.0;
+    for (size_t i = 0; i < k_; ++i) artificial_mass += x_[n_ + i];
+    if (artificial_mass > 1e-7) {
+      return Finish(LpSolution::Outcome::kInfeasible, true_objective);
+    }
+    // Phase 2: clamp artificials to 0 and optimize the real objective.
+    for (size_t i = 0; i < k_; ++i) upper_[n_ + i] = 0.0;
+    std::vector<double> phase2(total_, 0.0);
+    for (size_t j = 0; j < n_; ++j) phase2[j] = true_objective[j];
+    outcome = RunSimplex(phase2);
+    if (outcome == LpSolution::Outcome::kIterationLimit) {
+      // The incumbent is feasible; report it with the honest outcome flag.
+      return Finish(outcome, true_objective);
+    }
+    return Finish(outcome, true_objective);
+  }
+
+ private:
+  LpSolution Finish(LpSolution::Outcome outcome, const linalg::Vector& c) {
+    LpSolution out;
+    out.outcome = outcome;
+    out.x = linalg::Vector(n_);
+    for (size_t j = 0; j < n_; ++j) out.x[j] = x_[j];
+    out.objective = 0.0;
+    for (size_t j = 0; j < n_; ++j) out.objective += c[j] * x_[j];
+    return out;
+  }
+
+  bool IsBasic(size_t j) const {
+    for (size_t i = 0; i < k_; ++i) {
+      if (basis_[i] == j) return true;
+    }
+    return false;
+  }
+
+  // Recomputes basic values from the nonbasic assignment (keeps the iterate
+  // exactly consistent with A x = b up to the linear solve).
+  bool RefreshBasicValues() {
+    linalg::Vector rhs = b_;
+    for (size_t j = 0; j < total_; ++j) {
+      if (IsBasic(j) || x_[j] == 0.0) continue;
+      for (size_t i = 0; i < k_; ++i) rhs[i] -= a_(i, j) * x_[j];
+    }
+    linalg::Matrix basis_matrix(k_, k_);
+    for (size_t i = 0; i < k_; ++i) {
+      for (size_t r = 0; r < k_; ++r) basis_matrix(r, i) = a_(r, basis_[i]);
+    }
+    linalg::Vector xb;
+    if (!SolveSquare(basis_matrix, rhs, &xb)) return false;
+    for (size_t i = 0; i < k_; ++i) x_[basis_[i]] = xb[i];
+    return true;
+  }
+
+  LpSolution::Outcome RunSimplex(const std::vector<double>& c) {
+    const size_t max_iters = 50 * (total_ + k_) + 200;
+    for (size_t iter = 0; iter < max_iters; ++iter) {
+      const bool bland = iter > 20 * (total_ + k_);
+      if (!RefreshBasicValues()) return LpSolution::Outcome::kIterationLimit;
+
+      // Dual vector y: Bᵀ y = c_B.
+      linalg::Matrix bt(k_, k_);
+      linalg::Vector cb(k_);
+      for (size_t i = 0; i < k_; ++i) {
+        cb[i] = c[basis_[i]];
+        for (size_t r = 0; r < k_; ++r) bt(i, r) = a_(r, basis_[i]);
+      }
+      linalg::Vector y;
+      if (!SolveSquare(bt, cb, &y)) return LpSolution::Outcome::kIterationLimit;
+
+      // Pricing.
+      size_t entering = total_;
+      double best_score = kTol;
+      double entering_dir = 0.0;  // +1 from lower, −1 from upper
+      for (size_t j = 0; j < total_; ++j) {
+        if (IsBasic(j)) continue;
+        if (upper_[j] == 0.0) continue;  // fixed variable
+        double dj = c[j];
+        for (size_t i = 0; i < k_; ++i) dj -= y[i] * a_(i, j);
+        const bool from_lower = !at_upper_[j];
+        const double score = from_lower ? dj : -dj;
+        if (score > kTol) {
+          if (bland) {
+            entering = j;
+            entering_dir = from_lower ? 1.0 : -1.0;
+            break;
+          }
+          if (score > best_score) {
+            best_score = score;
+            entering = j;
+            entering_dir = from_lower ? 1.0 : -1.0;
+          }
+        }
+      }
+      if (entering == total_) return LpSolution::Outcome::kOptimal;
+
+      // Direction through the basis: B w = A_entering.
+      linalg::Matrix basis_matrix(k_, k_);
+      linalg::Vector ae(k_);
+      for (size_t i = 0; i < k_; ++i) {
+        ae[i] = a_(i, entering);
+        for (size_t r = 0; r < k_; ++r) basis_matrix(r, i) = a_(r, basis_[i]);
+      }
+      linalg::Vector w;
+      if (!SolveSquare(basis_matrix, ae, &w)) {
+        return LpSolution::Outcome::kIterationLimit;
+      }
+
+      // Ratio test. The entering variable moves by θ in direction
+      // entering_dir; basic i changes by −entering_dir·θ·w_i.
+      double theta = upper_[entering] == kInf ? kInf : upper_[entering];
+      size_t leaving = k_;          // k_ = bound flip
+      bool leaving_to_upper = false;
+      for (size_t i = 0; i < k_; ++i) {
+        const double rate = -entering_dir * w[i];
+        const size_t bj = basis_[i];
+        if (rate < -kTol) {  // basic decreases toward 0
+          const double limit = x_[bj] / (-rate);
+          if (limit < theta - kTol) {
+            theta = limit;
+            leaving = i;
+            leaving_to_upper = false;
+          }
+        } else if (rate > kTol && upper_[bj] < kInf) {  // increases toward u
+          const double limit = (upper_[bj] - x_[bj]) / rate;
+          if (limit < theta - kTol) {
+            theta = limit;
+            leaving = i;
+            leaving_to_upper = true;
+          }
+        }
+      }
+      if (theta == kInf) return LpSolution::Outcome::kUnbounded;
+      theta = std::max(theta, 0.0);
+
+      // Apply the step.
+      x_[entering] += entering_dir * theta;
+      for (size_t i = 0; i < k_; ++i) {
+        x_[basis_[i]] -= entering_dir * theta * w[i];
+      }
+      if (leaving == k_) {
+        // Bound flip: entering switches bounds, basis unchanged.
+        at_upper_[entering] = !at_upper_[entering];
+        if (at_upper_[entering] && upper_[entering] < kInf) {
+          x_[entering] = upper_[entering];
+        } else if (!at_upper_[entering]) {
+          x_[entering] = 0.0;
+        }
+      } else {
+        const size_t out_var = basis_[leaving];
+        at_upper_[out_var] = leaving_to_upper;
+        x_[out_var] = leaving_to_upper ? upper_[out_var] : 0.0;
+        basis_[leaving] = entering;
+        at_upper_[entering] = false;
+      }
+    }
+    return LpSolution::Outcome::kIterationLimit;
+  }
+
+  size_t k_;
+  size_t n_;
+  size_t total_;
+  linalg::Matrix a_;
+  linalg::Vector b_;
+  std::vector<double> upper_;
+  std::vector<double> x_;
+  std::vector<bool> at_upper_;
+  std::vector<size_t> basis_;
+};
+
+}  // namespace
+
+LpSolution SolveBoundedLp(const LpProblem& problem) {
+  BoundedSimplex simplex(problem);
+  return simplex.Solve(problem.c);
+}
+
+}  // namespace priste::core

@@ -1,0 +1,36 @@
+#ifndef PRISTE_CORE_SIMPLEX_LP_H_
+#define PRISTE_CORE_SIMPLEX_LP_H_
+
+#include "priste/linalg/matrix.h"
+#include "priste/linalg/vector.h"
+
+namespace priste::core {
+
+/// A bounded-variable linear program:
+///
+///   maximize cᵀx   subject to   A x = b,   0 ≤ x ≤ u.
+///
+/// A has k rows (k small — the QP slices use k ∈ {1, 2}) and n columns.
+struct LpProblem {
+  linalg::Matrix a;
+  linalg::Vector b;
+  linalg::Vector c;
+  linalg::Vector upper;
+};
+
+struct LpSolution {
+  enum class Outcome { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+  Outcome outcome = Outcome::kIterationLimit;
+  double objective = 0.0;
+  linalg::Vector x;
+};
+
+/// Two-phase primal simplex with bounded variables and a Bland's-rule
+/// anti-cycling fallback. Exact (up to floating point) for the few-row LPs
+/// the QP solver generates; this is the "LP slice" half of the CPLEX
+/// substitution documented in DESIGN.md §1.
+LpSolution SolveBoundedLp(const LpProblem& problem);
+
+}  // namespace priste::core
+
+#endif  // PRISTE_CORE_SIMPLEX_LP_H_

@@ -1,0 +1,111 @@
+#include "priste/core/two_world.h"
+
+#include "priste/common/check.h"
+#include "priste/linalg/ops.h"
+
+namespace priste::core {
+namespace {
+
+using event::SpatiotemporalEvent;
+using linalg::BlockMatrix2x2;
+using linalg::Matrix;
+using linalg::Vector;
+
+// Splits M by destination region d: `keep` carries transitions landing
+// outside d (M − M·dᴰ), `enter` transitions landing inside (M·dᴰ).
+struct CaptureSplit {
+  Matrix keep;
+  Matrix enter;
+};
+
+CaptureSplit SplitByDestination(const Matrix& m, const Vector& d) {
+  Vector not_d(d.size());
+  for (size_t i = 0; i < d.size(); ++i) not_d[i] = 1.0 - d[i];
+  return CaptureSplit{linalg::ScaleColumns(m, not_d), linalg::ScaleColumns(m, d)};
+}
+
+}  // namespace
+
+TwoWorldModel::TwoWorldModel(markov::TransitionMatrix base, event::EventPtr ev)
+    : TwoWorldModel(markov::TransitionSchedule::Homogeneous(std::move(base)),
+                    std::move(ev)) {}
+
+TwoWorldModel::TwoWorldModel(markov::TransitionSchedule schedule,
+                             event::EventPtr ev)
+    : schedule_(std::move(schedule)), event_(std::move(ev)) {
+  PRISTE_CHECK(event_ != nullptr);
+  PRISTE_CHECK_MSG(event_->num_states() == schedule_.num_states(),
+                   "event regions and chain disagree on the state count");
+  const size_t m = num_states();
+  InitializeDerived(Vector::Zeros(m).Concat(Vector::Ones(m)));
+}
+
+const linalg::BlockMatrix2x2& TwoWorldModel::TransitionAt(int t) const {
+  PRISTE_CHECK(t >= 1);
+  const int start = event_->start();
+  const int end = event_->end();
+  const int first_window_step = std::max(start - 1, 1);
+  const int last_window_step = end - 1;
+  const bool in_window = t >= first_window_step && t <= last_window_step;
+  const int window_offset = in_window ? t - first_window_step : -1;
+  const CacheKey key{schedule_.IndexAtStep(t), window_offset};
+
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return *it->second;
+
+  const Matrix& m = schedule_.AtStep(t).matrix();
+  std::shared_ptr<const BlockMatrix2x2> built;
+  if (!in_window) {
+    built = std::make_shared<BlockMatrix2x2>(BlockMatrix2x2::BlockDiagonal(m));
+  } else {
+    const Matrix zero(m.rows(), m.cols());
+    const int tau = t + 1;  // destination timestamp
+    const CaptureSplit split =
+        SplitByDestination(m, event_->RegionAt(tau).Indicator());
+    if (event_->kind() == SpatiotemporalEvent::Kind::kPresence ||
+        t == start - 1) {
+      // Eq. (4) for PRESENCE, Eq. (6) for the PATTERN window entry: the
+      // FALSE world feeds the region's mass into TRUE; TRUE is absorbing.
+      built = std::make_shared<BlockMatrix2x2>(split.keep, split.enter, zero, m);
+    } else {
+      // Eq. (7): TRUE keeps only trajectories continuing inside the region;
+      // the rest fall back to FALSE. FALSE is absorbing.
+      built = std::make_shared<BlockMatrix2x2>(m, zero, split.keep, split.enter);
+    }
+  }
+  it = cache_.emplace(key, std::move(built)).first;
+  return *it->second;
+}
+
+linalg::Vector TwoWorldModel::LiftInitial(const linalg::Vector& pi) const {
+  const size_t m = num_states();
+  PRISTE_CHECK(pi.size() == m);
+  Vector lifted(2 * m);
+  if (event_->start() == 1) {
+    const Vector s = event_->RegionAt(1).Indicator();
+    for (size_t i = 0; i < m; ++i) {
+      lifted[i] = pi[i] * (1.0 - s[i]);
+      lifted[m + i] = pi[i] * s[i];
+    }
+  } else {
+    for (size_t i = 0; i < m; ++i) lifted[i] = pi[i];
+  }
+  return lifted;
+}
+
+linalg::Vector TwoWorldModel::ContractColumn(const linalg::Vector& col) const {
+  const size_t m = num_states();
+  PRISTE_CHECK(col.size() == 2 * m);
+  Vector g(m);
+  if (event_->start() == 1) {
+    const Vector s = event_->RegionAt(1).Indicator();
+    for (size_t i = 0; i < m; ++i) {
+      g[i] = (1.0 - s[i]) * col[i] + s[i] * col[m + i];
+    }
+  } else {
+    for (size_t i = 0; i < m; ++i) g[i] = col[i];
+  }
+  return g;
+}
+
+}  // namespace priste::core

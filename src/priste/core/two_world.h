@@ -1,0 +1,81 @@
+#ifndef PRISTE_CORE_TWO_WORLD_H_
+#define PRISTE_CORE_TWO_WORLD_H_
+
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "priste/core/event_model.h"
+#include "priste/event/event.h"
+#include "priste/linalg/block.h"
+#include "priste/markov/schedule.h"
+#include "priste/markov/transition_matrix.h"
+
+namespace priste::core {
+
+/// The paper's two-possible-world construction (Section III-B): a lifted
+/// Markov chain over 2m states — world FALSE ("event not (yet) true") and
+/// world TRUE — whose per-timestep transition matrices M_t (Equations 4–8)
+/// encode a PRESENCE or PATTERN event so that event probabilities reduce to
+/// linear-algebra chains, linear in the number of predicates.
+///
+/// Conventions: timestamps are 1-based; TransitionAt(t) is the lifted
+/// transition from time t to t+1; the destination-time region governs
+/// capture (entering the region at time τ = t+1 moves probability mass
+/// between worlds).
+///
+/// Time-varying chains (Section III footnote 3) are supported through a
+/// markov::TransitionSchedule; lifted matrices are built lazily and cached
+/// per (distinct base matrix, window step) pair. The cache makes const
+/// methods non-reentrant: use one instance per thread.
+///
+/// Events whose window starts at t = 1 are handled by splitting the initial
+/// distribution across the worlds (LiftInitial) — the generalization of the
+/// paper's [π, 0] initial vector, which assumes start > 1.
+class TwoWorldModel : public LiftedEventModel {
+ public:
+  /// Time-homogeneous chain.
+  TwoWorldModel(markov::TransitionMatrix base, event::EventPtr ev);
+
+  /// Time-varying chain.
+  TwoWorldModel(markov::TransitionSchedule schedule, event::EventPtr ev);
+
+  size_t num_states() const override { return schedule_.num_states(); }
+  size_t lifted_size() const override { return 2 * num_states(); }
+  int event_start() const override { return event_->start(); }
+  int event_end() const override { return event_->end(); }
+
+  const markov::TransitionSchedule& schedule() const { return schedule_; }
+  const event::SpatiotemporalEvent& event() const { return *event_; }
+
+  /// The lifted transition M_t for the step t → t+1 (t >= 1). Outside
+  /// [start−1, end−1] this is the block-diagonal matrix (Eq. 5/8).
+  const linalg::BlockMatrix2x2& TransitionAt(int t) const;
+
+  linalg::Vector LiftInitial(const linalg::Vector& pi) const override;
+  linalg::Vector ContractColumn(const linalg::Vector& col) const override;
+  linalg::Vector StepRow(const linalg::Vector& v, int t) const override {
+    return TransitionAt(t).VecMat(v);
+  }
+  linalg::Vector StepColumn(const linalg::Vector& v, int t) const override {
+    return TransitionAt(t).MatVec(v);
+  }
+  linalg::Vector ApplyEmission(const linalg::Vector& emission,
+                               const linalg::Vector& v) const override {
+    return linalg::ApplyTwoWorldDiagonal(emission, v);
+  }
+
+ private:
+  // Cache key: (base-matrix index, window offset) with offset −1 for the
+  // outside-window block-diagonal form.
+  using CacheKey = std::pair<int, int>;
+
+  markov::TransitionSchedule schedule_;
+  event::EventPtr event_;
+  mutable std::map<CacheKey, std::shared_ptr<const linalg::BlockMatrix2x2>> cache_;
+};
+
+}  // namespace priste::core
+
+#endif  // PRISTE_CORE_TWO_WORLD_H_

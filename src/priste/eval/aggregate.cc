@@ -1,0 +1,51 @@
+#include "priste/eval/aggregate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "priste/common/check.h"
+
+namespace priste::eval {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::stddev() const {
+  if (count_ < 2) return 0.0;
+  return std::sqrt(m2_ / static_cast<double>(count_ - 1));
+}
+
+void SeriesStats::AddSeries(const std::vector<double>& series) {
+  if (stats_.empty()) {
+    stats_.resize(series.size());
+  }
+  PRISTE_CHECK_MSG(series.size() == stats_.size(),
+                   "series length mismatch in SeriesStats");
+  for (size_t i = 0; i < series.size(); ++i) stats_[i].Add(series[i]);
+}
+
+std::vector<double> SeriesStats::Means() const {
+  std::vector<double> out;
+  out.reserve(stats_.size());
+  for (const auto& s : stats_) out.push_back(s.mean());
+  return out;
+}
+
+std::vector<double> SeriesStats::Stddevs() const {
+  std::vector<double> out;
+  out.reserve(stats_.size());
+  for (const auto& s : stats_) out.push_back(s.stddev());
+  return out;
+}
+
+}  // namespace priste::eval

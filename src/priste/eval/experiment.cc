@@ -1,0 +1,112 @@
+#include "priste/eval/experiment.h"
+
+#include <cstdlib>
+
+#include "priste/common/check.h"
+#include "priste/eval/metrics.h"
+
+namespace priste::eval {
+namespace {
+
+int EnvInt(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::atoi(value);
+}
+
+}  // namespace
+
+ExperimentScale ExperimentScale::FromEnv() {
+  ExperimentScale scale;
+  if (EnvInt("PRISTE_FULL", 0) != 0) {
+    scale.full = true;
+    scale.grid_width = 20;
+    scale.grid_height = 20;
+    scale.horizon = 50;
+    scale.runs = 100;
+  }
+  scale.runs = EnvInt("PRISTE_RUNS", scale.runs);
+  PRISTE_CHECK(scale.runs >= 1);
+  return scale;
+}
+
+int ExperimentScale::MapStateCount(int paper_count, int paper_grid_cells) const {
+  const int cells = grid_width * grid_height;
+  if (cells == paper_grid_cells) return paper_count;
+  const int mapped = (paper_count * cells + paper_grid_cells - 1) / paper_grid_cells;
+  return std::max(1, mapped);
+}
+
+int ExperimentScale::MapTimestamp(int paper_t, int paper_horizon) const {
+  if (horizon == paper_horizon) return paper_t;
+  const int mapped = (paper_t * horizon + paper_horizon - 1) / paper_horizon;
+  return std::max(1, std::min(horizon, mapped));
+}
+
+SyntheticWorkload::SyntheticWorkload(const ExperimentScale& scale, double sigma)
+    : grid(scale.grid_width, scale.grid_height, 1.0), model(grid, sigma) {}
+
+namespace {
+
+template <typename RunFn>
+RepeatedRunStats RepeatRuns(const markov::MarkovChain& chain, const geo::Grid& grid,
+                            int horizon, int runs, uint64_t seed, RunFn&& run_fn) {
+  RepeatedRunStats stats;
+  Rng master(seed);
+  for (int r = 0; r < runs; ++r) {
+    Rng run_rng = master.Split();
+    const geo::Trajectory truth(chain.Sample(horizon, run_rng));
+    const StatusOr<core::RunResult> result = run_fn(truth, run_rng);
+    PRISTE_CHECK_OK(result.status().ok() ? Status::Ok() : result.status());
+    const core::RunResult& run = result.value();
+    stats.budget_per_timestamp.AddSeries(AlphaSeries(run));
+    stats.mean_budget.Add(MeanReleasedAlpha(run));
+    stats.euclid_km.Add(MeanEuclideanErrorKm(truth, run, grid));
+    stats.run_seconds.Add(run.total_seconds);
+    stats.conservative_releases.Add(static_cast<double>(run.total_conservative));
+  }
+  return stats;
+}
+
+}  // namespace
+
+RepeatedRunStats RunRepeatedGeoInd(const geo::Grid& grid,
+                                   const markov::MarkovChain& chain,
+                                   const std::vector<event::EventPtr>& events,
+                                   const core::PristeOptions& options,
+                                   const ExperimentScale& scale, uint64_t seed) {
+  const core::PristeGeoInd priste(grid, chain.transition(), events, options);
+  return RepeatRuns(chain, grid, scale.horizon, scale.runs, seed,
+                    [&priste](const geo::Trajectory& truth, Rng& rng) {
+                      return priste.Run(truth, rng);
+                    });
+}
+
+RepeatedRunStats RunRepeatedDeltaLoc(const geo::Grid& grid,
+                                     const markov::MarkovChain& chain,
+                                     const std::vector<event::EventPtr>& events,
+                                     double delta,
+                                     const core::PristeOptions& options,
+                                     const ExperimentScale& scale, uint64_t seed) {
+  const core::PristeDeltaLoc priste(grid, chain.transition(), events, delta,
+                                    chain.initial(), options);
+  return RepeatRuns(chain, grid, scale.horizon, scale.runs, seed,
+                    [&priste](const geo::Trajectory& truth, Rng& rng) {
+                      return priste.Run(truth, rng);
+                    });
+}
+
+core::PristeOptions DefaultBenchOptions(double epsilon, double alpha) {
+  core::PristeOptions options;
+  options.epsilon = epsilon;
+  options.initial_alpha = alpha;
+  options.qp_threshold_seconds = 1.0;
+  // Bench-friendly QP effort; escalation still densifies near the boundary.
+  options.qp.grid_points = 33;
+  options.qp.refine_iters = 12;
+  options.qp.pga_restarts = 2;
+  options.qp.pga_iters = 60;
+  return options;
+}
+
+}  // namespace priste::eval

@@ -1,0 +1,32 @@
+#include "priste/eval/metrics.h"
+
+#include "priste/common/check.h"
+
+namespace priste::eval {
+
+std::vector<double> AlphaSeries(const core::RunResult& run) {
+  std::vector<double> out;
+  out.reserve(run.steps.size());
+  for (const auto& step : run.steps) out.push_back(step.released_alpha);
+  return out;
+}
+
+double MeanReleasedAlpha(const core::RunResult& run) {
+  PRISTE_CHECK(!run.steps.empty());
+  double total = 0.0;
+  for (const auto& step : run.steps) total += step.released_alpha;
+  return total / static_cast<double>(run.steps.size());
+}
+
+double MeanEuclideanErrorKm(const geo::Trajectory& truth,
+                            const core::RunResult& run, const geo::Grid& grid) {
+  return truth.MeanDistanceKm(run.released, grid);
+}
+
+int TotalHalvings(const core::RunResult& run) {
+  int total = 0;
+  for (const auto& step : run.steps) total += step.halvings;
+  return total;
+}
+
+}  // namespace priste::eval

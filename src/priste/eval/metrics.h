@@ -1,0 +1,28 @@
+#ifndef PRISTE_EVAL_METRICS_H_
+#define PRISTE_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "priste/core/priste.h"
+#include "priste/geo/grid.h"
+#include "priste/geo/trajectory.h"
+
+namespace priste::eval {
+
+/// The released PLM budget per timestamp of one run (Figs. 7–10's y-axis).
+std::vector<double> AlphaSeries(const core::RunResult& run);
+
+/// Mean released budget over the whole run (Figs. 11–13's left panels).
+double MeanReleasedAlpha(const core::RunResult& run);
+
+/// Mean center-to-center Euclidean error in km between the true and the
+/// released trajectory (Figs. 11–13's right panels).
+double MeanEuclideanErrorKm(const geo::Trajectory& truth,
+                            const core::RunResult& run, const geo::Grid& grid);
+
+/// Total budget halvings across the run (calibration effort).
+int TotalHalvings(const core::RunResult& run);
+
+}  // namespace priste::eval
+
+#endif  // PRISTE_EVAL_METRICS_H_

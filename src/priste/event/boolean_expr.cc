@@ -1,0 +1,158 @@
+#include "priste/event/boolean_expr.h"
+
+#include <algorithm>
+
+#include "priste/common/check.h"
+#include "priste/common/strings.h"
+
+namespace priste::event {
+
+BoolExpr::Ptr BoolExpr::Pred(int t, int state) {
+  PRISTE_CHECK(t >= 1);
+  PRISTE_CHECK(state >= 0);
+  return Ptr(new BoolExpr(Kind::kPredicate, t, state, false, nullptr, nullptr));
+}
+
+BoolExpr::Ptr BoolExpr::And(Ptr a, Ptr b) {
+  PRISTE_CHECK(a != nullptr && b != nullptr);
+  return Ptr(new BoolExpr(Kind::kAnd, 0, 0, false, std::move(a), std::move(b)));
+}
+
+BoolExpr::Ptr BoolExpr::Or(Ptr a, Ptr b) {
+  PRISTE_CHECK(a != nullptr && b != nullptr);
+  return Ptr(new BoolExpr(Kind::kOr, 0, 0, false, std::move(a), std::move(b)));
+}
+
+BoolExpr::Ptr BoolExpr::Not(Ptr a) {
+  PRISTE_CHECK(a != nullptr);
+  return Ptr(new BoolExpr(Kind::kNot, 0, 0, false, std::move(a), nullptr));
+}
+
+BoolExpr::Ptr BoolExpr::Constant(bool value) {
+  return Ptr(new BoolExpr(Kind::kConstant, 0, 0, value, nullptr, nullptr));
+}
+
+BoolExpr::Ptr BoolExpr::AndAll(const std::vector<Ptr>& terms) {
+  if (terms.empty()) return Constant(true);
+  Ptr acc = terms[0];
+  for (size_t i = 1; i < terms.size(); ++i) acc = And(acc, terms[i]);
+  return acc;
+}
+
+BoolExpr::Ptr BoolExpr::OrAll(const std::vector<Ptr>& terms) {
+  if (terms.empty()) return Constant(false);
+  Ptr acc = terms[0];
+  for (size_t i = 1; i < terms.size(); ++i) acc = Or(acc, terms[i]);
+  return acc;
+}
+
+int BoolExpr::pred_time() const {
+  PRISTE_CHECK(kind_ == Kind::kPredicate);
+  return t_;
+}
+
+int BoolExpr::pred_state() const {
+  PRISTE_CHECK(kind_ == Kind::kPredicate);
+  return state_;
+}
+
+bool BoolExpr::constant_value() const {
+  PRISTE_CHECK(kind_ == Kind::kConstant);
+  return constant_;
+}
+
+const BoolExpr& BoolExpr::left() const {
+  PRISTE_CHECK(left_ != nullptr);
+  return *left_;
+}
+
+const BoolExpr& BoolExpr::right() const {
+  PRISTE_CHECK(right_ != nullptr);
+  return *right_;
+}
+
+bool BoolExpr::Evaluate(const geo::Trajectory& trajectory) const {
+  switch (kind_) {
+    case Kind::kPredicate:
+      PRISTE_CHECK_MSG(t_ <= trajectory.length(),
+                       "predicate timestamp beyond trajectory");
+      return trajectory.At(t_) == state_;
+    case Kind::kAnd:
+      return left_->Evaluate(trajectory) && right_->Evaluate(trajectory);
+    case Kind::kOr:
+      return left_->Evaluate(trajectory) || right_->Evaluate(trajectory);
+    case Kind::kNot:
+      return !left_->Evaluate(trajectory);
+    case Kind::kConstant:
+      return constant_;
+  }
+  return false;
+}
+
+int BoolExpr::MaxTimestamp() const {
+  switch (kind_) {
+    case Kind::kPredicate:
+      return t_;
+    case Kind::kAnd:
+    case Kind::kOr:
+      return std::max(left_->MaxTimestamp(), right_->MaxTimestamp());
+    case Kind::kNot:
+      return left_->MaxTimestamp();
+    case Kind::kConstant:
+      return 0;
+  }
+  return 0;
+}
+
+int BoolExpr::MinTimestamp() const {
+  switch (kind_) {
+    case Kind::kPredicate:
+      return t_;
+    case Kind::kAnd:
+    case Kind::kOr: {
+      const int l = left_->MinTimestamp();
+      const int r = right_->MinTimestamp();
+      if (l == 0) return r;
+      if (r == 0) return l;
+      return std::min(l, r);
+    }
+    case Kind::kNot:
+      return left_->MinTimestamp();
+    case Kind::kConstant:
+      return 0;
+  }
+  return 0;
+}
+
+size_t BoolExpr::NumPredicates() const {
+  switch (kind_) {
+    case Kind::kPredicate:
+      return 1;
+    case Kind::kAnd:
+    case Kind::kOr:
+      return left_->NumPredicates() + right_->NumPredicates();
+    case Kind::kNot:
+      return left_->NumPredicates();
+    case Kind::kConstant:
+      return 0;
+  }
+  return 0;
+}
+
+std::string BoolExpr::ToString() const {
+  switch (kind_) {
+    case Kind::kPredicate:
+      return StrFormat("(u%d=s%d)", t_, state_ + 1);
+    case Kind::kAnd:
+      return "(" + left_->ToString() + " & " + right_->ToString() + ")";
+    case Kind::kOr:
+      return "(" + left_->ToString() + " | " + right_->ToString() + ")";
+    case Kind::kNot:
+      return "!" + left_->ToString();
+    case Kind::kConstant:
+      return constant_ ? "true" : "false";
+  }
+  return "?";
+}
+
+}  // namespace priste::event

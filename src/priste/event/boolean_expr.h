@@ -1,0 +1,76 @@
+#ifndef PRISTE_EVENT_BOOLEAN_EXPR_H_
+#define PRISTE_EVENT_BOOLEAN_EXPR_H_
+
+#include <memory>
+#include <string>
+
+#include "priste/geo/trajectory.h"
+
+namespace priste::event {
+
+/// An immutable Boolean expression over (location, time) predicates
+/// `u_t = s_i` (Definition II.1). Shared subtrees are allowed; expressions
+/// are built through the static factories and evaluated against concrete
+/// trajectories. This is the fully general event language; the PRESENCE and
+/// PATTERN classes compile themselves down to it (Table II) so the efficient
+/// two-world pipeline can be cross-checked against direct evaluation.
+class BoolExpr {
+ public:
+  using Ptr = std::shared_ptr<const BoolExpr>;
+
+  enum class Kind { kPredicate, kAnd, kOr, kNot, kConstant };
+
+  /// The predicate u_t = s_state (t is 1-based, state 0-based).
+  static Ptr Pred(int t, int state);
+  static Ptr And(Ptr a, Ptr b);
+  static Ptr Or(Ptr a, Ptr b);
+  static Ptr Not(Ptr a);
+  static Ptr Constant(bool value);
+
+  /// n-ary conveniences; And of an empty list is true, Or is false.
+  static Ptr AndAll(const std::vector<Ptr>& terms);
+  static Ptr OrAll(const std::vector<Ptr>& terms);
+
+  Kind kind() const { return kind_; }
+
+  /// Structural accessors (used by the automaton compiler and other
+  /// visitors). Preconditions: pred_time/pred_state require kPredicate,
+  /// constant_value requires kConstant, left requires a child-bearing kind,
+  /// right requires kAnd/kOr.
+  int pred_time() const;
+  int pred_state() const;
+  bool constant_value() const;
+  const BoolExpr& left() const;
+  const BoolExpr& right() const;
+
+  /// Evaluates against a trajectory; every referenced timestamp must be
+  /// within [1, trajectory.length()].
+  bool Evaluate(const geo::Trajectory& trajectory) const;
+
+  /// Largest / smallest timestamp referenced by any predicate (0 when the
+  /// expression has none).
+  int MaxTimestamp() const;
+  int MinTimestamp() const;
+
+  /// Number of predicate leaves (the paper's complexity parameter).
+  size_t NumPredicates() const;
+
+  /// e.g. "((u1=s1) | (u1=s2)) & !(u2=s3)".
+  std::string ToString() const;
+
+ private:
+  BoolExpr(Kind kind, int t, int state, bool constant, Ptr left, Ptr right)
+      : kind_(kind), t_(t), state_(state), constant_(constant),
+        left_(std::move(left)), right_(std::move(right)) {}
+
+  Kind kind_;
+  int t_ = 0;        // kPredicate only
+  int state_ = 0;    // kPredicate only
+  bool constant_ = false;  // kConstant only
+  Ptr left_;
+  Ptr right_;        // kAnd/kOr only
+};
+
+}  // namespace priste::event
+
+#endif  // PRISTE_EVENT_BOOLEAN_EXPR_H_

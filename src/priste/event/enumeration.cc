@@ -1,0 +1,77 @@
+#include "priste/event/enumeration.h"
+
+#include "priste/common/check.h"
+
+namespace priste::event {
+
+void ForEachTrajectory(size_t num_states, int length,
+                       const std::function<void(const geo::Trajectory&)>& fn) {
+  PRISTE_CHECK(num_states > 0 && length >= 1);
+  std::vector<int> states(static_cast<size_t>(length), 0);
+  for (;;) {
+    fn(geo::Trajectory(states));
+    // Odometer increment.
+    int pos = length - 1;
+    while (pos >= 0) {
+      if (static_cast<size_t>(++states[static_cast<size_t>(pos)]) < num_states) break;
+      states[static_cast<size_t>(pos)] = 0;
+      --pos;
+    }
+    if (pos < 0) return;
+  }
+}
+
+double EnumeratePrior(const markov::MarkovChain& chain, const BoolExpr& expr,
+                      int length) {
+  PRISTE_CHECK(length >= expr.MaxTimestamp());
+  double total = 0.0;
+  ForEachTrajectory(chain.num_states(), length,
+                    [&](const geo::Trajectory& traj) {
+                      if (expr.Evaluate(traj)) {
+                        total += chain.TrajectoryProbability(traj.states());
+                      }
+                    });
+  return total;
+}
+
+double EnumerateJoint(const markov::MarkovChain& chain, const BoolExpr& expr,
+                      const std::vector<linalg::Vector>& emissions) {
+  const int length = static_cast<int>(emissions.size());
+  PRISTE_CHECK(length >= expr.MaxTimestamp());
+  double total = 0.0;
+  ForEachTrajectory(
+      chain.num_states(), length, [&](const geo::Trajectory& traj) {
+        if (!expr.Evaluate(traj)) return;
+        double p = chain.TrajectoryProbability(traj.states());
+        for (int t = 1; t <= length; ++t) {
+          p *= emissions[static_cast<size_t>(t - 1)][static_cast<size_t>(traj.At(t))];
+        }
+        total += p;
+      });
+  return total;
+}
+
+std::vector<std::vector<int>> SatisfyingWindowPaths(const SpatiotemporalEvent& ev) {
+  PRISTE_CHECK_MSG(ev.kind() == SpatiotemporalEvent::Kind::kPattern,
+                   "window-path enumeration is defined for PATTERN events");
+  std::vector<std::vector<int>> paths;
+  std::vector<int> current;
+  const int len = ev.window_length();
+  current.reserve(static_cast<size_t>(len));
+
+  const std::function<void(int)> recurse = [&](int offset) {
+    if (offset == len) {
+      paths.push_back(current);
+      return;
+    }
+    for (int s : ev.RegionAt(ev.start() + offset).States()) {
+      current.push_back(s);
+      recurse(offset + 1);
+      current.pop_back();
+    }
+  };
+  recurse(0);
+  return paths;
+}
+
+}  // namespace priste::event

@@ -1,0 +1,38 @@
+#ifndef PRISTE_EVENT_ENUMERATION_H_
+#define PRISTE_EVENT_ENUMERATION_H_
+
+#include <functional>
+#include <vector>
+
+#include "priste/event/boolean_expr.h"
+#include "priste/event/event.h"
+#include "priste/linalg/vector.h"
+#include "priste/markov/markov_chain.h"
+
+namespace priste::event {
+
+/// Invokes `fn` for every trajectory of `length` timestamps over
+/// `num_states` states (m^T of them) — the brute-force oracle the efficient
+/// two-world pipeline is validated against. Only sensible for tiny m, T.
+void ForEachTrajectory(size_t num_states, int length,
+                       const std::function<void(const geo::Trajectory&)>& fn);
+
+/// Exact Pr(expr is true) under `chain` over a horizon of `length`
+/// timestamps, by full enumeration.
+double EnumeratePrior(const markov::MarkovChain& chain, const BoolExpr& expr,
+                      int length);
+
+/// Exact Pr(expr, o_1..o_t) by full enumeration: Σ over satisfying
+/// trajectories of Pr(traj)·∏_i Pr(o_i | u_i). `emissions[i]` is the
+/// emission column p̃_{o_{i+1}}; the trajectory length is emissions.size().
+double EnumerateJoint(const markov::MarkovChain& chain, const BoolExpr& expr,
+                      const std::vector<linalg::Vector>& emissions);
+
+/// All trajectories *through the event window* that satisfy a PATTERN —
+/// Appendix B's |traj| enumeration (Fig. 15's 24 trajectories). Each entry
+/// lists the cells at timestamps start..end.
+std::vector<std::vector<int>> SatisfyingWindowPaths(const SpatiotemporalEvent& ev);
+
+}  // namespace priste::event
+
+#endif  // PRISTE_EVENT_ENUMERATION_H_

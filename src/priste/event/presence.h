@@ -1,0 +1,36 @@
+#ifndef PRISTE_EVENT_PRESENCE_H_
+#define PRISTE_EVENT_PRESENCE_H_
+
+#include <memory>
+#include <vector>
+
+#include "priste/event/event.h"
+
+namespace priste::event {
+
+/// PRESENCE(S, T) (Definition II.2): true when the user appears in the
+/// region at any timestamp of the window — the OR-of-ORs of Table II. The
+/// common case uses one fixed region; a per-timestamp region sequence is
+/// also supported (the two-world construction handles it unchanged).
+class PresenceEvent : public SpatiotemporalEvent {
+ public:
+  /// Fixed region over window [start, end].
+  PresenceEvent(geo::Region region, int start, int end);
+
+  /// Per-timestamp regions; regions[i] applies at timestamp start+i.
+  PresenceEvent(std::vector<geo::Region> regions, int start);
+
+  /// The paper's experiment shorthand: PRESENCE(S = {first:last},
+  /// T = {start:end}) with 1-based state ids.
+  static std::shared_ptr<const PresenceEvent> Make(size_t num_states, int first_state,
+                                                   int last_state, int start, int end);
+
+  Kind kind() const override { return Kind::kPresence; }
+  bool Holds(const geo::Trajectory& trajectory) const override;
+  BoolExpr::Ptr ToBooleanExpr() const override;
+  std::string ToString() const override;
+};
+
+}  // namespace priste::event
+
+#endif  // PRISTE_EVENT_PRESENCE_H_

@@ -1,0 +1,122 @@
+#include "priste/geo/commuter_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "priste/common/check.h"
+
+namespace priste::geo {
+namespace {
+
+// Picks a cell uniformly inside the axis-aligned box [c0,c1]×[r0,r1].
+int PickInBox(const Grid& grid, int c0, int c1, int r0, int r1, Rng& rng) {
+  const int col = c0 + static_cast<int>(rng.NextBelow(static_cast<uint64_t>(c1 - c0 + 1)));
+  const int row = r0 + static_cast<int>(rng.NextBelow(static_cast<uint64_t>(r1 - r0 + 1)));
+  return grid.CellOf(col, row);
+}
+
+}  // namespace
+
+CommuterTrajectoryModel::CommuterTrajectoryModel(Grid grid, Options options,
+                                                 Rng& seed_rng)
+    : grid_(grid), options_(options) {
+  PRISTE_CHECK(options_.dwell_steps >= 1);
+  PRISTE_CHECK(options_.route_noise >= 0.0 && options_.route_noise < 1.0);
+  // Home in the lower-left quadrant, work in the upper-right, so every
+  // commute crosses a substantial part of the map.
+  const int w = grid_.width();
+  const int h = grid_.height();
+  home_ = PickInBox(grid_, 0, std::max(0, w / 3 - 1), 0, std::max(0, h / 3 - 1), seed_rng);
+  work_ = PickInBox(grid_, (2 * w) / 3, w - 1, (2 * h) / 3, h - 1, seed_rng);
+}
+
+int CommuterTrajectoryModel::StepTowards(int from, int target, Rng& rng) const {
+  if (from == target) return from;
+  int col = grid_.ColOf(from);
+  int row = grid_.RowOf(from);
+  const int tcol = grid_.ColOf(target);
+  const int trow = grid_.RowOf(target);
+
+  if (rng.NextDouble() < options_.route_noise) {
+    return JitterStep(from, rng);
+  }
+  // Greedy 8-neighbourhood move toward the target.
+  if (col < tcol) {
+    ++col;
+  } else if (col > tcol) {
+    --col;
+  }
+  if (row < trow) {
+    ++row;
+  } else if (row > trow) {
+    --row;
+  }
+  return grid_.CellOf(col, row);
+}
+
+int CommuterTrajectoryModel::JitterStep(int from, Rng& rng) const {
+  const int col = grid_.ColOf(from);
+  const int row = grid_.RowOf(from);
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const int dc = static_cast<int>(rng.NextBelow(3)) - 1;
+    const int dr = static_cast<int>(rng.NextBelow(3)) - 1;
+    if (grid_.Contains(col + dc, row + dr)) return grid_.CellOf(col + dc, row + dr);
+  }
+  return from;
+}
+
+Trajectory CommuterTrajectoryModel::SampleDays(int days, Rng& rng) const {
+  PRISTE_CHECK(days >= 1);
+  Trajectory traj;
+  int pos = home_;
+  traj.Append(pos);
+
+  auto dwell = [&](int anchor) {
+    for (int i = 0; i < options_.dwell_steps; ++i) {
+      if (rng.NextDouble() < options_.dwell_jitter) {
+        pos = JitterStep(pos, rng);
+      } else {
+        pos = anchor;
+      }
+      traj.Append(pos);
+    }
+  };
+  auto commute = [&](int target) {
+    // Bounded walk: the greedy step reaches the target in at most
+    // width+height moves; noise can extend it, so cap generously.
+    const int cap = 4 * (grid_.width() + grid_.height());
+    for (int i = 0; i < cap && pos != target; ++i) {
+      pos = StepTowards(pos, target, rng);
+      traj.Append(pos);
+    }
+    if (pos != target) {
+      pos = target;
+      traj.Append(pos);
+    }
+  };
+
+  for (int day = 0; day < days; ++day) {
+    dwell(home_);
+    commute(work_);
+    dwell(work_);
+    if (rng.NextDouble() < options_.excursion_prob) {
+      const int errand =
+          static_cast<int>(rng.NextBelow(static_cast<uint64_t>(grid_.num_cells())));
+      commute(errand);
+    }
+    commute(home_);
+  }
+  return traj;
+}
+
+std::vector<std::vector<int>> CommuterTrajectoryModel::SampleTrainingSet(
+    int count, int days, Rng& rng) const {
+  std::vector<std::vector<int>> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    out.push_back(SampleDays(days, rng).states());
+  }
+  return out;
+}
+
+}  // namespace priste::geo

@@ -1,0 +1,65 @@
+#ifndef PRISTE_GEO_COMMUTER_MODEL_H_
+#define PRISTE_GEO_COMMUTER_MODEL_H_
+
+#include <vector>
+
+#include "priste/common/random.h"
+#include "priste/geo/grid.h"
+#include "priste/geo/trajectory.h"
+#include "priste/markov/markov_chain.h"
+
+namespace priste::geo {
+
+/// Geolife substitute (see DESIGN.md §1): a home/work commuter simulator that
+/// produces long GPS-like cell trajectories with strong periodic structure —
+/// the property of the Geolife data that the paper's evaluation actually
+/// relies on. A simulated day alternates dwell phases at "home" and "work"
+/// anchor cells with noisy shortest-path commutes between them, plus
+/// occasional excursions to random errand cells.
+///
+/// The intended pipeline mirrors the paper's: generate trajectories →
+/// markov::EstimateTransitionMatrix (the R `markovchain` step) → PriSTE.
+class CommuterTrajectoryModel {
+ public:
+  struct Options {
+    /// Number of timestamps spent dwelling at an anchor before commuting.
+    int dwell_steps = 8;
+    /// Probability of stepping off the shortest path during a commute.
+    double route_noise = 0.25;
+    /// Probability per day of a detour to a random errand cell.
+    double excursion_prob = 0.2;
+    /// Probability of jittering to a neighbouring cell while dwelling.
+    double dwell_jitter = 0.15;
+  };
+
+  /// Anchors are chosen pseudo-randomly from `seed_rng` in opposite grid
+  /// quadrants so commutes traverse a meaningful distance.
+  CommuterTrajectoryModel(Grid grid, Options options, Rng& seed_rng);
+
+  const Grid& grid() const { return grid_; }
+  int home_cell() const { return home_; }
+  int work_cell() const { return work_; }
+
+  /// Samples one trajectory covering `days` simulated days (each day is
+  /// 2·dwell_steps + two commutes long, variable due to route noise).
+  Trajectory SampleDays(int days, Rng& rng) const;
+
+  /// Convenience: samples `count` trajectories as raw state sequences,
+  /// ready for markov::EstimateTransitionMatrix.
+  std::vector<std::vector<int>> SampleTrainingSet(int count, int days, Rng& rng) const;
+
+ private:
+  /// One noisy step from `from` towards `target` (8-neighbourhood).
+  int StepTowards(int from, int target, Rng& rng) const;
+  /// A uniformly random neighbour (including staying).
+  int JitterStep(int from, Rng& rng) const;
+
+  Grid grid_;
+  Options options_;
+  int home_;
+  int work_;
+};
+
+}  // namespace priste::geo
+
+#endif  // PRISTE_GEO_COMMUTER_MODEL_H_

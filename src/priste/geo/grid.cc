@@ -1,0 +1,38 @@
+#include "priste/geo/grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace priste::geo {
+
+double Distance(const PointKm& a, const PointKm& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+Grid::Grid(int width, int height, double cell_size_km)
+    : width_(width), height_(height), cell_size_km_(cell_size_km) {
+  PRISTE_CHECK(width > 0 && height > 0);
+  PRISTE_CHECK(cell_size_km > 0.0);
+}
+
+PointKm Grid::CenterOf(int cell) const {
+  PRISTE_CHECK(ContainsCell(cell));
+  return PointKm{(ColOf(cell) + 0.5) * cell_size_km_,
+                 (RowOf(cell) + 0.5) * cell_size_km_};
+}
+
+int Grid::CellContaining(const PointKm& p) const {
+  int col = static_cast<int>(std::floor(p.x / cell_size_km_));
+  int row = static_cast<int>(std::floor(p.y / cell_size_km_));
+  col = std::clamp(col, 0, width_ - 1);
+  row = std::clamp(row, 0, height_ - 1);
+  return CellOf(col, row);
+}
+
+double Grid::CellDistanceKm(int cell_a, int cell_b) const {
+  return Distance(CenterOf(cell_a), CenterOf(cell_b));
+}
+
+}  // namespace priste::geo

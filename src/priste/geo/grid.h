@@ -1,0 +1,70 @@
+#ifndef PRISTE_GEO_GRID_H_
+#define PRISTE_GEO_GRID_H_
+
+#include <cstddef>
+
+#include "priste/common/check.h"
+
+namespace priste::geo {
+
+/// A planar point in kilometres.
+struct PointKm {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Euclidean distance between two points, in km.
+double Distance(const PointKm& a, const PointKm& b);
+
+/// A w×h grid map S = {s_1, …, s_m} with m = w·h cells, each cell a square of
+/// `cell_size_km` kilometres. Cell indices are row-major, 0-based; the paper's
+/// state s_i corresponds to cell index i-1. Cell centers anchor the continuous
+/// geometry used by the planar Laplace mechanism and the Euclidean utility
+/// metric.
+class Grid {
+ public:
+  Grid(int width, int height, double cell_size_km);
+
+  /// The paper's synthetic 20×20 map. Cell size 1 km puts Euclidean errors in
+  /// the km range the paper reports.
+  static Grid Square20(double cell_size_km = 1.0) { return Grid(20, 20, cell_size_km); }
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  size_t num_cells() const { return static_cast<size_t>(width_) * height_; }
+  double cell_size_km() const { return cell_size_km_; }
+
+  int CellOf(int col, int row) const {
+    PRISTE_DCHECK(Contains(col, row));
+    return row * width_ + col;
+  }
+  int ColOf(int cell) const { return cell % width_; }
+  int RowOf(int cell) const { return cell / width_; }
+
+  bool Contains(int col, int row) const {
+    return col >= 0 && col < width_ && row >= 0 && row < height_;
+  }
+  bool ContainsCell(int cell) const {
+    return cell >= 0 && static_cast<size_t>(cell) < num_cells();
+  }
+
+  /// Center of `cell` in km.
+  PointKm CenterOf(int cell) const;
+
+  /// The cell containing point `p`, clamped to the grid boundary (the planar
+  /// Laplace mechanism uses this remapping when a continuous sample falls
+  /// off the map).
+  int CellContaining(const PointKm& p) const;
+
+  /// Center-to-center Euclidean distance between cells, in km.
+  double CellDistanceKm(int cell_a, int cell_b) const;
+
+ private:
+  int width_;
+  int height_;
+  double cell_size_km_;
+};
+
+}  // namespace priste::geo
+
+#endif  // PRISTE_GEO_GRID_H_

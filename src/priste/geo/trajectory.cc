@@ -1,0 +1,25 @@
+#include "priste/geo/trajectory.h"
+
+#include "priste/common/check.h"
+#include "priste/common/strings.h"
+
+namespace priste::geo {
+
+double Trajectory::MeanDistanceKm(const Trajectory& other, const Grid& grid) const {
+  PRISTE_CHECK(length() == other.length());
+  PRISTE_CHECK(length() > 0);
+  double total = 0.0;
+  for (int t = 1; t <= length(); ++t) {
+    total += grid.CellDistanceKm(At(t), other.At(t));
+  }
+  return total / length();
+}
+
+std::string Trajectory::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(states_.size());
+  for (int s : states_) parts.push_back(StrFormat("%d", s));
+  return "[" + StrJoin(parts, " -> ") + "]";
+}
+
+}  // namespace priste::geo

@@ -1,0 +1,42 @@
+#ifndef PRISTE_GEO_TRAJECTORY_H_
+#define PRISTE_GEO_TRAJECTORY_H_
+
+#include <string>
+#include <vector>
+
+#include "priste/geo/grid.h"
+
+namespace priste::geo {
+
+/// A discrete trajectory {u_1, …, u_T}: cell index per timestamp (0-based
+/// states, timestamps implicit 1…T in order).
+class Trajectory {
+ public:
+  Trajectory() = default;
+  explicit Trajectory(std::vector<int> states) : states_(std::move(states)) {}
+
+  int length() const { return static_cast<int>(states_.size()); }
+  bool empty() const { return states_.empty(); }
+
+  /// State at 1-based timestamp t.
+  int At(int t) const {
+    PRISTE_DCHECK(t >= 1 && t <= length());
+    return states_[static_cast<size_t>(t - 1)];
+  }
+
+  const std::vector<int>& states() const { return states_; }
+  void Append(int state) { states_.push_back(state); }
+
+  /// Mean center-to-center distance (km) against another trajectory of the
+  /// same length on `grid` — the paper's Euclidean utility metric.
+  double MeanDistanceKm(const Trajectory& other, const Grid& grid) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<int> states_;
+};
+
+}  // namespace priste::geo
+
+#endif  // PRISTE_GEO_TRAJECTORY_H_

@@ -1,0 +1,100 @@
+#include "priste/hmm/forward_backward.h"
+
+#include "priste/linalg/ops.h"
+
+namespace priste::hmm {
+namespace {
+
+Status ValidateInputs(const markov::TransitionMatrix& transition,
+                      const linalg::Vector& initial,
+                      const std::vector<linalg::Vector>& emissions) {
+  const size_t m = transition.num_states();
+  if (initial.size() != m) {
+    return Status::InvalidArgument("initial distribution size != num_states");
+  }
+  if (emissions.empty()) {
+    return Status::InvalidArgument("need at least one observation");
+  }
+  for (const auto& e : emissions) {
+    if (e.size() != m) {
+      return Status::InvalidArgument("emission column size != num_states");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<ForwardBackwardResult> ForwardBackward(
+    const markov::TransitionMatrix& transition, const linalg::Vector& initial,
+    const std::vector<linalg::Vector>& emissions) {
+  PRISTE_RETURN_IF_ERROR(ValidateInputs(transition, initial, emissions));
+  const size_t m = transition.num_states();
+  const size_t T = emissions.size();
+
+  ForwardBackwardResult out;
+  out.alphas.reserve(T);
+  // α_1 = π ∘ p̃_{o_1}; α_t = (α_{t-1} M) ∘ p̃_{o_t}  (Eq. 10).
+  linalg::Vector alpha = initial.Hadamard(emissions[0]);
+  out.alphas.push_back(alpha);
+  for (size_t t = 1; t < T; ++t) {
+    alpha = transition.Propagate(alpha);
+    alpha.HadamardInPlace(emissions[t]);
+    out.alphas.push_back(alpha);
+  }
+  out.likelihood = out.alphas.back().Sum();
+
+  // β_T = 1; β_t = M (p̃_{o_{t+1}} ∘ β_{t+1})  (Eq. 11).
+  out.betas.assign(T, linalg::Vector());
+  out.betas[T - 1] = linalg::Vector::Ones(m);
+  for (size_t t = T - 1; t-- > 0;) {
+    const linalg::Vector scaled = emissions[t + 1].Hadamard(out.betas[t + 1]);
+    out.betas[t] = linalg::MatVec(transition.matrix(), scaled);
+  }
+
+  // Posterior (Eq. 12): Pr(u_t = s_k | o_1..o_T) = α_t^k β_t^k / Σ_i α_t^i β_t^i.
+  out.posteriors.reserve(T);
+  for (size_t t = 0; t < T; ++t) {
+    linalg::Vector post = out.alphas[t].Hadamard(out.betas[t]);
+    const double norm = post.Sum();
+    if (norm <= 0.0) {
+      return Status::FailedPrecondition(
+          "observations have zero probability under the model");
+    }
+    post.ScaleInPlace(1.0 / norm);
+    out.posteriors.push_back(std::move(post));
+  }
+  return out;
+}
+
+StatusOr<std::vector<linalg::Vector>> ForwardOnly(
+    const markov::TransitionMatrix& transition, const linalg::Vector& initial,
+    const std::vector<linalg::Vector>& emissions) {
+  PRISTE_RETURN_IF_ERROR(ValidateInputs(transition, initial, emissions));
+  std::vector<linalg::Vector> alphas;
+  alphas.reserve(emissions.size());
+  linalg::Vector alpha = initial.Hadamard(emissions[0]);
+  alphas.push_back(alpha);
+  for (size_t t = 1; t < emissions.size(); ++t) {
+    alpha = transition.Propagate(alpha);
+    alpha.HadamardInPlace(emissions[t]);
+    alphas.push_back(alpha);
+  }
+  return alphas;
+}
+
+StatusOr<linalg::Vector> PosteriorUpdate(const linalg::Vector& prior,
+                                         const linalg::Vector& emission_column) {
+  if (prior.size() != emission_column.size()) {
+    return Status::InvalidArgument("prior/emission size mismatch");
+  }
+  linalg::Vector post = prior.Hadamard(emission_column);
+  const double norm = post.Sum();
+  if (norm <= 0.0) {
+    return Status::FailedPrecondition("observation impossible under prior");
+  }
+  post.ScaleInPlace(1.0 / norm);
+  return post;
+}
+
+}  // namespace priste::hmm

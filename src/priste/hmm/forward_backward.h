@@ -1,0 +1,47 @@
+#ifndef PRISTE_HMM_FORWARD_BACKWARD_H_
+#define PRISTE_HMM_FORWARD_BACKWARD_H_
+
+#include <vector>
+
+#include "priste/common/status.h"
+#include "priste/linalg/vector.h"
+#include "priste/markov/transition_matrix.h"
+
+namespace priste::hmm {
+
+/// Result of the forward-backward pass over T observations (Eqs. 10–12).
+struct ForwardBackwardResult {
+  /// alphas[t-1][k] = α_t^k = Pr(u_t = s_k, o_1..o_t).
+  std::vector<linalg::Vector> alphas;
+  /// betas[t-1][k] = β_t^k = Pr(o_{t+1}..o_T | u_t = s_k); β_T = 1.
+  std::vector<linalg::Vector> betas;
+  /// posteriors[t-1][k] = Pr(u_t = s_k | o_1..o_T) (Eq. 12).
+  std::vector<linalg::Vector> posteriors;
+  /// Pr(o_1..o_T) = Σ_k α_T^k.
+  double likelihood = 0.0;
+};
+
+/// Runs forward-backward for a time-homogeneous chain. `emissions[t-1]` is
+/// the emission column p̃_{o_t} — Pr(o_t | u_t = s_k) per state k — so the
+/// caller can use a different emission matrix at every timestamp, matching
+/// the paper's Section III-C remark. Returns InvalidArgument on size
+/// mismatches or an empty observation sequence.
+StatusOr<ForwardBackwardResult> ForwardBackward(
+    const markov::TransitionMatrix& transition, const linalg::Vector& initial,
+    const std::vector<linalg::Vector>& emissions);
+
+/// Forward filtering only: returns the sequence of α_t and the running
+/// likelihood. Cheaper than the full pass when betas are not needed.
+StatusOr<std::vector<linalg::Vector>> ForwardOnly(
+    const markov::TransitionMatrix& transition, const linalg::Vector& initial,
+    const std::vector<linalg::Vector>& emissions);
+
+/// The Bayesian posterior update of δ-location set privacy (Eq. 21):
+/// p⁺[i] ∝ Pr(o | u = s_i) · p⁻[i]. Returns InvalidArgument when the
+/// evidence has zero probability under the prior.
+StatusOr<linalg::Vector> PosteriorUpdate(const linalg::Vector& prior,
+                                         const linalg::Vector& emission_column);
+
+}  // namespace priste::hmm
+
+#endif  // PRISTE_HMM_FORWARD_BACKWARD_H_

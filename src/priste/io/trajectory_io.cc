@@ -1,0 +1,160 @@
+#include "priste/io/trajectory_io.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "priste/common/strings.h"
+
+namespace priste::io {
+namespace {
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+std::vector<std::string> SplitFields(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  for (char c : line) {
+    if (c == ',') {
+      fields.push_back(current);
+      current.clear();
+    } else if (c != ' ' && c != '\t') {
+      current += c;
+    }
+  }
+  fields.push_back(current);
+  return fields;
+}
+
+StatusOr<double> ParseDouble(const std::string& field) {
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(field.c_str(), &end);
+  if (errno != 0 || end == field.c_str() || *end != '\0') {
+    return Status::InvalidArgument(StrFormat("cannot parse number '%s'",
+                                             field.c_str()));
+  }
+  return value;
+}
+
+}  // namespace
+
+StatusOr<geo::Trajectory> ParseTrajectoryCsv(const std::string& csv,
+                                             const geo::Grid& grid) {
+  const std::vector<std::string> lines = SplitLines(csv);
+  if (lines.empty()) return Status::InvalidArgument("empty CSV");
+
+  const std::vector<std::string> header = SplitFields(lines[0]);
+  bool discrete;
+  if (header.size() == 2 && header[0] == "t" && header[1] == "cell") {
+    discrete = true;
+  } else if (header.size() == 3 && header[0] == "t" && header[1] == "x_km" &&
+             header[2] == "y_km") {
+    discrete = false;
+  } else {
+    return Status::InvalidArgument(
+        "CSV header must be 't,cell' or 't,x_km,y_km'");
+  }
+
+  geo::Trajectory trajectory;
+  int expected_t = 1;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    const std::vector<std::string> fields = SplitFields(lines[i]);
+    if (fields.size() != header.size()) {
+      return Status::InvalidArgument(
+          StrFormat("row %zu has %zu fields, expected %zu", i, fields.size(),
+                    header.size()));
+    }
+    PRISTE_ASSIGN_OR_RETURN(const double t_value, ParseDouble(fields[0]));
+    if (static_cast<int>(t_value) != expected_t) {
+      return Status::InvalidArgument(
+          StrFormat("row %zu: timestamp %d out of order (expected %d)", i,
+                    static_cast<int>(t_value), expected_t));
+    }
+    ++expected_t;
+
+    if (discrete) {
+      PRISTE_ASSIGN_OR_RETURN(const double cell_value, ParseDouble(fields[1]));
+      const int cell = static_cast<int>(cell_value);
+      if (!grid.ContainsCell(cell)) {
+        return Status::OutOfRange(
+            StrFormat("row %zu: cell %d outside the %zu-cell grid", i, cell,
+                      grid.num_cells()));
+      }
+      trajectory.Append(cell);
+    } else {
+      PRISTE_ASSIGN_OR_RETURN(const double x, ParseDouble(fields[1]));
+      PRISTE_ASSIGN_OR_RETURN(const double y, ParseDouble(fields[2]));
+      trajectory.Append(grid.CellContaining(geo::PointKm{x, y}));
+    }
+  }
+  if (trajectory.empty()) return Status::InvalidArgument("CSV has no data rows");
+  return trajectory;
+}
+
+std::string TrajectoryToCsv(const geo::Trajectory& trajectory) {
+  std::string out = "t,cell\n";
+  for (int t = 1; t <= trajectory.length(); ++t) {
+    out += StrFormat("%d,%d\n", t, trajectory.At(t));
+  }
+  return out;
+}
+
+std::string RunResultToCsv(const core::RunResult& run) {
+  std::string out =
+      "t,true_cell,released_cell,released_budget,halvings,conservative\n";
+  for (const auto& step : run.steps) {
+    out += StrFormat("%d,%d,%d,%.10g,%d,%d\n", step.t, step.true_cell,
+                     step.released_cell, step.released_alpha, step.halvings,
+                     step.conservative_timeouts);
+  }
+  return out;
+}
+
+StatusOr<geo::Trajectory> ReadTrajectoryFile(const std::string& path,
+                                             const geo::Grid& grid) {
+  PRISTE_ASSIGN_OR_RETURN(const std::string contents, ReadTextFile(path));
+  return ParseTrajectoryCsv(contents, grid);
+}
+
+Status WriteTextFile(const std::string& path, const std::string& contents) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::NotFound(StrFormat("cannot open '%s' for writing: %s",
+                                      path.c_str(), std::strerror(errno)));
+  }
+  const size_t written = std::fwrite(contents.data(), 1, contents.size(), file);
+  std::fclose(file);
+  if (written != contents.size()) {
+    return Status::Internal(StrFormat("short write to '%s'", path.c_str()));
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::string> ReadTextFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) {
+    return Status::NotFound(StrFormat("cannot open '%s': %s", path.c_str(),
+                                      std::strerror(errno)));
+  }
+  std::string contents;
+  char buffer[4096];
+  size_t got;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    contents.append(buffer, got);
+  }
+  std::fclose(file);
+  return contents;
+}
+
+}  // namespace priste::io

@@ -1,0 +1,99 @@
+#include "priste/linalg/block.h"
+
+#include "priste/linalg/ops.h"
+
+namespace priste::linalg {
+namespace {
+
+// out[r] += M(r,:) · v for the m×m block `m`.
+void AccumulateMatVec(const Matrix& m, const double* v, double* out) {
+  const size_t n = m.rows();
+  for (size_t r = 0; r < n; ++r) {
+    const double* row = m.RowPtr(r);
+    double acc = 0.0;
+    for (size_t c = 0; c < n; ++c) acc += row[c] * v[c];
+    out[r] += acc;
+  }
+}
+
+// out[c] += v(r) * M(r, c) over all r, c.
+void AccumulateVecMat(const double* v, const Matrix& m, double* out) {
+  const size_t n = m.rows();
+  for (size_t r = 0; r < n; ++r) {
+    const double scale = v[r];
+    if (scale == 0.0) continue;
+    const double* row = m.RowPtr(r);
+    for (size_t c = 0; c < n; ++c) out[c] += scale * row[c];
+  }
+}
+
+}  // namespace
+
+BlockMatrix2x2::BlockMatrix2x2(Matrix ff, Matrix ft, Matrix tf, Matrix tt)
+    : ff_(std::move(ff)), ft_(std::move(ft)), tf_(std::move(tf)), tt_(std::move(tt)) {
+  const size_t m = ff_.rows();
+  PRISTE_CHECK(ff_.cols() == m);
+  PRISTE_CHECK(ft_.rows() == m && ft_.cols() == m);
+  PRISTE_CHECK(tf_.rows() == m && tf_.cols() == m);
+  PRISTE_CHECK(tt_.rows() == m && tt_.cols() == m);
+}
+
+BlockMatrix2x2 BlockMatrix2x2::BlockDiagonal(const Matrix& m) {
+  PRISTE_CHECK(m.rows() == m.cols());
+  const Matrix zero(m.rows(), m.cols());
+  return BlockMatrix2x2(m, zero, zero, m);
+}
+
+Vector BlockMatrix2x2::MatVec(const Vector& v) const {
+  const size_t m = block_size();
+  PRISTE_CHECK(v.size() == 2 * m);
+  Vector out(2 * m);
+  AccumulateMatVec(ff_, v.data(), out.data());
+  AccumulateMatVec(ft_, v.data() + m, out.data());
+  AccumulateMatVec(tf_, v.data(), out.data() + m);
+  AccumulateMatVec(tt_, v.data() + m, out.data() + m);
+  return out;
+}
+
+Vector BlockMatrix2x2::VecMat(const Vector& v) const {
+  const size_t m = block_size();
+  PRISTE_CHECK(v.size() == 2 * m);
+  Vector out(2 * m);
+  AccumulateVecMat(v.data(), ff_, out.data());
+  AccumulateVecMat(v.data(), ft_, out.data() + m);
+  AccumulateVecMat(v.data() + m, tf_, out.data());
+  AccumulateVecMat(v.data() + m, tt_, out.data() + m);
+  return out;
+}
+
+Vector BlockMatrix2x2::TransposedMatVec(const Vector& v) const {
+  // Mᵀ·v = (vᵀ·M)ᵀ.
+  return VecMat(v);
+}
+
+Matrix BlockMatrix2x2::ToDense() const {
+  const size_t m = block_size();
+  Matrix out(2 * m, 2 * m);
+  out.SetBlock(0, 0, ff_);
+  out.SetBlock(0, m, ft_);
+  out.SetBlock(m, 0, tf_);
+  out.SetBlock(m, m, tt_);
+  return out;
+}
+
+bool BlockMatrix2x2::IsRowStochastic(double tol) const {
+  return ToDense().IsRowStochastic(tol);
+}
+
+Vector ApplyTwoWorldDiagonal(const Vector& emission, const Vector& v) {
+  const size_t m = emission.size();
+  PRISTE_CHECK(v.size() == 2 * m);
+  Vector out(2 * m);
+  for (size_t i = 0; i < m; ++i) {
+    out[i] = emission[i] * v[i];
+    out[m + i] = emission[i] * v[m + i];
+  }
+  return out;
+}
+
+}  // namespace priste::linalg

@@ -1,0 +1,64 @@
+#ifndef PRISTE_LINALG_BLOCK_H_
+#define PRISTE_LINALG_BLOCK_H_
+
+#include "priste/linalg/matrix.h"
+#include "priste/linalg/vector.h"
+
+namespace priste::linalg {
+
+/// A 2×2 block matrix over m×m blocks, representing the paper's two-world
+/// transition matrices M_t ∈ R^{2m×2m} (Equations 3–8):
+///
+///   M_t = [ ff  ft ]   with the block semantics of Eq. (3):
+///         [ tf  tt ]   ff: ¬EVENT→¬EVENT, ft: ¬EVENT→EVENT,
+///                      tf: EVENT→¬EVENT,  tt: EVENT→EVENT.
+///
+/// Block storage keeps matrix-vector products at O(m²) with explicit world
+/// semantics; ToDense() materializes the 2m×2m matrix for oracles and tests.
+class BlockMatrix2x2 {
+ public:
+  BlockMatrix2x2() = default;
+
+  /// All four blocks must be m×m with the same m.
+  BlockMatrix2x2(Matrix ff, Matrix ft, Matrix tf, Matrix tt);
+
+  /// Block-diagonal [M 0; 0 M] — the paper's Eq. (5)/(8) outside-event form.
+  static BlockMatrix2x2 BlockDiagonal(const Matrix& m);
+
+  size_t block_size() const { return ff_.rows(); }
+  size_t size() const { return 2 * block_size(); }
+
+  const Matrix& ff() const { return ff_; }
+  const Matrix& ft() const { return ft_; }
+  const Matrix& tf() const { return tf_; }
+  const Matrix& tt() const { return tt_; }
+
+  /// M · v for a 2m column vector.
+  Vector MatVec(const Vector& v) const;
+
+  /// vᵀ · M for a 2m row vector.
+  Vector VecMat(const Vector& v) const;
+
+  /// Mᵀ · v — used by the backward recursion of Lemma III.3.
+  Vector TransposedMatVec(const Vector& v) const;
+
+  /// Materializes the dense 2m×2m matrix.
+  Matrix ToDense() const;
+
+  /// True when the dense form is row-stochastic (probability is conserved
+  /// across the two worlds), within tol.
+  bool IsRowStochastic(double tol = 1e-9) const;
+
+ private:
+  Matrix ff_, ft_, tf_, tt_;
+};
+
+/// Applies the two-world diagonal emission matrix p̃ᴰ_o to a 2m vector:
+/// entry-wise product with [p̃_o, p̃_o] (the emission probability is
+/// independent of which world the chain is in). `emission` has size m,
+/// `v` has size 2m.
+Vector ApplyTwoWorldDiagonal(const Vector& emission, const Vector& v);
+
+}  // namespace priste::linalg
+
+#endif  // PRISTE_LINALG_BLOCK_H_

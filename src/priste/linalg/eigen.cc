@@ -1,0 +1,106 @@
+#include "priste/linalg/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "priste/common/random.h"
+#include "priste/linalg/ops.h"
+
+namespace priste::linalg {
+
+StatusOr<SymmetricEigen> JacobiEigenSymmetric(const Matrix& m, int max_sweeps,
+                                              double tol, double symmetry_tol) {
+  if (m.rows() != m.cols()) {
+    return Status::InvalidArgument("JacobiEigenSymmetric: matrix not square");
+  }
+  const size_t n = m.rows();
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = r + 1; c < n; ++c) {
+      if (std::fabs(m(r, c) - m(c, r)) > symmetry_tol) {
+        return Status::InvalidArgument("JacobiEigenSymmetric: matrix not symmetric");
+      }
+    }
+  }
+
+  Matrix a = Symmetrize(m);  // exact symmetry for the rotations
+  Matrix v = Matrix::Identity(n);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (size_t r = 0; r < n; ++r) {
+      for (size_t c = r + 1; c < n; ++c) off += a(r, c) * a(r, c);
+    }
+    if (std::sqrt(off) < tol) break;
+
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::fabs(apq) < 1e-300) continue;
+        const double theta = (a(q, q) - a(p, p)) / (2.0 * apq);
+        const double sign = theta >= 0.0 ? 1.0 : -1.0;
+        const double t = sign / (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double cos = 1.0 / std::sqrt(t * t + 1.0);
+        const double sin = t * cos;
+
+        for (size_t k = 0; k < n; ++k) {
+          const double akp = a(k, p);
+          const double akq = a(k, q);
+          a(k, p) = cos * akp - sin * akq;
+          a(k, q) = sin * akp + cos * akq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double apk = a(p, k);
+          const double aqk = a(q, k);
+          a(p, k) = cos * apk - sin * aqk;
+          a(q, k) = sin * apk + cos * aqk;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = cos * vkp - sin * vkq;
+          v(k, q) = sin * vkp + cos * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&a](size_t x, size_t y) { return a(x, x) > a(y, y); });
+
+  SymmetricEigen out;
+  out.values = Vector(n);
+  out.vectors = Matrix(n, n);
+  for (size_t k = 0; k < n; ++k) {
+    out.values[k] = a(order[k], order[k]);
+    for (size_t r = 0; r < n; ++r) out.vectors(r, k) = v(r, order[k]);
+  }
+  return out;
+}
+
+double PowerIterationSpectralRadius(const Matrix& m, int iterations, uint64_t seed) {
+  PRISTE_CHECK(m.rows() == m.cols());
+  const size_t n = m.rows();
+  if (n == 0) return 0.0;
+  Rng rng(seed);
+  Vector x(n);
+  for (size_t i = 0; i < n; ++i) x[i] = rng.Uniform(-1.0, 1.0);
+  double norm = x.MaxAbs();
+  if (norm == 0.0) x[0] = 1.0;
+
+  double estimate = 0.0;
+  for (int it = 0; it < iterations; ++it) {
+    Vector y = MatVec(m, x);
+    norm = y.MaxAbs();
+    if (norm == 0.0) return 0.0;
+    y.ScaleInPlace(1.0 / norm);
+    estimate = norm;
+    x = y;
+  }
+  return estimate;
+}
+
+}  // namespace priste::linalg

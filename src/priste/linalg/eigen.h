@@ -1,0 +1,34 @@
+#ifndef PRISTE_LINALG_EIGEN_H_
+#define PRISTE_LINALG_EIGEN_H_
+
+#include "priste/common/status.h"
+#include "priste/linalg/matrix.h"
+#include "priste/linalg/vector.h"
+
+namespace priste::linalg {
+
+/// Eigendecomposition of a symmetric matrix.
+struct SymmetricEigen {
+  /// Eigenvalues in descending order.
+  Vector values;
+  /// Column k of `vectors` is the unit eigenvector for values[k].
+  Matrix vectors;
+};
+
+/// Cyclic Jacobi eigensolver for symmetric matrices. Quadratically convergent;
+/// intended for the moderate sizes (m ≤ a few hundred) the Theorem IV.1
+/// quadratic-form diagnostics need. Returns InvalidArgument when `m` is not
+/// square or not symmetric within `symmetry_tol`.
+StatusOr<SymmetricEigen> JacobiEigenSymmetric(const Matrix& m,
+                                              int max_sweeps = 64,
+                                              double tol = 1e-12,
+                                              double symmetry_tol = 1e-9);
+
+/// Largest-magnitude eigenvalue estimate via power iteration with random
+/// restarts; cheap screen used by the QP solver to classify quadratic forms.
+double PowerIterationSpectralRadius(const Matrix& m, int iterations = 200,
+                                    uint64_t seed = 12345);
+
+}  // namespace priste::linalg
+
+#endif  // PRISTE_LINALG_EIGEN_H_

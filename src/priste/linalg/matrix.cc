@@ -1,0 +1,124 @@
+#include "priste/linalg/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "priste/common/strings.h"
+
+namespace priste::linalg {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows)
+    : rows_(rows.size()), cols_(rows.size() == 0 ? 0 : rows.begin()->size()) {
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    PRISTE_CHECK_MSG(row.size() == cols_, "ragged initializer_list");
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::Diagonal(const Vector& d) {
+  Matrix m(d.size(), d.size());
+  for (size_t i = 0; i < d.size(); ++i) m(i, i) = d[i];
+  return m;
+}
+
+Vector Matrix::Row(size_t r) const {
+  PRISTE_CHECK(r < rows_);
+  Vector out(cols_);
+  std::copy(RowPtr(r), RowPtr(r) + cols_, out.data());
+  return out;
+}
+
+Vector Matrix::Col(size_t c) const {
+  PRISTE_CHECK(c < cols_);
+  Vector out(rows_);
+  for (size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+  return out;
+}
+
+void Matrix::SetRow(size_t r, const Vector& v) {
+  PRISTE_CHECK(r < rows_ && v.size() == cols_);
+  std::copy(v.data(), v.data() + cols_, RowPtr(r));
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* src = RowPtr(r);
+    for (size_t c = 0; c < cols_; ++c) out(c, r) = src[c];
+  }
+  return out;
+}
+
+Matrix Matrix::Plus(const Matrix& other) const {
+  PRISTE_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  Matrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] += other.data_[i];
+  return out;
+}
+
+Matrix Matrix::Minus(const Matrix& other) const {
+  PRISTE_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  Matrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] -= other.data_[i];
+  return out;
+}
+
+Matrix Matrix::Scaled(double scalar) const {
+  Matrix out = *this;
+  for (double& x : out.data_) x *= scalar;
+  return out;
+}
+
+void Matrix::SetBlock(size_t r0, size_t c0, const Matrix& src) {
+  PRISTE_CHECK(r0 + src.rows_ <= rows_ && c0 + src.cols_ <= cols_);
+  for (size_t r = 0; r < src.rows_; ++r) {
+    std::copy(src.RowPtr(r), src.RowPtr(r) + src.cols_, RowPtr(r0 + r) + c0);
+  }
+}
+
+Matrix Matrix::GetBlock(size_t r0, size_t c0, size_t rows, size_t cols) const {
+  PRISTE_CHECK(r0 + rows <= rows_ && c0 + cols <= cols_);
+  Matrix out(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    std::copy(RowPtr(r0 + r) + c0, RowPtr(r0 + r) + c0 + cols, out.RowPtr(r));
+  }
+  return out;
+}
+
+double Matrix::MaxAbsDiff(const Matrix& other) const {
+  PRISTE_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  double best = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    best = std::max(best, std::fabs(data_[i] - other.data_[i]));
+  }
+  return best;
+}
+
+bool Matrix::IsRowStochastic(double tol) const {
+  for (size_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    const double* row = RowPtr(r);
+    for (size_t c = 0; c < cols_; ++c) {
+      if (row[c] < -tol) return false;
+      sum += row[c];
+    }
+    if (std::fabs(sum - 1.0) > tol) return false;
+  }
+  return true;
+}
+
+std::string Matrix::ToString() const {
+  std::vector<std::string> rows;
+  rows.reserve(rows_);
+  for (size_t r = 0; r < rows_; ++r) rows.push_back(Row(r).ToString());
+  return "[" + StrJoin(rows, ",\n ") + "]";
+}
+
+}  // namespace priste::linalg

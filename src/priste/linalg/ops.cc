@@ -1,0 +1,101 @@
+#include "priste/linalg/ops.h"
+
+namespace priste::linalg {
+
+Vector MatVec(const Matrix& m, const Vector& v) {
+  PRISTE_CHECK(v.size() == m.cols());
+  Vector out(m.rows());
+  for (size_t r = 0; r < m.rows(); ++r) {
+    const double* row = m.RowPtr(r);
+    double acc = 0.0;
+    for (size_t c = 0; c < m.cols(); ++c) acc += row[c] * v[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+Vector VecMat(const Vector& v, const Matrix& m) {
+  PRISTE_CHECK(v.size() == m.rows());
+  Vector out(m.cols());
+  for (size_t r = 0; r < m.rows(); ++r) {
+    const double scale = v[r];
+    if (scale == 0.0) continue;
+    const double* row = m.RowPtr(r);
+    for (size_t c = 0; c < m.cols(); ++c) out[c] += scale * row[c];
+  }
+  return out;
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  PRISTE_CHECK(a.cols() == b.rows());
+  Matrix out(a.rows(), b.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.RowPtr(i);
+    double* orow = out.RowPtr(i);
+    for (size_t k = 0; k < a.cols(); ++k) {
+      const double aik = arow[k];
+      if (aik == 0.0) continue;
+      const double* brow = b.RowPtr(k);
+      for (size_t j = 0; j < b.cols(); ++j) orow[j] += aik * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix ScaleColumns(const Matrix& m, const Vector& d) {
+  PRISTE_CHECK(d.size() == m.cols());
+  Matrix out = m;
+  for (size_t r = 0; r < out.rows(); ++r) {
+    double* row = out.RowPtr(r);
+    for (size_t c = 0; c < out.cols(); ++c) row[c] *= d[c];
+  }
+  return out;
+}
+
+Matrix ScaleRows(const Vector& d, const Matrix& m) {
+  PRISTE_CHECK(d.size() == m.rows());
+  Matrix out = m;
+  for (size_t r = 0; r < out.rows(); ++r) {
+    const double scale = d[r];
+    double* row = out.RowPtr(r);
+    for (size_t c = 0; c < out.cols(); ++c) row[c] *= scale;
+  }
+  return out;
+}
+
+Matrix Outer(const Vector& a, const Vector& b) {
+  Matrix out(a.size(), b.size());
+  for (size_t r = 0; r < a.size(); ++r) {
+    const double ar = a[r];
+    double* row = out.RowPtr(r);
+    for (size_t c = 0; c < b.size(); ++c) row[c] = ar * b[c];
+  }
+  return out;
+}
+
+Matrix Symmetrize(const Matrix& m) {
+  PRISTE_CHECK(m.rows() == m.cols());
+  Matrix out(m.rows(), m.cols());
+  for (size_t r = 0; r < m.rows(); ++r) {
+    for (size_t c = 0; c < m.cols(); ++c) {
+      out(r, c) = 0.5 * (m(r, c) + m(c, r));
+    }
+  }
+  return out;
+}
+
+double QuadraticForm(const Vector& pi, const Matrix& m) {
+  PRISTE_CHECK(m.rows() == m.cols() && pi.size() == m.rows());
+  double total = 0.0;
+  for (size_t r = 0; r < m.rows(); ++r) {
+    const double pr = pi[r];
+    if (pr == 0.0) continue;
+    const double* row = m.RowPtr(r);
+    double acc = 0.0;
+    for (size_t c = 0; c < m.cols(); ++c) acc += row[c] * pi[c];
+    total += pr * acc;
+  }
+  return total;
+}
+
+}  // namespace priste::linalg

@@ -1,0 +1,96 @@
+#include "priste/lppm/delta_location_set.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "priste/common/check.h"
+#include "priste/common/strings.h"
+
+namespace priste::lppm {
+
+StatusOr<geo::Region> DeltaLocationSet(const linalg::Vector& prior, double delta) {
+  if (delta < 0.0 || delta >= 1.0) {
+    return Status::InvalidArgument("delta must be in [0, 1)");
+  }
+  if (prior.empty()) return Status::InvalidArgument("empty prior");
+  if (!prior.AllInRange(0.0, 1.0) || std::fabs(prior.Sum() - 1.0) > 1e-6) {
+    return Status::InvalidArgument("prior is not a probability vector");
+  }
+
+  std::vector<size_t> order(prior.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&prior](size_t a, size_t b) { return prior[a] > prior[b]; });
+
+  geo::Region set(prior.size());
+  double mass = 0.0;
+  for (size_t idx : order) {
+    set.Add(static_cast<int>(idx));
+    mass += prior[idx];
+    if (mass >= 1.0 - delta - 1e-12) break;
+  }
+  return set;
+}
+
+namespace {
+
+int NearestInSet(const geo::Grid& grid, const std::vector<int>& members, int cell) {
+  double best = std::numeric_limits<double>::infinity();
+  int best_cell = members.front();
+  for (int candidate : members) {
+    const double d = grid.CellDistanceKm(cell, candidate);
+    if (d < best) {
+      best = d;
+      best_cell = candidate;
+    }
+  }
+  return best_cell;
+}
+
+hmm::EmissionMatrix BuildRestrictedEmission(const geo::Grid& grid, double alpha,
+                                            const geo::Region& set) {
+  const size_t m = grid.num_cells();
+  const std::vector<int> members = set.States();
+  PRISTE_CHECK_MSG(!members.empty(), "delta-location set must be non-empty");
+
+  linalg::Matrix e(m, m);
+  for (size_t i = 0; i < m; ++i) {
+    const int anchor = set.Contains(static_cast<int>(i))
+                           ? static_cast<int>(i)
+                           : NearestInSet(grid, members, static_cast<int>(i));
+    double sum = 0.0;
+    for (int o : members) {
+      const double w = alpha <= 0.0
+                           ? 1.0
+                           : std::exp(-alpha * grid.CellDistanceKm(anchor, o));
+      e(i, static_cast<size_t>(o)) = w;
+      sum += w;
+    }
+    for (int o : members) e(i, static_cast<size_t>(o)) /= sum;
+  }
+  auto result = hmm::EmissionMatrix::Create(std::move(e));
+  PRISTE_CHECK_MSG(result.ok(), "restricted emission invalid");
+  return std::move(result).value();
+}
+
+}  // namespace
+
+DeltaRestrictedPlanarLaplace::DeltaRestrictedPlanarLaplace(const geo::Grid& grid,
+                                                           double alpha,
+                                                           geo::Region location_set)
+    : grid_(grid),
+      alpha_(alpha),
+      location_set_(std::move(location_set)),
+      emission_(BuildRestrictedEmission(grid_, alpha_, location_set_)) {
+  PRISTE_CHECK(alpha >= 0.0);
+  PRISTE_CHECK(location_set_.num_states() == grid_.num_cells());
+}
+
+std::string DeltaRestrictedPlanarLaplace::name() const {
+  return StrFormat("%s-PLM within |dX|=%zu", FormatDouble(alpha_).c_str(),
+                   location_set_.Count());
+}
+
+}  // namespace priste::lppm

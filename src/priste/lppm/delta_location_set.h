@@ -1,0 +1,56 @@
+#ifndef PRISTE_LPPM_DELTA_LOCATION_SET_H_
+#define PRISTE_LPPM_DELTA_LOCATION_SET_H_
+
+#include <string>
+#include <vector>
+
+#include "priste/common/status.h"
+#include "priste/geo/grid.h"
+#include "priste/geo/region.h"
+#include "priste/lppm/lppm.h"
+
+namespace priste::lppm {
+
+/// Constructs the δ-location set ΔX of Xiao & Xiong (CCS'15): the minimum
+/// number of cells, taken in decreasing prior-probability order, whose prior
+/// mass is at least 1 − δ. Requires `prior` to be a probability vector and
+/// δ ∈ [0, 1).
+StatusOr<geo::Region> DeltaLocationSet(const linalg::Vector& prior, double delta);
+
+/// The paper's Case Study 2 mechanism: an α-Planar-Laplace mechanism whose
+/// output domain is restricted to a δ-location set ΔX_t (Algorithm 3, line 4,
+/// "α-PLM within ΔX_t"). For each true cell i the output distribution is the
+/// planar-Laplace kernel e^{−α·d(surrogate(i), o)} over o ∈ ΔX only,
+/// renormalized; a true cell outside ΔX is first mapped to its nearest in-set
+/// surrogate, following [9]'s surrogate treatment of "impossible" locations.
+///
+/// The restriction changes every timestamp (ΔX_t follows the Markov-predicted
+/// prior p⁻_t), so instances are built per timestamp rather than reused.
+class DeltaRestrictedPlanarLaplace : public Lppm {
+ public:
+  /// `location_set` must be a non-empty region over the grid's cells.
+  DeltaRestrictedPlanarLaplace(const geo::Grid& grid, double alpha,
+                               geo::Region location_set);
+
+  size_t num_states() const override { return grid_.num_cells(); }
+  const hmm::EmissionMatrix& emission() const override { return emission_; }
+  std::string name() const override;
+
+  double alpha() const { return alpha_; }
+  const geo::Region& location_set() const { return location_set_; }
+
+  /// Same restriction with a different PLM budget (Algorithm 3's halving).
+  DeltaRestrictedPlanarLaplace WithAlpha(double alpha) const {
+    return DeltaRestrictedPlanarLaplace(grid_, alpha, location_set_);
+  }
+
+ private:
+  geo::Grid grid_;
+  double alpha_;
+  geo::Region location_set_;
+  hmm::EmissionMatrix emission_;
+};
+
+}  // namespace priste::lppm
+
+#endif  // PRISTE_LPPM_DELTA_LOCATION_SET_H_

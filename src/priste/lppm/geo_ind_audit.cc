@@ -1,0 +1,40 @@
+#include "priste/lppm/geo_ind_audit.h"
+
+#include <cmath>
+#include <limits>
+
+#include "priste/common/check.h"
+
+namespace priste::lppm {
+
+GeoIndAuditResult AuditGeoIndistinguishability(const hmm::EmissionMatrix& emission,
+                                               const geo::Grid& grid, double alpha,
+                                               double tol) {
+  const size_t m = emission.num_states();
+  PRISTE_CHECK(grid.num_cells() == m);
+  PRISTE_CHECK(emission.num_outputs() == m);
+
+  GeoIndAuditResult out;
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = i + 1; j < m; ++j) {
+      const double d = grid.CellDistanceKm(static_cast<int>(i), static_cast<int>(j));
+      if (d <= 0.0) continue;
+      for (size_t o = 0; o < m; ++o) {
+        const double pi_o = emission(i, o);
+        const double pj_o = emission(j, o);
+        if (pi_o <= 0.0 && pj_o <= 0.0) continue;
+        if (pi_o <= 0.0 || pj_o <= 0.0) {
+          out.tightest_alpha = std::numeric_limits<double>::infinity();
+          out.satisfied = false;
+          return out;
+        }
+        const double needed = std::fabs(std::log(pi_o / pj_o)) / d;
+        if (needed > out.tightest_alpha) out.tightest_alpha = needed;
+      }
+    }
+  }
+  out.satisfied = out.tightest_alpha <= alpha + tol;
+  return out;
+}
+
+}  // namespace priste::lppm

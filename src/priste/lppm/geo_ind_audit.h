@@ -1,0 +1,29 @@
+#ifndef PRISTE_LPPM_GEO_IND_AUDIT_H_
+#define PRISTE_LPPM_GEO_IND_AUDIT_H_
+
+#include "priste/geo/grid.h"
+#include "priste/hmm/emission_model.h"
+
+namespace priste::lppm {
+
+/// Result of auditing an emission matrix against α-geo-indistinguishability
+/// on the grid's cell-center metric: for every pair of true cells (i, j) and
+/// every output o,  Pr(o|i) ≤ e^{α·d(i,j)}·Pr(o|j).
+struct GeoIndAuditResult {
+  /// The smallest α for which the mechanism satisfies geo-ind on the grid
+  /// (sup over pairs/outputs of |ln ratio| / d). 0 for a constant mechanism.
+  double tightest_alpha = 0.0;
+  /// True when tightest_alpha <= audited alpha (within tolerance).
+  bool satisfied = false;
+};
+
+/// Exhaustively audits `emission` (O(m³); fine for m up to a few hundred).
+/// Outputs with probability 0 for some state must be 0 for all states to be
+/// auditable; otherwise tightest_alpha is +infinity and satisfied is false.
+GeoIndAuditResult AuditGeoIndistinguishability(const hmm::EmissionMatrix& emission,
+                                               const geo::Grid& grid, double alpha,
+                                               double tol = 1e-9);
+
+}  // namespace priste::lppm
+
+#endif  // PRISTE_LPPM_GEO_IND_AUDIT_H_

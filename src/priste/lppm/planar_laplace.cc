@@ -1,0 +1,58 @@
+#include "priste/lppm/planar_laplace.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "priste/common/check.h"
+#include "priste/common/strings.h"
+
+namespace priste::lppm {
+namespace {
+
+hmm::EmissionMatrix BuildEmission(const geo::Grid& grid, double alpha) {
+  const size_t m = grid.num_cells();
+  linalg::Matrix e(m, m);
+  if (alpha <= 0.0) {
+    return hmm::EmissionMatrix::Uniform(m, m);
+  }
+  for (size_t i = 0; i < m; ++i) {
+    double sum = 0.0;
+    for (size_t o = 0; o < m; ++o) {
+      const double d = grid.CellDistanceKm(static_cast<int>(i), static_cast<int>(o));
+      const double w = std::exp(-alpha * d);
+      e(i, o) = w;
+      sum += w;
+    }
+    for (size_t o = 0; o < m; ++o) e(i, o) /= sum;
+  }
+  auto result = hmm::EmissionMatrix::Create(std::move(e));
+  PRISTE_CHECK_MSG(result.ok(), "planar Laplace emission invalid");
+  return std::move(result).value();
+}
+
+}  // namespace
+
+PlanarLaplaceMechanism::PlanarLaplaceMechanism(const geo::Grid& grid, double alpha)
+    : grid_(grid), alpha_(alpha), emission_(BuildEmission(grid, alpha)) {
+  PRISTE_CHECK(alpha >= 0.0);
+}
+
+std::string PlanarLaplaceMechanism::name() const {
+  return StrFormat("%s-PLM", FormatDouble(alpha_).c_str());
+}
+
+int PlanarLaplaceMechanism::SampleContinuous(int true_cell, Rng& rng) const {
+  PRISTE_CHECK(grid_.ContainsCell(true_cell));
+  if (alpha_ <= 0.0) {
+    return static_cast<int>(rng.NextBelow(grid_.num_cells()));
+  }
+  const geo::PointKm center = grid_.CenterOf(true_cell);
+  const double theta = rng.Uniform(0.0, 2.0 * std::numbers::pi);
+  // Radial density of the planar Laplace is r·α²·e^{−αr} ⇒ Gamma(2, 1/α).
+  const double r = (rng.NextExponential(1.0) + rng.NextExponential(1.0)) / alpha_;
+  const geo::PointKm sample{center.x + r * std::cos(theta),
+                            center.y + r * std::sin(theta)};
+  return grid_.CellContaining(sample);
+}
+
+}  // namespace priste::lppm

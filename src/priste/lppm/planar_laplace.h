@@ -1,0 +1,63 @@
+#ifndef PRISTE_LPPM_PLANAR_LAPLACE_H_
+#define PRISTE_LPPM_PLANAR_LAPLACE_H_
+
+#include <memory>
+#include <string>
+
+#include "priste/geo/grid.h"
+#include "priste/lppm/lppm.h"
+
+namespace priste::lppm {
+
+/// The α-Planar Laplace mechanism of Andrés et al. (CCS'13), the
+/// state-of-the-art mechanism for α-geo-indistinguishability and the LPPM of
+/// the paper's Case Study 1. The continuous mechanism adds 2D noise with
+/// density (α²/2π)·e^{−α·d}; this class provides both:
+///
+///  * the grid-discretized emission matrix, Pr(o | s_i) ∝ e^{−α·d(c_i, c_o)}
+///    over cell centers (rows normalized). The kernel ratio alone is bounded
+///    by e^{α·d(s_i,s_j)} (triangle inequality); truncating to the finite map
+///    and normalizing rows adds a normalizer ratio Z_j/Z_i that is itself
+///    bounded by e^{α·d}, so the discretized mechanism is guaranteed
+///    2α-geo-indistinguishable on the cell metric (≈1.6α in practice on a
+///    20×20 map — verified by the geo_ind_audit tests). This is the standard
+///    truncation cost of restricting planar Laplace to a bounded domain;
+///  * continuous planar-Laplace sampling (angle uniform, radius
+///    Gamma(2, 1/α)) with boundary remapping onto the grid, for callers that
+///    want the unquantized mechanism.
+///
+/// α is the paper's PLM privacy budget; smaller α = stronger location
+/// privacy. The degenerate α = 0 is the uniform mechanism that releases no
+/// information (Algorithm 2's convergence anchor).
+class PlanarLaplaceMechanism : public Lppm {
+ public:
+  /// Requires alpha >= 0; alpha == 0 yields the uniform emission.
+  PlanarLaplaceMechanism(const geo::Grid& grid, double alpha);
+
+  size_t num_states() const override { return grid_.num_cells(); }
+  const hmm::EmissionMatrix& emission() const override { return emission_; }
+  std::string name() const override;
+
+  double alpha() const { return alpha_; }
+  const geo::Grid& grid() const { return grid_; }
+
+  /// A mechanism on the same grid with budget `alpha` — used by Algorithm 2's
+  /// exponential budget decay.
+  PlanarLaplaceMechanism WithAlpha(double alpha) const {
+    return PlanarLaplaceMechanism(grid_, alpha);
+  }
+
+  /// One draw of the continuous mechanism: true cell center + planar Laplace
+  /// noise, remapped to the nearest grid cell. Distributed close to, but not
+  /// identically to, Perturb(); exposed for end-to-end demos and tests.
+  int SampleContinuous(int true_cell, Rng& rng) const;
+
+ private:
+  geo::Grid grid_;
+  double alpha_;
+  hmm::EmissionMatrix emission_;
+};
+
+}  // namespace priste::lppm
+
+#endif  // PRISTE_LPPM_PLANAR_LAPLACE_H_

@@ -1,0 +1,68 @@
+#include "priste/markov/transition_matrix.h"
+
+#include <cmath>
+
+#include "priste/common/strings.h"
+#include "priste/linalg/ops.h"
+
+namespace priste::markov {
+
+StatusOr<TransitionMatrix> TransitionMatrix::Create(linalg::Matrix m, double tol) {
+  if (m.rows() == 0 || m.rows() != m.cols()) {
+    return Status::InvalidArgument("TransitionMatrix must be square and non-empty");
+  }
+  for (size_t r = 0; r < m.rows(); ++r) {
+    double sum = 0.0;
+    for (size_t c = 0; c < m.cols(); ++c) {
+      if (m(r, c) < -tol) {
+        return Status::InvalidArgument(
+            StrFormat("TransitionMatrix entry (%zu,%zu)=%g is negative", r, c, m(r, c)));
+      }
+      sum += m(r, c);
+    }
+    if (std::fabs(sum - 1.0) > tol) {
+      return Status::InvalidArgument(
+          StrFormat("TransitionMatrix row %zu sums to %g, expected 1", r, sum));
+    }
+    // Exact renormalization keeps long products stochastic.
+    for (size_t c = 0; c < m.cols(); ++c) {
+      m(r, c) = m(r, c) < 0.0 ? 0.0 : m(r, c) / sum;
+    }
+  }
+  return TransitionMatrix(std::move(m));
+}
+
+TransitionMatrix TransitionMatrix::Uniform(size_t num_states) {
+  PRISTE_CHECK(num_states > 0);
+  return TransitionMatrix(
+      linalg::Matrix(num_states, num_states, 1.0 / static_cast<double>(num_states)));
+}
+
+TransitionMatrix TransitionMatrix::Identity(size_t num_states) {
+  PRISTE_CHECK(num_states > 0);
+  return TransitionMatrix(linalg::Matrix::Identity(num_states));
+}
+
+linalg::Vector TransitionMatrix::Propagate(const linalg::Vector& p) const {
+  return linalg::VecMat(p, matrix_);
+}
+
+linalg::Vector TransitionMatrix::PropagateSteps(const linalg::Vector& p, int steps) const {
+  PRISTE_CHECK(steps >= 0);
+  linalg::Vector out = p;
+  for (int i = 0; i < steps; ++i) out = Propagate(out);
+  return out;
+}
+
+linalg::Vector TransitionMatrix::StationaryDistribution(int max_iters, double tol) const {
+  linalg::Vector p = linalg::Vector::UniformProbability(num_states());
+  for (int i = 0; i < max_iters; ++i) {
+    linalg::Vector next = Propagate(p);
+    const double diff = next.Minus(p).MaxAbs();
+    p = std::move(next);
+    if (diff < tol) break;
+  }
+  return p;
+}
+
+}  // namespace priste::markov

@@ -1,0 +1,57 @@
+#ifndef PRISTE_MARKOV_TRANSITION_MATRIX_H_
+#define PRISTE_MARKOV_TRANSITION_MATRIX_H_
+
+#include "priste/common/status.h"
+#include "priste/linalg/matrix.h"
+#include "priste/linalg/vector.h"
+
+namespace priste::markov {
+
+/// A validated row-stochastic matrix M where M(i,j) = Pr(u_{t+1}=s_j | u_t=s_i)
+/// — the paper's temporal-correlation model (first-order time-homogeneous
+/// Markov chain; time-varying chains are handled by passing a different
+/// TransitionMatrix per timestamp, as noted in Section III footnote 3).
+class TransitionMatrix {
+ public:
+  /// Validates and wraps `m`. Returns InvalidArgument when `m` is not square,
+  /// has a negative entry, or a row that does not sum to 1 within `tol`.
+  /// Rows are renormalized exactly to sum to 1 after validation so that long
+  /// products stay stochastic.
+  static StatusOr<TransitionMatrix> Create(linalg::Matrix m, double tol = 1e-6);
+
+  /// The m×m uniform chain (every row 1/m) — the zero-information prior.
+  static TransitionMatrix Uniform(size_t num_states);
+
+  /// The identity chain (the user never moves).
+  static TransitionMatrix Identity(size_t num_states);
+
+  size_t num_states() const { return matrix_.rows(); }
+  const linalg::Matrix& matrix() const { return matrix_; }
+
+  double operator()(size_t from, size_t to) const { return matrix_(from, to); }
+
+  /// Row `from` as a probability vector over destinations.
+  linalg::Vector RowDistribution(size_t from) const { return matrix_.Row(from); }
+
+  /// One Markov step: p_{t+1} = p_t · M. `p` must be length m.
+  linalg::Vector Propagate(const linalg::Vector& p) const;
+
+  /// k Markov steps.
+  linalg::Vector PropagateSteps(const linalg::Vector& p, int steps) const;
+
+  /// Stationary distribution by power iteration from the uniform vector.
+  /// Converges for aperiodic irreducible chains; returns the iterate after
+  /// `max_iters` regardless (callers needing certainty check the residual via
+  /// Propagate).
+  linalg::Vector StationaryDistribution(int max_iters = 10000,
+                                        double tol = 1e-12) const;
+
+ private:
+  explicit TransitionMatrix(linalg::Matrix m) : matrix_(std::move(m)) {}
+
+  linalg::Matrix matrix_;
+};
+
+}  // namespace priste::markov
+
+#endif  // PRISTE_MARKOV_TRANSITION_MATRIX_H_

@@ -1,0 +1,33 @@
+#include "priste/common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace priste {
+namespace {
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StrFormatTest, LongOutputIsNotTruncated) {
+  const std::string big(500, 'a');
+  EXPECT_EQ(StrFormat("%s", big.c_str()).size(), 500u);
+}
+
+TEST(StrJoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({"solo"}, ", "), "solo");
+  EXPECT_EQ(StrJoin({}, ", "), "");
+}
+
+TEST(FormatDoubleTest, TrimsTrailingZeros) {
+  EXPECT_EQ(FormatDouble(0.5), "0.5");
+  EXPECT_EQ(FormatDouble(1.0), "1");
+  EXPECT_EQ(FormatDouble(0.125), "0.125");
+  EXPECT_EQ(FormatDouble(2.0, 3), "2");
+}
+
+}  // namespace
+}  // namespace priste

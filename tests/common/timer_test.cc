@@ -1,0 +1,42 @@
+#include "priste/common/timer.h"
+
+#include <gtest/gtest.h>
+
+namespace priste {
+namespace {
+
+TEST(TimerTest, ElapsedIsNonNegativeAndIncreasing) {
+  Timer timer;
+  const double a = timer.ElapsedSeconds();
+  const double b = timer.ElapsedSeconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+TEST(TimerTest, ResetRestarts) {
+  Timer timer;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  timer.Reset();
+  EXPECT_LT(timer.ElapsedSeconds(), 1.0);
+}
+
+TEST(DeadlineTest, InfiniteNeverExpires) {
+  const Deadline d = Deadline::Infinite();
+  EXPECT_TRUE(d.is_infinite());
+  EXPECT_FALSE(d.Expired());
+}
+
+TEST(DeadlineTest, PastDeadlineExpires) {
+  const Deadline d = Deadline::After(-1.0);
+  EXPECT_FALSE(d.is_infinite());
+  EXPECT_TRUE(d.Expired());
+}
+
+TEST(DeadlineTest, FutureDeadlineNotYetExpired) {
+  const Deadline d = Deadline::After(30.0);
+  EXPECT_FALSE(d.Expired());
+}
+
+}  // namespace
+}  // namespace priste

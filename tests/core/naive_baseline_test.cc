@@ -1,0 +1,114 @@
+#include "priste/core/naive_baseline.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "priste/core/joint.h"
+#include "priste/core/prior.h"
+#include "priste/core/two_world.h"
+#include "priste/event/enumeration.h"
+#include "testing/test_util.h"
+
+namespace priste::core {
+namespace {
+
+using event::PatternEvent;
+
+TEST(NaiveBaselineTest, PathCount) {
+  const PatternEvent ev({geo::Region(5, {0, 1}), geo::Region(5, {1, 2, 3})}, 2);
+  EXPECT_DOUBLE_EQ(NaivePatternPathCount(ev), 6.0);
+}
+
+class NaivePriorTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NaivePriorTest, MatchesTwoWorldAndEnumeration) {
+  Rng rng(1100 + GetParam());
+  const size_t m = 3;
+  const auto chain = testing::RandomTransition(m, rng);
+  const linalg::Vector pi = testing::RandomProbability(m, rng);
+  const int start = 1 + GetParam() % 3;
+  const int window = 1 + GetParam() % 3;
+  std::vector<geo::Region> regions;
+  for (int i = 0; i < window; ++i) regions.push_back(testing::RandomRegion(m, rng));
+  const auto ev = std::make_shared<PatternEvent>(regions, start);
+
+  const markov::MarkovChain mc(chain, pi);
+  const double naive = NaivePatternPrior(mc, *ev);
+  const TwoWorldModel model(chain, ev);
+  const double fast = EventPrior(model, pi);
+  const double oracle = event::EnumeratePrior(mc, *ev->ToBooleanExpr(), ev->end());
+  EXPECT_NEAR(naive, fast, 1e-12);
+  EXPECT_NEAR(naive, oracle, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Trials, NaivePriorTest, ::testing::Range(0, 10));
+
+class NaiveJointTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NaiveJointTest, Algorithm4MatchesTwoWorldJoint) {
+  // Algorithm 4 computes Pr(o_start..o_end, PATTERN) given p_{start−1}.
+  // The two-world oracle: shift the event to start at time 1, use the
+  // window-start marginal as π, and push the window emissions.
+  Rng rng(1300 + GetParam());
+  const size_t m = 3;
+  const auto chain = testing::RandomTransition(m, rng);
+  const linalg::Vector pi = testing::RandomProbability(m, rng);
+  const int start = 2 + GetParam() % 2;
+  const int window = 1 + GetParam() % 3;
+  std::vector<geo::Region> regions;
+  for (int i = 0; i < window; ++i) regions.push_back(testing::RandomRegion(m, rng));
+  const auto ev = std::make_shared<PatternEvent>(regions, start);
+
+  std::vector<linalg::Vector> window_emissions;
+  for (int i = 0; i < window; ++i) {
+    window_emissions.push_back(testing::RandomEmissionColumn(m, rng));
+  }
+
+  const markov::MarkovChain mc(chain, pi);
+  const linalg::Vector p_before = mc.MarginalAt(start - 1);
+  const double naive =
+      NaivePatternJoint(chain, p_before, /*step_before=*/true, *ev, window_emissions);
+
+  // Two-world oracle with the event shifted to time 1.
+  const auto shifted = std::make_shared<PatternEvent>(regions, 1);
+  const TwoWorldModel model(chain, shifted);
+  JointCalculator calc(&model, mc.MarginalAt(start));
+  for (const auto& e : window_emissions) calc.Push(e);
+  EXPECT_NEAR(naive, calc.JointEvent(), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Trials, NaiveJointTest, ::testing::Range(0, 10));
+
+TEST(NaiveJointTest, StartAtOneUsesInitialDirectly) {
+  Rng rng(51);
+  const size_t m = 3;
+  const auto chain = testing::RandomTransition(m, rng);
+  const linalg::Vector pi = testing::RandomProbability(m, rng);
+  const auto ev = std::make_shared<PatternEvent>(
+      std::vector<geo::Region>{testing::RandomRegion(m, rng)}, 1);
+  const std::vector<linalg::Vector> emissions = {
+      testing::RandomEmissionColumn(m, rng)};
+
+  const double naive =
+      NaivePatternJoint(chain, pi, /*step_before=*/false, *ev, emissions);
+  const TwoWorldModel model(chain, ev);
+  JointCalculator calc(&model, pi);
+  calc.Push(emissions[0]);
+  EXPECT_NEAR(naive, calc.JointEvent(), 1e-12);
+}
+
+TEST(NaiveBaselineTest, DegenerateRegionGivesZeroWhenUnreachable) {
+  // A chain that never enters state 2 from anywhere gives zero prior for a
+  // pattern pinned to state 2 after the start.
+  auto m = markov::TransitionMatrix::Create(
+      linalg::Matrix{{0.5, 0.5, 0.0}, {0.5, 0.5, 0.0}, {0.5, 0.5, 0.0}});
+  ASSERT_TRUE(m.ok());
+  const markov::MarkovChain chain(*m, linalg::Vector{0.5, 0.5, 0.0});
+  const auto ev = std::make_shared<PatternEvent>(
+      std::vector<geo::Region>{geo::Region(3, {2})}, 2);
+  EXPECT_DOUBLE_EQ(NaivePatternPrior(chain, *ev), 0.0);
+}
+
+}  // namespace
+}  // namespace priste::core

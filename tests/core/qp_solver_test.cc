@@ -1,0 +1,147 @@
+#include "priste/core/qp_solver.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "priste/common/random.h"
+
+namespace priste::core {
+namespace {
+
+linalg::Vector RandomVec(size_t n, Rng& rng, double lo = -1.0, double hi = 1.0) {
+  linalg::Vector v(n);
+  for (size_t i = 0; i < n; ++i) v[i] = rng.Uniform(lo, hi);
+  return v;
+}
+
+// Dense random search baseline over the capped simplex.
+double RandomSearchMax(const QpSolver::Objective& objective, int samples,
+                       Rng& rng) {
+  const size_t n = objective.a.size();
+  double best = -1e300;
+  for (int s = 0; s < samples; ++s) {
+    linalg::Vector v = RandomVec(n, rng, 0.0, 1.0);
+    // Random sparse-ish candidates too.
+    if (s % 3 == 0) {
+      for (size_t i = 0; i < n; ++i) {
+        if (rng.NextDouble() < 0.5) v[i] = 0.0;
+      }
+    }
+    if (v.Sum() <= 0.0) continue;
+    v.ScaleInPlace(1.0 / v.Sum());
+    best = std::max(best, objective.Evaluate(v));
+  }
+  // Vertices of the simplex.
+  for (size_t i = 0; i < n; ++i) {
+    best = std::max(best, objective.Evaluate(linalg::Vector::Unit(n, i)));
+  }
+  return best;
+}
+
+TEST(ProjectionTest, ProjectsOntoCappedSimplex) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const linalg::Vector v = RandomVec(6, rng, -2.0, 2.0);
+    const linalg::Vector p = ProjectOntoCappedSimplex(v);
+    EXPECT_NEAR(p.Sum(), 1.0, 1e-9);
+    EXPECT_TRUE(p.AllInRange(0.0, 1.0, 1e-9));
+  }
+}
+
+TEST(ProjectionTest, FixedPointForFeasibleInput) {
+  const linalg::Vector v{0.2, 0.3, 0.5};
+  const linalg::Vector p = ProjectOntoCappedSimplex(v);
+  EXPECT_LT(p.Minus(v).MaxAbs(), 1e-6);
+}
+
+TEST(QpSolverTest, LinearObjectiveExactOnSimplex) {
+  // With a = 0 the objective is linear; the simplex max is the best entry.
+  QpSolver::Objective obj;
+  obj.a = linalg::Vector(4);
+  obj.d = linalg::Vector(4);
+  obj.l = linalg::Vector{0.3, -0.2, 0.9, 0.1};
+  QpSolver solver;
+  const auto result = solver.Maximize(obj, Deadline::Infinite());
+  EXPECT_FALSE(result.timed_out);
+  EXPECT_NEAR(result.max_value, 0.9, 1e-6);
+}
+
+TEST(QpSolverTest, RankOneQuadraticKnownMax) {
+  // f(π) = (π·a)² with a = [1, 0]: on the simplex the max is 1 at π = e₀.
+  QpSolver::Objective obj;
+  obj.a = linalg::Vector{1.0, 0.0};
+  obj.d = linalg::Vector{1.0, 0.0};
+  obj.l = linalg::Vector(2);
+  QpSolver solver;
+  const auto result = solver.Maximize(obj, Deadline::Infinite());
+  EXPECT_NEAR(result.max_value, 1.0, 1e-6);
+}
+
+TEST(QpSolverTest, BoxConstraintDominatesSimplex) {
+  // On the box the same objective can use π = 1 everywhere.
+  QpSolver::Objective obj;
+  obj.a = linalg::Vector{1.0, 1.0};
+  obj.d = linalg::Vector{1.0, 1.0};
+  obj.l = linalg::Vector(2);
+  QpSolver::Options box_options;
+  box_options.constraint = QpSolver::ConstraintSet::kBox;
+  const auto box = QpSolver(box_options).Maximize(obj, Deadline::Infinite());
+  const auto simplex = QpSolver().Maximize(obj, Deadline::Infinite());
+  EXPECT_NEAR(box.max_value, 4.0, 1e-6);     // (π·a)² = 2² on all-ones
+  EXPECT_NEAR(simplex.max_value, 1.0, 1e-6); // Σπ = 1 caps π·a at 1
+  EXPECT_GE(box.max_value, simplex.max_value);
+}
+
+class QpRandomComparisonTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(QpRandomComparisonTest, BeatsRandomSearch) {
+  Rng rng(800 + GetParam());
+  const size_t n = 6;
+  QpSolver::Objective obj;
+  obj.a = RandomVec(n, rng, 0.0, 1.0);  // ā entries are probabilities
+  obj.d = RandomVec(n, rng);
+  obj.l = RandomVec(n, rng);
+
+  QpSolver solver;
+  const auto result = solver.Maximize(obj, Deadline::Infinite());
+  EXPECT_FALSE(result.timed_out);
+
+  Rng search_rng(123 + GetParam());
+  const double baseline = RandomSearchMax(obj, 20000, search_rng);
+  // The solver must find at least as good a maximum (tolerance for the
+  // random search occasionally stumbling onto a slightly better point).
+  EXPECT_GE(result.max_value, baseline - 1e-4)
+      << "solver=" << result.max_value << " search=" << baseline;
+
+  // And its argmax must be feasible and consistent with the reported value.
+  EXPECT_NEAR(result.argmax.Sum(), 1.0, 1e-6);
+  EXPECT_TRUE(result.argmax.AllInRange(0.0, 1.0, 1e-6));
+  EXPECT_NEAR(obj.Evaluate(result.argmax), result.max_value, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Trials, QpRandomComparisonTest, ::testing::Range(0, 15));
+
+TEST(QpSolverTest, ExpiredDeadlineReportsTimeout) {
+  Rng rng(5);
+  QpSolver::Objective obj;
+  obj.a = RandomVec(8, rng, 0.0, 1.0);
+  obj.d = RandomVec(8, rng);
+  obj.l = RandomVec(8, rng);
+  QpSolver solver;
+  const auto result = solver.Maximize(obj, Deadline::After(-1.0));
+  EXPECT_TRUE(result.timed_out);
+}
+
+TEST(QpSolverTest, SlicesSolvedIsPositive) {
+  Rng rng(7);
+  QpSolver::Objective obj;
+  obj.a = RandomVec(4, rng, 0.0, 1.0);
+  obj.d = RandomVec(4, rng);
+  obj.l = RandomVec(4, rng);
+  const auto result = QpSolver().Maximize(obj, Deadline::Infinite());
+  EXPECT_GT(result.slices_solved, 0);
+}
+
+}  // namespace
+}  // namespace priste::core

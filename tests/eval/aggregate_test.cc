@@ -1,0 +1,47 @@
+#include "priste/eval/aggregate.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace priste::eval {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownValues) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, SingleSampleHasZeroStddev) {
+  RunningStats s;
+  s.Add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(SeriesStatsTest, PerIndexAggregation) {
+  SeriesStats s;
+  s.AddSeries({1.0, 10.0});
+  s.AddSeries({3.0, 20.0});
+  ASSERT_EQ(s.length(), 2u);
+  EXPECT_DOUBLE_EQ(s.At(0).mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.At(1).mean(), 15.0);
+  const auto means = s.Means();
+  EXPECT_DOUBLE_EQ(means[1], 15.0);
+  EXPECT_GT(s.Stddevs()[1], 0.0);
+}
+
+}  // namespace
+}  // namespace priste::eval

@@ -1,0 +1,85 @@
+#include "priste/eval/experiment.h"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "priste/event/presence.h"
+
+namespace priste::eval {
+namespace {
+
+TEST(ExperimentScaleTest, DefaultsAreReduced) {
+  // Ensure env vars do not leak into this test.
+  unsetenv("PRISTE_FULL");
+  unsetenv("PRISTE_RUNS");
+  const ExperimentScale scale = ExperimentScale::FromEnv();
+  EXPECT_FALSE(scale.full);
+  EXPECT_EQ(scale.grid_width, 16);
+  EXPECT_EQ(scale.horizon, 30);
+}
+
+TEST(ExperimentScaleTest, EnvOverrides) {
+  setenv("PRISTE_FULL", "1", 1);
+  setenv("PRISTE_RUNS", "7", 1);
+  const ExperimentScale scale = ExperimentScale::FromEnv();
+  EXPECT_TRUE(scale.full);
+  EXPECT_EQ(scale.grid_width, 20);
+  EXPECT_EQ(scale.horizon, 50);
+  EXPECT_EQ(scale.runs, 7);
+  unsetenv("PRISTE_FULL");
+  unsetenv("PRISTE_RUNS");
+}
+
+TEST(ExperimentScaleTest, StateAndTimeMapping) {
+  ExperimentScale scale;
+  scale.grid_width = 16;
+  scale.grid_height = 16;
+  scale.horizon = 30;
+  // 10 of 400 cells → ceil(10·256/400) = 7 of 256.
+  EXPECT_EQ(scale.MapStateCount(10), 7);
+  // Identity at paper scale.
+  scale.grid_width = scale.grid_height = 20;
+  EXPECT_EQ(scale.MapStateCount(10), 10);
+  // Timestamp 16 of 50 → ceil(16·30/50) = 10 of 30.
+  scale.horizon = 30;
+  EXPECT_EQ(scale.MapTimestamp(16), 10);
+  scale.horizon = 50;
+  EXPECT_EQ(scale.MapTimestamp(16), 16);
+}
+
+TEST(ExperimentTest, RepeatedGeoIndRunsAggregate) {
+  ExperimentScale scale;
+  scale.grid_width = 4;
+  scale.grid_height = 4;
+  scale.horizon = 5;
+  scale.runs = 2;
+  const SyntheticWorkload workload(scale, 1.0);
+  const auto ev = event::PresenceEvent::Make(workload.grid.num_cells(), 1, 4, 2, 3);
+  core::PristeOptions options = DefaultBenchOptions(0.8, 0.3);
+  options.qp.grid_points = 9;
+  const RepeatedRunStats stats = RunRepeatedGeoInd(
+      workload.grid, workload.Chain(), {ev}, options, scale, /*seed=*/42);
+  EXPECT_EQ(stats.mean_budget.count(), 2u);
+  EXPECT_EQ(stats.budget_per_timestamp.length(), 5u);
+  EXPECT_GE(stats.euclid_km.mean(), 0.0);
+}
+
+TEST(ExperimentTest, RepeatedDeltaLocRunsAggregate) {
+  ExperimentScale scale;
+  scale.grid_width = 4;
+  scale.grid_height = 4;
+  scale.horizon = 5;
+  scale.runs = 2;
+  const SyntheticWorkload workload(scale, 1.0);
+  const auto ev = event::PresenceEvent::Make(workload.grid.num_cells(), 1, 4, 2, 3);
+  core::PristeOptions options = DefaultBenchOptions(0.8, 0.3);
+  options.qp.grid_points = 9;
+  const RepeatedRunStats stats = RunRepeatedDeltaLoc(
+      workload.grid, workload.Chain(), {ev}, 0.3, options, scale, /*seed=*/43);
+  EXPECT_EQ(stats.mean_budget.count(), 2u);
+  EXPECT_EQ(stats.budget_per_timestamp.length(), 5u);
+}
+
+}  // namespace
+}  // namespace priste::eval

@@ -1,0 +1,75 @@
+#include "priste/event/boolean_expr.h"
+
+#include <gtest/gtest.h>
+
+namespace priste::event {
+namespace {
+
+using geo::Trajectory;
+
+TEST(BoolExprTest, PredicateEvaluation) {
+  const auto p = BoolExpr::Pred(2, 1);  // u_2 = s_2 (0-based state 1)
+  EXPECT_TRUE(p->Evaluate(Trajectory({0, 1, 2})));
+  EXPECT_FALSE(p->Evaluate(Trajectory({1, 0, 2})));
+}
+
+TEST(BoolExprTest, AndOrNot) {
+  const auto a = BoolExpr::Pred(1, 0);
+  const auto b = BoolExpr::Pred(2, 1);
+  const Trajectory both({0, 1});
+  const Trajectory only_a({0, 2});
+  EXPECT_TRUE(BoolExpr::And(a, b)->Evaluate(both));
+  EXPECT_FALSE(BoolExpr::And(a, b)->Evaluate(only_a));
+  EXPECT_TRUE(BoolExpr::Or(a, b)->Evaluate(only_a));
+  EXPECT_FALSE(BoolExpr::Or(a, b)->Evaluate(Trajectory({2, 2})));
+  EXPECT_FALSE(BoolExpr::Not(a)->Evaluate(only_a));
+  EXPECT_TRUE(BoolExpr::Not(b)->Evaluate(only_a));
+}
+
+TEST(BoolExprTest, Constants) {
+  const Trajectory t({0});
+  EXPECT_TRUE(BoolExpr::Constant(true)->Evaluate(t));
+  EXPECT_FALSE(BoolExpr::Constant(false)->Evaluate(t));
+  EXPECT_TRUE(BoolExpr::AndAll({})->Evaluate(t));
+  EXPECT_FALSE(BoolExpr::OrAll({})->Evaluate(t));
+}
+
+TEST(BoolExprTest, NaryHelpers) {
+  const std::vector<BoolExpr::Ptr> preds = {
+      BoolExpr::Pred(1, 0), BoolExpr::Pred(1, 1), BoolExpr::Pred(1, 2)};
+  EXPECT_TRUE(BoolExpr::OrAll(preds)->Evaluate(Trajectory({2})));
+  EXPECT_FALSE(BoolExpr::OrAll(preds)->Evaluate(Trajectory({3})));
+  EXPECT_FALSE(BoolExpr::AndAll(preds)->Evaluate(Trajectory({0})));
+}
+
+TEST(BoolExprTest, TimestampBounds) {
+  const auto expr = BoolExpr::And(BoolExpr::Pred(2, 0),
+                                  BoolExpr::Or(BoolExpr::Pred(5, 1),
+                                               BoolExpr::Not(BoolExpr::Pred(3, 2))));
+  EXPECT_EQ(expr->MaxTimestamp(), 5);
+  EXPECT_EQ(expr->MinTimestamp(), 2);
+  EXPECT_EQ(expr->NumPredicates(), 3u);
+}
+
+TEST(BoolExprTest, ConstantHasNoTimestamps) {
+  EXPECT_EQ(BoolExpr::Constant(true)->MaxTimestamp(), 0);
+  EXPECT_EQ(BoolExpr::Constant(true)->NumPredicates(), 0u);
+}
+
+TEST(BoolExprTest, ToStringIsReadable) {
+  const auto expr =
+      BoolExpr::Or(BoolExpr::Pred(1, 0), BoolExpr::Not(BoolExpr::Pred(2, 1)));
+  EXPECT_EQ(expr->ToString(), "((u1=s1) | !(u2=s2))");
+}
+
+TEST(BoolExprTest, PaperFigureOneEventA) {
+  // Fig. 1(a): (u1 = s1) ∧ (u1 = s2) is always false — a user cannot be at
+  // two locations at once.
+  const auto expr = BoolExpr::And(BoolExpr::Pred(1, 0), BoolExpr::Pred(1, 1));
+  for (int s = 0; s < 3; ++s) {
+    EXPECT_FALSE(expr->Evaluate(Trajectory({s})));
+  }
+}
+
+}  // namespace
+}  // namespace priste::event

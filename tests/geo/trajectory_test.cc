@@ -1,0 +1,42 @@
+#include "priste/geo/trajectory.h"
+
+#include <gtest/gtest.h>
+
+namespace priste::geo {
+namespace {
+
+TEST(TrajectoryTest, AccessIsOneBased) {
+  const Trajectory t({4, 7, 2});
+  EXPECT_EQ(t.length(), 3);
+  EXPECT_EQ(t.At(1), 4);
+  EXPECT_EQ(t.At(3), 2);
+}
+
+TEST(TrajectoryTest, Append) {
+  Trajectory t;
+  EXPECT_TRUE(t.empty());
+  t.Append(5);
+  t.Append(6);
+  EXPECT_EQ(t.length(), 2);
+  EXPECT_EQ(t.At(2), 6);
+}
+
+TEST(TrajectoryTest, MeanDistanceToItselfIsZero) {
+  const Grid grid(4, 4, 1.0);
+  const Trajectory t({0, 5, 10, 15});
+  EXPECT_DOUBLE_EQ(t.MeanDistanceKm(t, grid), 0.0);
+}
+
+TEST(TrajectoryTest, MeanDistanceKnownValue) {
+  const Grid grid(4, 1, 2.0);  // 4 cells in a row, 2 km each
+  const Trajectory a({0, 0});
+  const Trajectory b({1, 3});  // distances 2 km and 6 km
+  EXPECT_DOUBLE_EQ(a.MeanDistanceKm(b, grid), 4.0);
+}
+
+TEST(TrajectoryTest, ToString) {
+  EXPECT_EQ(Trajectory({1, 2}).ToString(), "[1 -> 2]");
+}
+
+}  // namespace
+}  // namespace priste::geo

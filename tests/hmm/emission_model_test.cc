@@ -1,0 +1,41 @@
+#include "priste/hmm/emission_model.h"
+
+#include <gtest/gtest.h>
+
+namespace priste::hmm {
+namespace {
+
+TEST(EmissionMatrixTest, CreateValidates) {
+  EXPECT_FALSE(EmissionMatrix::Create(linalg::Matrix(0, 0)).ok());
+  EXPECT_FALSE(EmissionMatrix::Create(linalg::Matrix{{0.5, 0.6}}).ok());
+  EXPECT_FALSE(EmissionMatrix::Create(linalg::Matrix{{-0.1, 1.1}}).ok());
+  EXPECT_TRUE(EmissionMatrix::Create(linalg::Matrix{{0.2, 0.8}, {1.0, 0.0}}).ok());
+}
+
+TEST(EmissionMatrixTest, IdentityReportsTruth) {
+  const EmissionMatrix e = EmissionMatrix::Identity(3);
+  EXPECT_DOUBLE_EQ(e(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(e(1, 0), 0.0);
+}
+
+TEST(EmissionMatrixTest, UniformRevealsNothing) {
+  const EmissionMatrix e = EmissionMatrix::Uniform(3, 4);
+  EXPECT_EQ(e.num_states(), 3u);
+  EXPECT_EQ(e.num_outputs(), 4u);
+  EXPECT_DOUBLE_EQ(e(0, 0), 0.25);
+  EXPECT_DOUBLE_EQ(e(2, 3), 0.25);
+}
+
+TEST(EmissionMatrixTest, ColumnAndRowAccess) {
+  const auto e = EmissionMatrix::Create(linalg::Matrix{{0.2, 0.8}, {0.7, 0.3}});
+  ASSERT_TRUE(e.ok());
+  const linalg::Vector col = e->EmissionColumn(1);
+  EXPECT_DOUBLE_EQ(col[0], 0.8);
+  EXPECT_DOUBLE_EQ(col[1], 0.3);
+  const linalg::Vector row = e->OutputDistribution(1);
+  EXPECT_DOUBLE_EQ(row[0], 0.7);
+  EXPECT_NEAR(row.Sum(), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace priste::hmm

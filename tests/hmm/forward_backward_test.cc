@@ -1,0 +1,144 @@
+#include "priste/hmm/forward_backward.h"
+
+#include <gtest/gtest.h>
+
+#include "priste/markov/markov_chain.h"
+#include "testing/test_util.h"
+
+namespace priste::hmm {
+namespace {
+
+// Brute-force Pr(o_1..o_T) by enumerating all trajectories.
+double EnumeratedLikelihood(const markov::MarkovChain& chain,
+                            const std::vector<linalg::Vector>& emissions) {
+  const size_t m = chain.num_states();
+  const int T = static_cast<int>(emissions.size());
+  std::vector<int> traj(static_cast<size_t>(T), 0);
+  double total = 0.0;
+  for (;;) {
+    double p = chain.TrajectoryProbability(traj);
+    for (int t = 0; t < T; ++t) {
+      p *= emissions[static_cast<size_t>(t)][static_cast<size_t>(traj[static_cast<size_t>(t)])];
+    }
+    total += p;
+    int pos = T - 1;
+    while (pos >= 0) {
+      if (static_cast<size_t>(++traj[static_cast<size_t>(pos)]) < m) break;
+      traj[static_cast<size_t>(pos)] = 0;
+      --pos;
+    }
+    if (pos < 0) break;
+  }
+  return total;
+}
+
+class ForwardBackwardPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ForwardBackwardPropertyTest, LikelihoodMatchesEnumeration) {
+  Rng rng(1000 + GetParam());
+  const size_t m = 3;
+  const markov::MarkovChain chain(testing::RandomTransition(m, rng),
+                                  testing::RandomProbability(m, rng));
+  std::vector<linalg::Vector> emissions;
+  const int T = 2 + GetParam() % 4;
+  for (int t = 0; t < T; ++t) {
+    emissions.push_back(testing::RandomEmissionColumn(m, rng));
+  }
+  const auto result = ForwardBackward(chain.transition(), chain.initial(), emissions);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->likelihood, EnumeratedLikelihood(chain, emissions), 1e-12);
+}
+
+TEST_P(ForwardBackwardPropertyTest, PosteriorsAreDistributions) {
+  Rng rng(2000 + GetParam());
+  const size_t m = 4;
+  const markov::MarkovChain chain(testing::RandomTransition(m, rng),
+                                  testing::RandomProbability(m, rng));
+  std::vector<linalg::Vector> emissions;
+  for (int t = 0; t < 5; ++t) {
+    emissions.push_back(testing::RandomEmissionColumn(m, rng));
+  }
+  const auto result = ForwardBackward(chain.transition(), chain.initial(), emissions);
+  ASSERT_TRUE(result.ok());
+  for (const auto& post : result->posteriors) {
+    EXPECT_NEAR(post.Sum(), 1.0, 1e-10);
+    EXPECT_TRUE(post.AllInRange(0.0, 1.0));
+  }
+}
+
+TEST_P(ForwardBackwardPropertyTest, AlphaBetaProductIsConstantLikelihood) {
+  // Σ_k α_t^k β_t^k == Pr(o_1..o_T) at every t.
+  Rng rng(3000 + GetParam());
+  const size_t m = 3;
+  const markov::MarkovChain chain(testing::RandomTransition(m, rng),
+                                  testing::RandomProbability(m, rng));
+  std::vector<linalg::Vector> emissions;
+  for (int t = 0; t < 6; ++t) {
+    emissions.push_back(testing::RandomEmissionColumn(m, rng));
+  }
+  const auto result = ForwardBackward(chain.transition(), chain.initial(), emissions);
+  ASSERT_TRUE(result.ok());
+  for (size_t t = 0; t < emissions.size(); ++t) {
+    EXPECT_NEAR(result->alphas[t].Dot(result->betas[t]), result->likelihood, 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Trials, ForwardBackwardPropertyTest,
+                         ::testing::Range(0, 8));
+
+TEST(ForwardBackwardTest, IdentityEmissionPinsState) {
+  Rng rng(7);
+  const size_t m = 3;
+  const markov::MarkovChain chain(testing::RandomTransition(m, rng),
+                                  testing::RandomProbability(m, rng));
+  // Observation "state 2 exactly" at both timestamps.
+  const linalg::Vector pin = linalg::Vector::Unit(m, 2);
+  const auto result = ForwardBackward(chain.transition(), chain.initial(), {pin, pin});
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->posteriors[0][2], 1.0, 1e-12);
+  EXPECT_NEAR(result->posteriors[1][2], 1.0, 1e-12);
+}
+
+TEST(ForwardBackwardTest, RejectsBadInputs) {
+  Rng rng(9);
+  const auto chain = testing::RandomTransition(3, rng);
+  const linalg::Vector pi = linalg::Vector::UniformProbability(3);
+  EXPECT_FALSE(ForwardBackward(chain, linalg::Vector(2), {pi}).ok());
+  EXPECT_FALSE(ForwardBackward(chain, pi, {}).ok());
+  EXPECT_FALSE(ForwardBackward(chain, pi, {linalg::Vector(2)}).ok());
+}
+
+TEST(ForwardOnlyTest, MatchesFullPassAlphas) {
+  Rng rng(11);
+  const size_t m = 4;
+  const markov::MarkovChain chain(testing::RandomTransition(m, rng),
+                                  testing::RandomProbability(m, rng));
+  std::vector<linalg::Vector> emissions;
+  for (int t = 0; t < 4; ++t) {
+    emissions.push_back(testing::RandomEmissionColumn(m, rng));
+  }
+  const auto full = ForwardBackward(chain.transition(), chain.initial(), emissions);
+  const auto fwd = ForwardOnly(chain.transition(), chain.initial(), emissions);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(fwd.ok());
+  for (size_t t = 0; t < emissions.size(); ++t) {
+    EXPECT_LT(full->alphas[t].Minus((*fwd)[t]).MaxAbs(), 1e-14);
+  }
+}
+
+TEST(PosteriorUpdateTest, BayesRuleKnownValue) {
+  const auto post = PosteriorUpdate(linalg::Vector{0.5, 0.5},
+                                    linalg::Vector{0.9, 0.1});
+  ASSERT_TRUE(post.ok());
+  EXPECT_NEAR((*post)[0], 0.9, 1e-12);
+  EXPECT_NEAR((*post)[1], 0.1, 1e-12);
+}
+
+TEST(PosteriorUpdateTest, RejectsImpossibleEvidence) {
+  EXPECT_FALSE(PosteriorUpdate(linalg::Vector{1.0, 0.0},
+                               linalg::Vector{0.0, 1.0}).ok());
+  EXPECT_FALSE(PosteriorUpdate(linalg::Vector{0.5, 0.5}, linalg::Vector{0.1}).ok());
+}
+
+}  // namespace
+}  // namespace priste::hmm

@@ -1,0 +1,86 @@
+#include "priste/io/trajectory_io.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+namespace priste::io {
+namespace {
+
+const geo::Grid kGrid(4, 4, 1.0);
+
+TEST(TrajectoryIoTest, ParsesDiscreteCsv) {
+  const auto traj = ParseTrajectoryCsv("t,cell\n1,0\n2,5\n3,15\n", kGrid);
+  ASSERT_TRUE(traj.ok()) << traj.status();
+  EXPECT_EQ(traj->length(), 3);
+  EXPECT_EQ(traj->At(2), 5);
+}
+
+TEST(TrajectoryIoTest, ParsesContinuousCsv) {
+  // (0.5, 0.5) is the center of cell 0; (3.5, 3.5) of cell 15.
+  const auto traj =
+      ParseTrajectoryCsv("t,x_km,y_km\n1,0.5,0.5\n2,3.5,3.5\n", kGrid);
+  ASSERT_TRUE(traj.ok()) << traj.status();
+  EXPECT_EQ(traj->At(1), 0);
+  EXPECT_EQ(traj->At(2), 15);
+}
+
+TEST(TrajectoryIoTest, HandlesWindowsLineEndingsAndSpaces) {
+  const auto traj = ParseTrajectoryCsv("t,cell\r\n1, 3\r\n2,\t4\r\n", kGrid);
+  ASSERT_TRUE(traj.ok()) << traj.status();
+  EXPECT_EQ(traj->At(1), 3);
+  EXPECT_EQ(traj->At(2), 4);
+}
+
+TEST(TrajectoryIoTest, RejectsBadInput) {
+  EXPECT_FALSE(ParseTrajectoryCsv("", kGrid).ok());
+  EXPECT_FALSE(ParseTrajectoryCsv("bogus,header\n1,2\n", kGrid).ok());
+  EXPECT_FALSE(ParseTrajectoryCsv("t,cell\n", kGrid).ok());          // no rows
+  EXPECT_FALSE(ParseTrajectoryCsv("t,cell\n2,0\n", kGrid).ok());     // t != 1
+  EXPECT_FALSE(ParseTrajectoryCsv("t,cell\n1,0\n3,1\n", kGrid).ok());  // gap
+  EXPECT_FALSE(ParseTrajectoryCsv("t,cell\n1,99\n", kGrid).ok());    // bad cell
+  EXPECT_FALSE(ParseTrajectoryCsv("t,cell\n1,xyz\n", kGrid).ok());   // not a number
+  EXPECT_FALSE(ParseTrajectoryCsv("t,cell\n1\n", kGrid).ok());       // field count
+}
+
+TEST(TrajectoryIoTest, RoundTrip) {
+  const geo::Trajectory original({3, 7, 11, 2});
+  const auto parsed = ParseTrajectoryCsv(TrajectoryToCsv(original), kGrid);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->states(), original.states());
+}
+
+TEST(TrajectoryIoTest, RunResultCsvHasAllSteps) {
+  core::RunResult run;
+  for (int t = 1; t <= 2; ++t) {
+    core::StepRecord step;
+    step.t = t;
+    step.true_cell = t;
+    step.released_cell = t + 1;
+    step.released_alpha = 0.25;
+    run.steps.push_back(step);
+  }
+  const std::string csv = RunResultToCsv(run);
+  EXPECT_NE(csv.find("t,true_cell,released_cell"), std::string::npos);
+  EXPECT_NE(csv.find("1,1,2,0.25,0,0"), std::string::npos);
+  EXPECT_NE(csv.find("2,2,3,0.25,0,0"), std::string::npos);
+}
+
+TEST(TrajectoryIoTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/priste_io_test.csv";
+  const geo::Trajectory original({0, 1, 2});
+  ASSERT_TRUE(WriteTextFile(path, TrajectoryToCsv(original)).ok());
+  const auto loaded = ReadTrajectoryFile(path, kGrid);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->states(), original.states());
+  std::remove(path.c_str());
+}
+
+TEST(TrajectoryIoTest, MissingFileIsNotFound) {
+  const auto missing = ReadTrajectoryFile("/nonexistent/priste.csv", kGrid);
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace priste::io

@@ -1,0 +1,88 @@
+#include "priste/linalg/block.h"
+
+#include <gtest/gtest.h>
+
+#include "priste/common/random.h"
+#include "priste/linalg/ops.h"
+
+namespace priste::linalg {
+namespace {
+
+Matrix RandomMatrix(size_t n, Rng& rng) {
+  Matrix m(n, n);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < n; ++c) m(r, c) = rng.Uniform(-1.0, 1.0);
+  }
+  return m;
+}
+
+Vector RandomVector(size_t n, Rng& rng) {
+  Vector v(n);
+  for (size_t i = 0; i < n; ++i) v[i] = rng.Uniform(-1.0, 1.0);
+  return v;
+}
+
+class BlockMatrixPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BlockMatrixPropertyTest, MatVecMatchesDense) {
+  const size_t m = GetParam();
+  Rng rng(100 + m);
+  const BlockMatrix2x2 block(RandomMatrix(m, rng), RandomMatrix(m, rng),
+                             RandomMatrix(m, rng), RandomMatrix(m, rng));
+  const Matrix dense = block.ToDense();
+  for (int trial = 0; trial < 5; ++trial) {
+    const Vector v = RandomVector(2 * m, rng);
+    EXPECT_LT(block.MatVec(v).Minus(MatVec(dense, v)).MaxAbs(), 1e-12);
+  }
+}
+
+TEST_P(BlockMatrixPropertyTest, VecMatMatchesDense) {
+  const size_t m = GetParam();
+  Rng rng(200 + m);
+  const BlockMatrix2x2 block(RandomMatrix(m, rng), RandomMatrix(m, rng),
+                             RandomMatrix(m, rng), RandomMatrix(m, rng));
+  const Matrix dense = block.ToDense();
+  for (int trial = 0; trial < 5; ++trial) {
+    const Vector v = RandomVector(2 * m, rng);
+    EXPECT_LT(block.VecMat(v).Minus(VecMat(v, dense)).MaxAbs(), 1e-12);
+  }
+}
+
+TEST_P(BlockMatrixPropertyTest, TransposedMatVecMatchesDenseTranspose) {
+  const size_t m = GetParam();
+  Rng rng(300 + m);
+  const BlockMatrix2x2 block(RandomMatrix(m, rng), RandomMatrix(m, rng),
+                             RandomMatrix(m, rng), RandomMatrix(m, rng));
+  const Matrix dense_t = block.ToDense().Transposed();
+  for (int trial = 0; trial < 5; ++trial) {
+    const Vector v = RandomVector(2 * m, rng);
+    EXPECT_LT(block.TransposedMatVec(v).Minus(MatVec(dense_t, v)).MaxAbs(), 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BlockMatrixPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 16));
+
+TEST(BlockMatrixTest, BlockDiagonalStructure) {
+  const Matrix m{{0.2, 0.8}, {0.6, 0.4}};
+  const BlockMatrix2x2 block = BlockMatrix2x2::BlockDiagonal(m);
+  EXPECT_EQ(block.block_size(), 2u);
+  EXPECT_EQ(block.size(), 4u);
+  EXPECT_LT(block.ff().MaxAbsDiff(m), 1e-15);
+  EXPECT_LT(block.tt().MaxAbsDiff(m), 1e-15);
+  EXPECT_DOUBLE_EQ(block.ft().MaxAbsDiff(Matrix(2, 2)), 0.0);
+  EXPECT_TRUE(block.IsRowStochastic());
+}
+
+TEST(BlockMatrixTest, ApplyTwoWorldDiagonalDuplicatesEmission) {
+  const Vector emission{0.5, 2.0};
+  const Vector v{1.0, 1.0, 3.0, 3.0};
+  const Vector out = ApplyTwoWorldDiagonal(emission, v);
+  EXPECT_DOUBLE_EQ(out[0], 0.5);
+  EXPECT_DOUBLE_EQ(out[1], 2.0);
+  EXPECT_DOUBLE_EQ(out[2], 1.5);
+  EXPECT_DOUBLE_EQ(out[3], 6.0);
+}
+
+}  // namespace
+}  // namespace priste::linalg

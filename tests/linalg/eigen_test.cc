@@ -1,0 +1,77 @@
+#include "priste/linalg/eigen.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "priste/common/random.h"
+#include "priste/linalg/ops.h"
+
+namespace priste::linalg {
+namespace {
+
+TEST(JacobiEigenTest, DiagonalMatrix) {
+  const auto result = JacobiEigenSymmetric(Matrix::Diagonal(Vector{3.0, 1.0, 2.0}));
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->values[0], 3.0, 1e-12);
+  EXPECT_NEAR(result->values[1], 2.0, 1e-12);
+  EXPECT_NEAR(result->values[2], 1.0, 1e-12);
+}
+
+TEST(JacobiEigenTest, KnownTwoByTwo) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  const auto result = JacobiEigenSymmetric(Matrix{{2.0, 1.0}, {1.0, 2.0}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->values[0], 3.0, 1e-12);
+  EXPECT_NEAR(result->values[1], 1.0, 1e-12);
+}
+
+TEST(JacobiEigenTest, RejectsNonSquare) {
+  EXPECT_FALSE(JacobiEigenSymmetric(Matrix(2, 3)).ok());
+}
+
+TEST(JacobiEigenTest, RejectsAsymmetric) {
+  EXPECT_FALSE(JacobiEigenSymmetric(Matrix{{1.0, 2.0}, {0.0, 1.0}}).ok());
+}
+
+class JacobiPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(JacobiPropertyTest, ReconstructsMatrix) {
+  const size_t n = GetParam();
+  Rng rng(42 + n);
+  Matrix m(n, n);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = r; c < n; ++c) {
+      m(r, c) = m(c, r) = rng.Uniform(-1.0, 1.0);
+    }
+  }
+  const auto result = JacobiEigenSymmetric(m);
+  ASSERT_TRUE(result.ok());
+  // A == V Λ Vᵀ.
+  const Matrix v = result->vectors;
+  const Matrix reconstructed =
+      MatMul(MatMul(v, Matrix::Diagonal(result->values)), v.Transposed());
+  EXPECT_LT(reconstructed.MaxAbsDiff(m), 1e-9);
+  // Eigenvectors are orthonormal: VᵀV == I.
+  EXPECT_LT(MatMul(v.Transposed(), v).MaxAbsDiff(Matrix::Identity(n)), 1e-9);
+  // Values sorted descending.
+  for (size_t i = 1; i < n; ++i) {
+    EXPECT_GE(result->values[i - 1], result->values[i] - 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, JacobiPropertyTest,
+                         ::testing::Values(2, 3, 5, 10, 20));
+
+TEST(PowerIterationTest, DominantEigenvalueOfDiagonal) {
+  const double rho =
+      PowerIterationSpectralRadius(Matrix::Diagonal(Vector{0.5, -4.0, 2.0}));
+  EXPECT_NEAR(rho, 4.0, 1e-6);
+}
+
+TEST(PowerIterationTest, ZeroMatrix) {
+  EXPECT_DOUBLE_EQ(PowerIterationSpectralRadius(Matrix(3, 3)), 0.0);
+}
+
+}  // namespace
+}  // namespace priste::linalg

@@ -1,0 +1,74 @@
+#include "priste/linalg/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace priste::linalg {
+namespace {
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  m(1, 0) = 7.0;
+  EXPECT_DOUBLE_EQ(m(1, 0), 7.0);
+}
+
+TEST(MatrixTest, IdentityAndDiagonal) {
+  const Matrix i = Matrix::Identity(3);
+  EXPECT_DOUBLE_EQ(i(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(i(0, 1), 0.0);
+  const Matrix d = Matrix::Diagonal(Vector{2.0, 3.0});
+  EXPECT_DOUBLE_EQ(d(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(d(1, 1), 3.0);
+  EXPECT_DOUBLE_EQ(d(0, 1), 0.0);
+}
+
+TEST(MatrixTest, RowColRoundTrip) {
+  const Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  EXPECT_DOUBLE_EQ(m.Row(1)[2], 6.0);
+  EXPECT_DOUBLE_EQ(m.Col(0)[1], 4.0);
+  Matrix n(2, 3);
+  n.SetRow(0, Vector{7.0, 8.0, 9.0});
+  EXPECT_DOUBLE_EQ(n(0, 2), 9.0);
+}
+
+TEST(MatrixTest, Transposed) {
+  const Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(MatrixTest, PlusMinusScaled) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{1.0, 1.0}, {1.0, 1.0}};
+  EXPECT_DOUBLE_EQ(a.Plus(b)(1, 1), 5.0);
+  EXPECT_DOUBLE_EQ(a.Minus(b)(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(a.Scaled(3.0)(0, 1), 6.0);
+}
+
+TEST(MatrixTest, Blocks) {
+  Matrix m(4, 4);
+  m.SetBlock(2, 2, Matrix{{1.0, 2.0}, {3.0, 4.0}});
+  EXPECT_DOUBLE_EQ(m(3, 3), 4.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.0);
+  const Matrix b = m.GetBlock(2, 2, 2, 2);
+  EXPECT_DOUBLE_EQ(b(0, 1), 2.0);
+}
+
+TEST(MatrixTest, MaxAbsDiff) {
+  const Matrix a{{1.0, 2.0}};
+  const Matrix b{{1.5, 1.0}};
+  EXPECT_DOUBLE_EQ(a.MaxAbsDiff(b), 1.0);
+}
+
+TEST(MatrixTest, IsRowStochastic) {
+  EXPECT_TRUE((Matrix{{0.5, 0.5}, {0.0, 1.0}}).IsRowStochastic());
+  EXPECT_FALSE((Matrix{{0.5, 0.6}, {0.0, 1.0}}).IsRowStochastic());
+  EXPECT_FALSE((Matrix{{-0.5, 1.5}, {0.0, 1.0}}).IsRowStochastic());
+}
+
+}  // namespace
+}  // namespace priste::linalg

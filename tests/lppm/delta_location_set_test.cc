@@ -1,0 +1,102 @@
+#include "priste/lppm/delta_location_set.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace priste::lppm {
+namespace {
+
+TEST(DeltaLocationSetTest, CoversRequiredMass) {
+  const linalg::Vector prior{0.5, 0.3, 0.1, 0.06, 0.04};
+  const auto set = DeltaLocationSet(prior, 0.15);
+  ASSERT_TRUE(set.ok());
+  // Needs >= 0.85 mass: {0.5, 0.3, 0.1} = 0.9 with 3 cells; 2 cells give 0.8.
+  EXPECT_EQ(set->States(), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(DeltaLocationSetTest, ZeroDeltaTakesEverythingWithMass) {
+  const linalg::Vector prior{0.5, 0.5, 0.0};
+  const auto set = DeltaLocationSet(prior, 0.0);
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(set->Count(), 2u);
+}
+
+TEST(DeltaLocationSetTest, LargerDeltaSmallerSet) {
+  Rng rng(3);
+  const linalg::Vector prior = testing::RandomProbability(50, rng);
+  const auto small = DeltaLocationSet(prior, 0.05);
+  const auto large = DeltaLocationSet(prior, 0.5);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_GE(small->Count(), large->Count());
+}
+
+TEST(DeltaLocationSetTest, SetIsMinimalForTopHeavyPrior) {
+  const linalg::Vector prior{0.96, 0.01, 0.01, 0.01, 0.01};
+  const auto set = DeltaLocationSet(prior, 0.05);
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(set->Count(), 1u);
+  EXPECT_TRUE(set->Contains(0));
+}
+
+TEST(DeltaLocationSetTest, RejectsBadInputs) {
+  EXPECT_FALSE(DeltaLocationSet(linalg::Vector{0.5, 0.5}, -0.1).ok());
+  EXPECT_FALSE(DeltaLocationSet(linalg::Vector{0.5, 0.5}, 1.0).ok());
+  EXPECT_FALSE(DeltaLocationSet(linalg::Vector(), 0.1).ok());
+  EXPECT_FALSE(DeltaLocationSet(linalg::Vector{0.9, 0.3}, 0.1).ok());
+}
+
+TEST(DeltaRestrictedPlmTest, OutputsConfinedToSet) {
+  const geo::Grid grid(4, 4, 1.0);
+  const geo::Region set(16, {0, 1, 5});
+  const DeltaRestrictedPlanarLaplace mech(grid, 1.0, set);
+  const auto& e = mech.emission();
+  for (size_t s = 0; s < 16; ++s) {
+    for (size_t o = 0; o < 16; ++o) {
+      if (!set.Contains(static_cast<int>(o))) {
+        EXPECT_DOUBLE_EQ(e(s, o), 0.0) << "state " << s << " output " << o;
+      }
+    }
+    EXPECT_NEAR(e.OutputDistribution(static_cast<int>(s)).Sum(), 1.0, 1e-9);
+  }
+}
+
+TEST(DeltaRestrictedPlmTest, InSetTruthIsModal) {
+  const geo::Grid grid(4, 4, 1.0);
+  const geo::Region set(16, {0, 1, 2, 3, 4, 5, 6, 7});
+  const DeltaRestrictedPlanarLaplace mech(grid, 2.0, set);
+  for (int s : set.States()) {
+    EXPECT_EQ(mech.emission().OutputDistribution(s).ArgMax(),
+              static_cast<size_t>(s));
+  }
+}
+
+TEST(DeltaRestrictedPlmTest, OutOfSetStateUsesNearestSurrogate) {
+  const geo::Grid grid(4, 1, 1.0);  // cells 0..3 in a row
+  const geo::Region set(4, {0, 1});
+  const DeltaRestrictedPlanarLaplace mech(grid, 1.0, set);
+  // True state 3 is closest to set member 1, so output 1 dominates output 0.
+  EXPECT_GT(mech.emission()(3, 1), mech.emission()(3, 0));
+}
+
+TEST(DeltaRestrictedPlmTest, ZeroAlphaUniformOverSet) {
+  const geo::Grid grid(3, 3, 1.0);
+  const geo::Region set(9, {2, 4, 6});
+  const DeltaRestrictedPlanarLaplace mech(grid, 0.0, set);
+  EXPECT_NEAR(mech.emission()(0, 2), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(mech.emission()(8, 6), 1.0 / 3.0, 1e-12);
+}
+
+TEST(DeltaRestrictedPlmTest, PerturbStaysInSet) {
+  const geo::Grid grid(4, 4, 1.0);
+  const geo::Region set(16, {3, 7, 11});
+  const DeltaRestrictedPlanarLaplace mech(grid, 0.7, set);
+  Rng rng(9);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_TRUE(set.Contains(mech.Perturb(i % 16, rng)));
+  }
+}
+
+}  // namespace
+}  // namespace priste::lppm

@@ -1,0 +1,52 @@
+#include "priste/lppm/geo_ind_audit.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace priste::lppm {
+namespace {
+
+TEST(GeoIndAuditTest, UniformMechanismHasZeroTightness) {
+  const geo::Grid grid(3, 3, 1.0);
+  const auto audit = AuditGeoIndistinguishability(
+      hmm::EmissionMatrix::Uniform(9, 9), grid, 0.0);
+  EXPECT_TRUE(audit.satisfied);
+  EXPECT_NEAR(audit.tightest_alpha, 0.0, 1e-12);
+}
+
+TEST(GeoIndAuditTest, IdentityMechanismIsUnauditable) {
+  // The truthful mechanism has zero-probability outputs for some states but
+  // not others — infinite privacy loss.
+  const geo::Grid grid(2, 2, 1.0);
+  const auto audit = AuditGeoIndistinguishability(
+      hmm::EmissionMatrix::Identity(4), grid, 100.0);
+  EXPECT_FALSE(audit.satisfied);
+  EXPECT_TRUE(std::isinf(audit.tightest_alpha));
+}
+
+TEST(GeoIndAuditTest, HandBuiltMechanismTightnessIsExact) {
+  // Two cells 1 km apart. Pr(o=0|s0)=0.8, Pr(o=0|s1)=0.4:
+  // ratio 2 → tightest alpha = ln 2.
+  const geo::Grid grid(2, 1, 1.0);
+  const auto e = hmm::EmissionMatrix::Create(
+      linalg::Matrix{{0.8, 0.2}, {0.4, 0.6}});
+  ASSERT_TRUE(e.ok());
+  const auto audit = AuditGeoIndistinguishability(*e, grid, 2.0);
+  EXPECT_TRUE(audit.satisfied);
+  // max(|ln(0.8/0.4)|, |ln(0.2/0.6)|) = ln 3.
+  EXPECT_NEAR(audit.tightest_alpha, std::log(3.0), 1e-12);
+}
+
+TEST(GeoIndAuditTest, ToleranceAtTheBoundary) {
+  const geo::Grid grid(2, 1, 1.0);
+  const auto e = hmm::EmissionMatrix::Create(
+      linalg::Matrix{{0.6, 0.4}, {0.4, 0.6}});
+  ASSERT_TRUE(e.ok());
+  const double tight = std::log(0.6 / 0.4);
+  EXPECT_TRUE(AuditGeoIndistinguishability(*e, grid, tight).satisfied);
+  EXPECT_FALSE(AuditGeoIndistinguishability(*e, grid, tight - 1e-6).satisfied);
+}
+
+}  // namespace
+}  // namespace priste::lppm

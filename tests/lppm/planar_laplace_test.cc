@@ -1,0 +1,113 @@
+#include "priste/lppm/planar_laplace.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "priste/lppm/geo_ind_audit.h"
+
+namespace priste::lppm {
+namespace {
+
+TEST(PlanarLaplaceTest, EmissionIsRowStochastic) {
+  const geo::Grid grid(6, 6, 1.0);
+  const PlanarLaplaceMechanism plm(grid, 0.5);
+  EXPECT_TRUE(plm.emission().matrix().IsRowStochastic(1e-9));
+}
+
+TEST(PlanarLaplaceTest, SatisfiesTwoAlphaGeoIndistinguishability) {
+  // The truncated-and-normalized discretization costs at most a factor
+  // e^{α·d} from the row normalizers: the mechanism is 2α-geo-ind in the
+  // worst case (see the class comment). The audit must confirm the 2α bound
+  // and show the kernel is tighter than α alone would suggest.
+  const geo::Grid grid(5, 5, 1.0);
+  for (const double alpha : {0.2, 0.5, 1.0, 3.0}) {
+    const PlanarLaplaceMechanism plm(grid, alpha);
+    const GeoIndAuditResult audit =
+        AuditGeoIndistinguishability(plm.emission(), grid, 2.0 * alpha);
+    EXPECT_TRUE(audit.satisfied) << "alpha=" << alpha
+                                 << " tightest=" << audit.tightest_alpha;
+    // The truncation factor is real: tightest exceeds α...
+    EXPECT_GT(audit.tightest_alpha, alpha);
+    // ...but never the theoretical 2α.
+    EXPECT_LE(audit.tightest_alpha, 2.0 * alpha + 1e-9);
+  }
+}
+
+TEST(PlanarLaplaceTest, ZeroAlphaIsUniform) {
+  const geo::Grid grid(4, 4, 1.0);
+  const PlanarLaplaceMechanism plm(grid, 0.0);
+  EXPECT_NEAR(plm.emission()(3, 7), 1.0 / 16.0, 1e-12);
+  const GeoIndAuditResult audit =
+      AuditGeoIndistinguishability(plm.emission(), grid, 0.0);
+  EXPECT_TRUE(audit.satisfied);
+  EXPECT_NEAR(audit.tightest_alpha, 0.0, 1e-12);
+}
+
+TEST(PlanarLaplaceTest, TruthIsModalOutput) {
+  const geo::Grid grid(6, 6, 1.0);
+  const PlanarLaplaceMechanism plm(grid, 1.0);
+  for (size_t s = 0; s < grid.num_cells(); ++s) {
+    EXPECT_EQ(plm.emission().OutputDistribution(static_cast<int>(s)).ArgMax(), s);
+  }
+}
+
+TEST(PlanarLaplaceTest, LargerAlphaConcentratesOnTruth) {
+  const geo::Grid grid(6, 6, 1.0);
+  const PlanarLaplaceMechanism loose(grid, 0.2);
+  const PlanarLaplaceMechanism tight(grid, 3.0);
+  EXPECT_GT(tight.emission()(10, 10), loose.emission()(10, 10));
+}
+
+TEST(PlanarLaplaceTest, PerturbMatchesEmissionDistribution) {
+  const geo::Grid grid(3, 3, 1.0);
+  const PlanarLaplaceMechanism plm(grid, 1.0);
+  Rng rng(3);
+  const int truth = 4;
+  std::vector<int> counts(9, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[static_cast<size_t>(plm.Perturb(truth, rng))];
+  const linalg::Vector expected = plm.emission().OutputDistribution(truth);
+  for (size_t o = 0; o < 9; ++o) {
+    EXPECT_NEAR(counts[o] / static_cast<double>(n), expected[o], 0.01);
+  }
+}
+
+TEST(PlanarLaplaceTest, ContinuousSamplerStaysNearTruthForLargeAlpha) {
+  const geo::Grid grid(10, 10, 1.0);
+  const PlanarLaplaceMechanism plm(grid, 5.0);
+  Rng rng(5);
+  const int truth = grid.CellOf(5, 5);
+  int hits = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (plm.SampleContinuous(truth, rng) == truth) ++hits;
+  }
+  // With α=5/km most samples fall in the true 1 km cell.
+  EXPECT_GT(hits, n / 2);
+}
+
+TEST(PlanarLaplaceTest, ContinuousSamplerUniformAtZeroAlpha) {
+  const geo::Grid grid(4, 4, 1.0);
+  const PlanarLaplaceMechanism plm(grid, 0.0);
+  Rng rng(7);
+  std::vector<int> counts(16, 0);
+  for (int i = 0; i < 32000; ++i) ++counts[static_cast<size_t>(plm.SampleContinuous(0, rng))];
+  for (int c : counts) EXPECT_NEAR(c, 2000, 300);
+}
+
+TEST(PlanarLaplaceTest, WithAlphaRebuilds) {
+  const geo::Grid grid(4, 4, 1.0);
+  const PlanarLaplaceMechanism plm(grid, 1.0);
+  const PlanarLaplaceMechanism half = plm.WithAlpha(0.5);
+  EXPECT_DOUBLE_EQ(half.alpha(), 0.5);
+  EXPECT_LT(half.emission()(0, 0), plm.emission()(0, 0));
+}
+
+TEST(PlanarLaplaceTest, NameIncludesBudget) {
+  const geo::Grid grid(2, 2, 1.0);
+  EXPECT_EQ(PlanarLaplaceMechanism(grid, 0.5).name(), "0.5-PLM");
+}
+
+}  // namespace
+}  // namespace priste::lppm

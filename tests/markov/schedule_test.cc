@@ -1,0 +1,67 @@
+#include "priste/markov/schedule.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace priste::markov {
+namespace {
+
+TEST(ScheduleTest, HomogeneousAlwaysSameMatrix) {
+  Rng rng(3);
+  const auto schedule = TransitionSchedule::Homogeneous(testing::RandomTransition(3, rng));
+  EXPECT_TRUE(schedule.is_homogeneous());
+  EXPECT_EQ(schedule.num_distinct_matrices(), 1u);
+  for (int t = 1; t <= 10; ++t) {
+    EXPECT_EQ(schedule.IndexAtStep(t), 0);
+  }
+}
+
+TEST(ScheduleTest, CyclicAlternates) {
+  Rng rng(5);
+  const auto schedule = TransitionSchedule::Cyclic(
+      {testing::RandomTransition(3, rng), testing::RandomTransition(3, rng)});
+  ASSERT_TRUE(schedule.ok());
+  EXPECT_FALSE(schedule->is_homogeneous());
+  EXPECT_EQ(schedule->IndexAtStep(1), 0);
+  EXPECT_EQ(schedule->IndexAtStep(2), 1);
+  EXPECT_EQ(schedule->IndexAtStep(3), 0);
+  EXPECT_EQ(schedule->IndexAtStep(4), 1);
+}
+
+TEST(ScheduleTest, PerStepRepeatsLast) {
+  Rng rng(7);
+  const auto schedule = TransitionSchedule::PerStep(
+      {testing::RandomTransition(3, rng), testing::RandomTransition(3, rng),
+       testing::RandomTransition(3, rng)});
+  ASSERT_TRUE(schedule.ok());
+  EXPECT_EQ(schedule->IndexAtStep(1), 0);
+  EXPECT_EQ(schedule->IndexAtStep(3), 2);
+  EXPECT_EQ(schedule->IndexAtStep(4), 2);
+  EXPECT_EQ(schedule->IndexAtStep(100), 2);
+}
+
+TEST(ScheduleTest, RejectsBadInputs) {
+  Rng rng(9);
+  EXPECT_FALSE(TransitionSchedule::Cyclic({}).ok());
+  EXPECT_FALSE(TransitionSchedule::PerStep({}).ok());
+  EXPECT_FALSE(TransitionSchedule::Cyclic({testing::RandomTransition(3, rng),
+                                           testing::RandomTransition(4, rng)})
+                   .ok());
+}
+
+TEST(ScheduleTest, MarginalMatchesManualPropagation) {
+  Rng rng(11);
+  const auto a = testing::RandomTransition(3, rng);
+  const auto b = testing::RandomTransition(3, rng);
+  const auto schedule = TransitionSchedule::Cyclic({a, b});
+  ASSERT_TRUE(schedule.ok());
+  const linalg::Vector pi = testing::RandomProbability(3, rng);
+  // t = 3 applies a then b.
+  const linalg::Vector expected = b.Propagate(a.Propagate(pi));
+  EXPECT_LT(schedule->MarginalAt(pi, 3).Minus(expected).MaxAbs(), 1e-14);
+  EXPECT_LT(schedule->MarginalAt(pi, 1).Minus(pi).MaxAbs(), 1e-15);
+}
+
+}  // namespace
+}  // namespace priste::markov

@@ -1,0 +1,73 @@
+#include "priste/markov/transition_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace priste::markov {
+namespace {
+
+TEST(TransitionMatrixTest, CreateValidatesShape) {
+  EXPECT_FALSE(TransitionMatrix::Create(linalg::Matrix(0, 0)).ok());
+  EXPECT_FALSE(TransitionMatrix::Create(linalg::Matrix(2, 3)).ok());
+}
+
+TEST(TransitionMatrixTest, CreateValidatesRows) {
+  EXPECT_FALSE(TransitionMatrix::Create(linalg::Matrix{{0.5, 0.6}, {0.5, 0.5}}).ok());
+  EXPECT_FALSE(TransitionMatrix::Create(linalg::Matrix{{-0.2, 1.2}, {0.5, 0.5}}).ok());
+  EXPECT_TRUE(TransitionMatrix::Create(linalg::Matrix{{0.3, 0.7}, {1.0, 0.0}}).ok());
+}
+
+TEST(TransitionMatrixTest, PaperExampleMatrixIsValid) {
+  // Equation (2) of the paper.
+  const auto m = TransitionMatrix::Create(linalg::Matrix{
+      {0.1, 0.2, 0.7}, {0.4, 0.1, 0.5}, {0.0, 0.1, 0.9}});
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->num_states(), 3u);
+  EXPECT_DOUBLE_EQ((*m)(2, 2), 0.9);
+}
+
+TEST(TransitionMatrixTest, UniformAndIdentity) {
+  const TransitionMatrix u = TransitionMatrix::Uniform(4);
+  EXPECT_DOUBLE_EQ(u(0, 3), 0.25);
+  const TransitionMatrix i = TransitionMatrix::Identity(3);
+  EXPECT_DOUBLE_EQ(i(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(i(1, 0), 0.0);
+}
+
+TEST(TransitionMatrixTest, PropagatePreservesMass) {
+  Rng rng(5);
+  const TransitionMatrix m = testing::RandomTransition(6, rng);
+  const linalg::Vector p = testing::RandomProbability(6, rng);
+  const linalg::Vector next = m.Propagate(p);
+  EXPECT_NEAR(next.Sum(), 1.0, 1e-12);
+  EXPECT_TRUE(next.AllInRange(0.0, 1.0));
+}
+
+TEST(TransitionMatrixTest, PropagateStepsComposes) {
+  Rng rng(7);
+  const TransitionMatrix m = testing::RandomTransition(5, rng);
+  const linalg::Vector p = testing::RandomProbability(5, rng);
+  const linalg::Vector two_steps = m.Propagate(m.Propagate(p));
+  EXPECT_LT(m.PropagateSteps(p, 2).Minus(two_steps).MaxAbs(), 1e-14);
+  EXPECT_LT(m.PropagateSteps(p, 0).Minus(p).MaxAbs(), 1e-15);
+}
+
+TEST(TransitionMatrixTest, StationaryDistributionIsFixedPoint) {
+  Rng rng(9);
+  const TransitionMatrix m = testing::RandomTransition(8, rng);
+  const linalg::Vector pi = m.StationaryDistribution();
+  EXPECT_NEAR(pi.Sum(), 1.0, 1e-9);
+  EXPECT_LT(m.Propagate(pi).Minus(pi).MaxAbs(), 1e-9);
+}
+
+TEST(TransitionMatrixTest, RowDistributionIsProbability) {
+  Rng rng(11);
+  const TransitionMatrix m = testing::RandomTransition(4, rng);
+  for (size_t r = 0; r < 4; ++r) {
+    EXPECT_NEAR(m.RowDistribution(r).Sum(), 1.0, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace priste::markov
