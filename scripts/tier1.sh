@@ -1,0 +1,10 @@
+#!/usr/bin/env sh
+# Tier-1 verify — the canonical gate from ROADMAP.md, runnable as one command.
+# Usage: scripts/tier1.sh [build-dir] [extra cmake args...]   (default: build)
+set -eu
+
+BUILD_DIR="${1:-build}"
+[ "$#" -gt 0 ] && shift
+cmake -B "$BUILD_DIR" -S "$(dirname "$0")/.." "$@"
+cmake --build "$BUILD_DIR" -j "$(nproc 2>/dev/null || echo 2)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc 2>/dev/null || echo 2)"

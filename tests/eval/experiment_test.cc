@@ -31,6 +31,45 @@ TEST(ExperimentScaleTest, EnvOverrides) {
   unsetenv("PRISTE_RUNS");
 }
 
+TEST(ExperimentScaleTest, FullScaleMatchesPaperDefaults) {
+  unsetenv("PRISTE_RUNS");
+  setenv("PRISTE_FULL", "1", 1);
+  const ExperimentScale scale = ExperimentScale::FromEnv();
+  EXPECT_TRUE(scale.full);
+  EXPECT_EQ(scale.grid_width, 20);
+  EXPECT_EQ(scale.grid_height, 20);
+  EXPECT_EQ(scale.horizon, 50);
+  EXPECT_EQ(scale.runs, 100);
+  // Identity mappings at paper scale, as bench_common.h relies on.
+  EXPECT_EQ(scale.MapStateCount(10), 10);
+  EXPECT_EQ(scale.MapTimestamp(16), 16);
+  unsetenv("PRISTE_FULL");
+}
+
+TEST(ExperimentScaleTest, FullZeroOrEmptyMeansReduced) {
+  unsetenv("PRISTE_RUNS");
+  setenv("PRISTE_FULL", "0", 1);
+  EXPECT_FALSE(ExperimentScale::FromEnv().full);
+  setenv("PRISTE_FULL", "", 1);
+  const ExperimentScale scale = ExperimentScale::FromEnv();
+  EXPECT_FALSE(scale.full);
+  EXPECT_EQ(scale.grid_width, 16);
+  EXPECT_EQ(scale.grid_height, 16);
+  EXPECT_EQ(scale.horizon, 30);
+  EXPECT_EQ(scale.runs, 3);
+  unsetenv("PRISTE_FULL");
+}
+
+TEST(ExperimentScaleTest, RunsOverrideAppliesAtReducedScale) {
+  unsetenv("PRISTE_FULL");
+  setenv("PRISTE_RUNS", "11", 1);
+  const ExperimentScale scale = ExperimentScale::FromEnv();
+  EXPECT_FALSE(scale.full);
+  EXPECT_EQ(scale.grid_width, 16);
+  EXPECT_EQ(scale.runs, 11);
+  unsetenv("PRISTE_RUNS");
+}
+
 TEST(ExperimentScaleTest, StateAndTimeMapping) {
   ExperimentScale scale;
   scale.grid_width = 16;

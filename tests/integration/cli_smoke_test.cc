@@ -1,0 +1,107 @@
+// Smoke test for tools/priste_cli: runs the binary on a tiny generated CSV
+// trajectory and checks the released output CSV round-trips through
+// io/trajectory_io. The binary path arrives via PRISTE_CLI_BIN, set by CTest.
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "priste/geo/grid.h"
+#include "priste/geo/trajectory.h"
+#include "priste/io/trajectory_io.h"
+
+namespace priste {
+namespace {
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  for (char c : line) {
+    if (c == ',') {
+      fields.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  fields.push_back(current);
+  return fields;
+}
+
+TEST(CliSmokeTest, ReleasedOutputRoundTripsThroughTrajectoryIo) {
+  const char* cli_bin = std::getenv("PRISTE_CLI_BIN");
+  ASSERT_NE(cli_bin, nullptr)
+      << "PRISTE_CLI_BIN must point at the priste_cli binary";
+
+  const geo::Grid grid(4, 4, 1.0);
+
+  // A tiny 8-step walk through the 4x4 grid, serialized via the library so
+  // the input is by construction in the canonical discrete format.
+  geo::Trajectory input;
+  for (int cell : {0, 1, 2, 6, 5, 9, 10, 14}) input.Append(cell);
+  const std::string input_csv = io::TrajectoryToCsv(input);
+  const std::string input_path = "cli_smoke_input.csv";
+  const std::string output_path = "cli_smoke_output.csv";
+  ASSERT_TRUE(io::WriteTextFile(input_path, input_csv).ok());
+
+  const std::string command = std::string(cli_bin) +
+                              " --input " + input_path +
+                              " --output " + output_path +
+                              " --grid 4x4 --epsilon 0.8 --seed 7";
+  ASSERT_EQ(std::system(command.c_str()), 0) << "command: " << command;
+
+  const auto output_csv = io::ReadTextFile(output_path);
+  ASSERT_TRUE(output_csv.ok()) << output_csv.status().ToString();
+
+  // Parse the run CSV: header + one row per timestamp with the true cell in
+  // column 1 and the released cell in column 2.
+  std::vector<std::string> lines;
+  {
+    std::string line;
+    for (char c : *output_csv) {
+      if (c == '\n') {
+        if (!line.empty()) lines.push_back(line);
+        line.clear();
+      } else {
+        line += c;
+      }
+    }
+    if (!line.empty()) lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), static_cast<size_t>(input.length()) + 1);
+  EXPECT_EQ(lines[0],
+            "t,true_cell,released_cell,released_budget,halvings,conservative");
+
+  geo::Trajectory released;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    const std::vector<std::string> fields = SplitCsvLine(lines[i]);
+    ASSERT_EQ(fields.size(), 6u) << lines[i];
+    EXPECT_EQ(std::atoi(fields[0].c_str()), static_cast<int>(i));
+    EXPECT_EQ(std::atoi(fields[1].c_str()), input.At(static_cast<int>(i)));
+    const int released_cell = std::atoi(fields[2].c_str());
+    ASSERT_TRUE(grid.ContainsCell(released_cell)) << lines[i];
+    released.Append(released_cell);
+  }
+
+  // Round-trip the released sequence through the trajectory CSV codec.
+  const std::string released_csv = io::TrajectoryToCsv(released);
+  const auto reparsed = io::ParseTrajectoryCsv(released_csv, grid);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  ASSERT_EQ(reparsed->length(), released.length());
+  for (int t = 1; t <= released.length(); ++t) {
+    EXPECT_EQ(reparsed->At(t), released.At(t));
+  }
+  EXPECT_EQ(io::TrajectoryToCsv(*reparsed), released_csv);
+}
+
+TEST(CliSmokeTest, RejectsMissingInputFile) {
+  const char* cli_bin = std::getenv("PRISTE_CLI_BIN");
+  ASSERT_NE(cli_bin, nullptr);
+  const std::string command = std::string(cli_bin) +
+                              " --input cli_smoke_does_not_exist.csv"
+                              " --output cli_smoke_unused.csv 2>/dev/null";
+  EXPECT_NE(std::system(command.c_str()), 0);
+}
+
+}  // namespace
+}  // namespace priste
