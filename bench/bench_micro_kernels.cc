@@ -1,14 +1,20 @@
 // google-benchmark microbenchmarks for the library's hot kernels:
 // two-world construction, prior evaluation, joint pushes, Theorem-vector
-// computation, the QP check, and PLM emission construction.
+// computation, the QP check, PLM emission construction — plus the
+// dense-vs-CSR kernel pairs and the serial-vs-parallel driver variants that
+// seed the BENCH_micro.json perf trajectory (scripts/bench.sh).
 #include <benchmark/benchmark.h>
 
+#include "priste/common/random.h"
+#include "priste/common/thread_pool.h"
 #include "priste/core/joint.h"
 #include "priste/core/prior.h"
 #include "priste/core/quantifier.h"
 #include "priste/core/two_world.h"
+#include "priste/eval/experiment.h"
 #include "priste/event/presence.h"
 #include "priste/geo/gaussian_grid_model.h"
+#include "priste/hmm/forward_backward.h"
 #include "priste/lppm/planar_laplace.h"
 
 namespace {
@@ -108,6 +114,155 @@ void BM_PlmEmissionBuild(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PlmEmissionBuild)->Arg(8)->Arg(16)->Arg(20);
+
+// ---------------------------------------------------------------------------
+// Dense vs CSR kernel pairs. The workload is the paper's natural sparse
+// chain: a 9-neighbour (Moore) random walk on a side×side grid — ≤9 nonzeros
+// per row, so the CSR path does ~nnz work where the dense path sweeps m².
+// ---------------------------------------------------------------------------
+
+markov::TransitionMatrix MooreGridWalk(int side, bool allow_sparse) {
+  const size_t m = static_cast<size_t>(side) * static_cast<size_t>(side);
+  linalg::Matrix t(m, m);
+  for (int y = 0; y < side; ++y) {
+    for (int x = 0; x < side; ++x) {
+      const size_t cell = static_cast<size_t>(y * side + x);
+      int count = 0;
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          const int nx = x + dx, ny = y + dy;
+          if (nx < 0 || nx >= side || ny < 0 || ny >= side) continue;
+          ++count;
+        }
+      }
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          const int nx = x + dx, ny = y + dy;
+          if (nx < 0 || nx >= side || ny < 0 || ny >= side) continue;
+          t(cell, static_cast<size_t>(ny * side + nx)) = 1.0 / count;
+        }
+      }
+    }
+  }
+  auto result = markov::TransitionMatrix::Create(std::move(t), 1e-6, allow_sparse);
+  return std::move(result).value();
+}
+
+// Propagate on a 1024-state 9-neighbour chain: the ISSUE-2 acceptance pair
+// (CSR must be ≥5× faster than dense).
+void BM_PropagateDense(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  const markov::TransitionMatrix chain = MooreGridWalk(side, /*allow_sparse=*/false);
+  const linalg::Vector p = linalg::Vector::UniformProbability(chain.num_states());
+  linalg::Vector out(chain.num_states());
+  for (auto _ : state) {
+    chain.PropagateInto(p, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_PropagateDense)->Arg(16)->Arg(32);
+
+void BM_PropagateSparse(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  const markov::TransitionMatrix chain = MooreGridWalk(side, /*allow_sparse=*/true);
+  const linalg::Vector p = linalg::Vector::UniformProbability(chain.num_states());
+  linalg::Vector out(chain.num_states());
+  for (auto _ : state) {
+    chain.PropagateInto(p, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_PropagateSparse)->Arg(16)->Arg(32);
+
+// One lifted two-world column step (the quantifier's inner kernel),
+// dense vs CSR base chain.
+void BM_LiftedStepColumn(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  const bool sparse = state.range(1) != 0;
+  const markov::TransitionMatrix chain = MooreGridWalk(side, sparse);
+  const size_t m = chain.num_states();
+  const auto ev = event::PresenceEvent::Make(m, 1, static_cast<int>(m / 4), 3, 5);
+  const core::TwoWorldModel model(chain, ev);
+  linalg::Vector v = linalg::Vector::Ones(2 * m);
+  linalg::Vector out(2 * m);
+  for (auto _ : state) {
+    model.StepColumnInto(v, 3, out);  // in-window step
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_LiftedStepColumn)
+    ->ArgsProduct({{16, 32}, {0, 1}})
+    ->ArgNames({"side", "csr"});
+
+// Scaled forward-backward over the sparse chain, dense vs CSR kernels.
+void BM_ForwardBackward(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  const bool sparse = state.range(1) != 0;
+  const markov::TransitionMatrix chain = MooreGridWalk(side, sparse);
+  const size_t m = chain.num_states();
+  const linalg::Vector initial = linalg::Vector::UniformProbability(m);
+  Rng rng(7);
+  std::vector<linalg::Vector> emissions;
+  for (int t = 0; t < 32; ++t) {
+    linalg::Vector e(m);
+    for (size_t i = 0; i < m; ++i) e[i] = 0.05 + 0.95 * rng.NextDouble();
+    emissions.push_back(std::move(e));
+  }
+  for (auto _ : state) {
+    auto result = hmm::ForwardBackward(chain, initial, emissions);
+    benchmark::DoNotOptimize(result->log_likelihood);
+  }
+}
+BENCHMARK(BM_ForwardBackward)
+    ->ArgsProduct({{16, 32}, {0, 1}})
+    ->ArgNames({"side", "csr"});
+
+// ---------------------------------------------------------------------------
+// Serial vs parallel driver variants. Explicit pools make the comparison
+// self-contained in one process (the shared pool is env-sized and fixed at
+// first use); the workload per index is a full Theorem-vector chain — the
+// same shape eval::Experiment fans out per run.
+// ---------------------------------------------------------------------------
+
+void BM_ParallelForQuantifier(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  Fixture& f = SharedFixture(12);
+  const core::PrivacyQuantifier quantifier(&f.model);
+  const std::vector<linalg::Vector> history(
+      8, f.plm.emission().EmissionColumn(3));
+  const size_t jobs = 8;
+  ThreadPool pool(threads);
+  std::vector<double> sums(jobs, 0.0);
+  for (auto _ : state) {
+    ParallelFor(pool, jobs, [&](size_t i) {
+      sums[i] = quantifier.ComputeVectors(history).b_bar.Sum();
+    });
+    benchmark::DoNotOptimize(sums.data());
+  }
+}
+BENCHMARK(BM_ParallelForQuantifier)->Arg(1)->Arg(2)->Arg(4)->ArgName("threads");
+
+// A full multi-run eval::Experiment episode through the (env-sized) shared
+// pool: run with PRISTE_THREADS=1 vs =4 across processes to measure the
+// driver-level win (scripts/bench.sh records the thread count in the
+// context).
+void BM_RepeatedGeoIndExperiment(benchmark::State& state) {
+  eval::ExperimentScale scale;
+  scale.grid_width = 8;
+  scale.grid_height = 8;
+  scale.horizon = 10;
+  scale.runs = static_cast<int>(state.range(0));
+  const eval::SyntheticWorkload workload(scale, /*sigma=*/1.0);
+  const auto ev = event::PresenceEvent::Make(workload.grid.num_cells(), 1, 8, 3, 5);
+  const core::PristeOptions options = eval::DefaultBenchOptions(0.5, 0.2);
+  for (auto _ : state) {
+    const auto stats = eval::RunRepeatedGeoInd(workload.grid, workload.Chain(),
+                                               {ev}, options, scale, /*seed=*/99);
+    benchmark::DoNotOptimize(stats.mean_budget.mean());
+  }
+}
+BENCHMARK(BM_RepeatedGeoIndExperiment)->Arg(4)->ArgName("runs")
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

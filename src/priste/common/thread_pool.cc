@@ -1,0 +1,118 @@
+#include "priste/common/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+
+namespace priste {
+
+ThreadPool::ThreadPool(int num_threads) {
+  workers_.reserve(static_cast<size_t>(num_threads > 0 ? num_threads : 0));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+int ThreadPool::DefaultThreadCount() {
+  if (const char* env = std::getenv("PRISTE_THREADS");
+      env != nullptr && *env != '\0') {
+    const int n = std::atoi(env);
+    if (n >= 1) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool& ThreadPool::Shared() {
+  // Leaked intentionally: joining workers during static destruction races
+  // with other teardown; the OS reclaims the threads.
+  static ThreadPool* shared = new ThreadPool(DefaultThreadCount());
+  return *shared;
+}
+
+namespace {
+
+/// State shared between the caller and its helper tasks. Helpers hold a
+/// shared_ptr so the caller may return as soon as all iterations finished,
+/// even if some posted helpers are still queued (they no-op on arrival).
+struct LoopState {
+  explicit LoopState(size_t n, const std::function<void(size_t)>& f)
+      : total(n), fn(f) {}
+
+  const size_t total;
+  std::function<void(size_t)> fn;  // copied: outlives the caller's frame
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
+  std::mutex mu;
+  std::condition_variable cv;
+
+  // Claims and runs iterations until the index space is exhausted.
+  void Drain() {
+    for (;;) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= total) return;
+      fn(i);
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == total) {
+        std::lock_guard<std::mutex> lock(mu);
+        cv.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void ParallelFor(ThreadPool& pool, size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1 || pool.num_threads() == 0) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  auto state = std::make_shared<LoopState>(n, fn);
+  const size_t helpers = std::min(static_cast<size_t>(pool.num_threads()), n - 1);
+  for (size_t i = 0; i < helpers; ++i) {
+    pool.Submit([state] { state->Drain(); });
+  }
+  state->Drain();
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] {
+    return state->done.load(std::memory_order_acquire) == state->total;
+  });
+}
+
+void ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  ParallelFor(ThreadPool::Shared(), n, fn);
+}
+
+}  // namespace priste

@@ -1,0 +1,69 @@
+#ifndef PRISTE_COMMON_THREAD_POOL_H_
+#define PRISTE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace priste {
+
+/// A fixed-size worker pool for coarse-grained task parallelism (repeated
+/// experiment runs, the Theorem IV.1 QP pair, per-trajectory sweeps).
+///
+/// Design notes:
+///  * `ParallelFor` callers always participate in the loop themselves, so
+///    nested parallel sections never deadlock — if every worker is busy, the
+///    caller simply executes all iterations and the posted helper tasks
+///    no-op once they finally run.
+///  * Determinism is the caller's contract: iterations must write to
+///    disjoint state, so results are independent of the thread count (see
+///    thread_pool_test.cc).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 is valid and means "callers run
+  /// everything inline".
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `fn` for execution on a worker thread.
+  void Submit(std::function<void()> fn);
+
+  /// The process-wide pool, sized by the PRISTE_THREADS environment variable
+  /// (read once, at first use; default DefaultThreadCount()). Never
+  /// destroyed — workers outlive main-exit teardown hazards.
+  static ThreadPool& Shared();
+
+  /// PRISTE_THREADS when set and >= 1, otherwise the hardware concurrency
+  /// (minimum 1). Re-reads the environment on every call.
+  static int DefaultThreadCount();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs fn(0..n-1) with iterations distributed over `pool`'s workers plus
+/// the calling thread. Blocks until every iteration completed. Iterations
+/// must not throw and must write only disjoint per-index state.
+void ParallelFor(ThreadPool& pool, size_t n, const std::function<void(size_t)>& fn);
+
+/// ParallelFor over the shared pool.
+void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+}  // namespace priste
+
+#endif  // PRISTE_COMMON_THREAD_POOL_H_

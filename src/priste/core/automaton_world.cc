@@ -1,5 +1,8 @@
 #include "priste/core/automaton_world.h"
 
+#include <cstring>
+#include <vector>
+
 #include "priste/common/check.h"
 
 namespace priste::core {
@@ -64,92 +67,98 @@ linalg::Vector AutomatonWorldModel::ContractColumn(const linalg::Vector& col) co
   return g;
 }
 
-linalg::Vector AutomatonWorldModel::StepRow(const linalg::Vector& v, int t) const {
+void AutomatonWorldModel::StepRowInto(const linalg::Vector& v, int t,
+                                      linalg::Vector& out) const {
   const size_t m = num_states();
   const int k = automaton_.num_automaton_states();
-  PRISTE_CHECK(v.size() == lifted_size());
+  PRISTE_CHECK(v.size() == lifted_size() && out.size() == lifted_size());
+  PRISTE_DCHECK(v.data() != out.data());
   PRISTE_CHECK(t >= 1);
-  const linalg::Matrix& base = schedule_.AtStep(t).matrix();
+  const markov::TransitionMatrix& base = schedule_.AtStep(t);
   const int tau = t + 1;
   const bool in_window = tau >= automaton_.start() && tau <= automaton_.end();
 
-  linalg::Vector out(lifted_size());
+  std::memset(out.data(), 0, out.size() * sizeof(double));
+  static thread_local std::vector<double> u;
+  u.resize(m);
   for (int q = 0; q < k; ++q) {
     const double* vq = v.data() + static_cast<size_t>(q) * m;
     // Skip empty automaton slices (most are, outside the frontier).
     bool any = false;
     for (size_t s = 0; s < m && !any; ++s) any = vq[s] != 0.0;
     if (!any) continue;
-    // u[s'] = Σ_s vq[s]·M(s, s').
-    linalg::Vector u(m);
-    for (size_t s = 0; s < m; ++s) {
-      const double scale = vq[s];
-      if (scale == 0.0) continue;
-      const double* row = base.RowPtr(s);
-      for (size_t sp = 0; sp < m; ++sp) u[sp] += scale * row[sp];
-    }
+    // u[s'] = Σ_s vq[s]·M(s, s') — one base product per live slice.
+    base.PropagateSpan(vq, u.data());
     if (in_window) {
       for (size_t sp = 0; sp < m; ++sp) {
         const int qp = automaton_.Next(q, tau, static_cast<int>(sp));
         out[static_cast<size_t>(qp) * m + sp] += u[sp];
       }
     } else {
-      for (size_t sp = 0; sp < m; ++sp) {
-        out[static_cast<size_t>(q) * m + sp] += u[sp];
-      }
+      double* oq = out.data() + static_cast<size_t>(q) * m;
+      for (size_t sp = 0; sp < m; ++sp) oq[sp] += u[sp];
     }
   }
-  return out;
 }
 
-linalg::Vector AutomatonWorldModel::StepColumn(const linalg::Vector& v, int t) const {
+void AutomatonWorldModel::StepColumnInto(const linalg::Vector& v, int t,
+                                         linalg::Vector& out) const {
   const size_t m = num_states();
   const int k = automaton_.num_automaton_states();
-  PRISTE_CHECK(v.size() == lifted_size());
+  PRISTE_CHECK(v.size() == lifted_size() && out.size() == lifted_size());
+  PRISTE_DCHECK(v.data() != out.data());
   PRISTE_CHECK(t >= 1);
-  const linalg::Matrix& base = schedule_.AtStep(t).matrix();
+  const markov::TransitionMatrix& base = schedule_.AtStep(t);
   const int tau = t + 1;
   const bool in_window = tau >= automaton_.start() && tau <= automaton_.end();
 
-  linalg::Vector out(lifted_size());
+  static thread_local std::vector<double> z;
+  z.resize(m);
   for (int q = 0; q < k; ++q) {
     // z[s'] = v[δ(q, τ, s')·m + s'] — the successor's value per destination.
-    linalg::Vector z(m);
     if (in_window) {
       for (size_t sp = 0; sp < m; ++sp) {
         const int qp = automaton_.Next(q, tau, static_cast<int>(sp));
         z[sp] = v[static_cast<size_t>(qp) * m + sp];
       }
     } else {
-      for (size_t sp = 0; sp < m; ++sp) {
-        z[sp] = v[static_cast<size_t>(q) * m + sp];
-      }
+      std::memcpy(z.data(), v.data() + static_cast<size_t>(q) * m,
+                  m * sizeof(double));
     }
-    // out[(q, s)] = Σ_{s'} M(s, s')·z[s'].
-    double* oq = out.data() + static_cast<size_t>(q) * m;
-    for (size_t s = 0; s < m; ++s) {
-      const double* row = base.RowPtr(s);
-      double acc = 0.0;
-      for (size_t sp = 0; sp < m; ++sp) acc += row[sp] * z[sp];
-      oq[s] = acc;
-    }
+    // out[(q, s)] = Σ_{s'} M(s, s')·z[s'] — a base column product per slice.
+    base.BackwardSpan(z.data(), out.data() + static_cast<size_t>(q) * m);
   }
+}
+
+void AutomatonWorldModel::ApplyEmissionInPlace(const linalg::Vector& emission,
+                                               linalg::Vector& v) const {
+  const size_t m = num_states();
+  const int k = automaton_.num_automaton_states();
+  PRISTE_CHECK(emission.size() == m);
+  PRISTE_CHECK(v.size() == lifted_size());
+  const double* e = emission.data();
+  for (int q = 0; q < k; ++q) {
+    double* vq = v.data() + static_cast<size_t>(q) * m;
+    for (size_t s = 0; s < m; ++s) vq[s] *= e[s];
+  }
+}
+
+linalg::Vector AutomatonWorldModel::StepRow(const linalg::Vector& v, int t) const {
+  linalg::Vector out(lifted_size());
+  StepRowInto(v, t, out);
+  return out;
+}
+
+linalg::Vector AutomatonWorldModel::StepColumn(const linalg::Vector& v, int t) const {
+  linalg::Vector out(lifted_size());
+  StepColumnInto(v, t, out);
   return out;
 }
 
 linalg::Vector AutomatonWorldModel::ApplyEmission(const linalg::Vector& emission,
                                                   const linalg::Vector& v) const {
-  const size_t m = num_states();
-  const int k = automaton_.num_automaton_states();
-  PRISTE_CHECK(emission.size() == m);
-  PRISTE_CHECK(v.size() == lifted_size());
-  linalg::Vector out(lifted_size());
-  for (int q = 0; q < k; ++q) {
-    const size_t offset = static_cast<size_t>(q) * m;
-    for (size_t s = 0; s < m; ++s) {
-      out[offset + s] = emission[s] * v[offset + s];
-    }
-  }
+  linalg::Vector out = v;
+  ApplyEmissionInPlace(emission, out);
   return out;
 }
 

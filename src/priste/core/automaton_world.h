@@ -50,6 +50,17 @@ class AutomatonWorldModel : public LiftedEventModel {
   linalg::Vector ApplyEmission(const linalg::Vector& emission,
                                const linalg::Vector& v) const override;
 
+  /// Allocation-free blockwise kernels: the base chain is applied once per
+  /// live automaton state through its span kernels (CSR fast path when the
+  /// chain is sparse), and the automaton transition only permutes slices —
+  /// the (k·m)×(k·m) lifted operator is never formed.
+  void StepRowInto(const linalg::Vector& v, int t,
+                   linalg::Vector& out) const override;
+  void StepColumnInto(const linalg::Vector& v, int t,
+                      linalg::Vector& out) const override;
+  void ApplyEmissionInPlace(const linalg::Vector& emission,
+                            linalg::Vector& v) const override;
+
  private:
   AutomatonWorldModel(markov::TransitionSchedule schedule,
                       event::EventAutomaton automaton)

@@ -4,18 +4,35 @@
 
 namespace priste::core {
 
+void LiftedEventModel::StepRowInto(const linalg::Vector& v, int t,
+                                   linalg::Vector& out) const {
+  out = StepRow(v, t);
+}
+
+void LiftedEventModel::StepColumnInto(const linalg::Vector& v, int t,
+                                      linalg::Vector& out) const {
+  out = StepColumn(v, t);
+}
+
+void LiftedEventModel::ApplyEmissionInPlace(const linalg::Vector& emission,
+                                            linalg::Vector& v) const {
+  v = ApplyEmission(emission, v);
+}
+
 void LiftedEventModel::InitializeDerived(linalg::Vector accepting_mask) {
   PRISTE_CHECK(accepting_mask.size() == lifted_size());
   accepting_mask_ = std::move(accepting_mask);
 
   const int end = event_end();
   PRISTE_CHECK(end >= 1);
+  // suffix_[t-1] = M_t · suffix_[t]: each slot doubles as the target buffer,
+  // so the whole chain is one allocation per stored vector and no temporaries.
   suffix_.assign(static_cast<size_t>(end), linalg::Vector());
-  linalg::Vector v = accepting_mask_;
-  suffix_[static_cast<size_t>(end - 1)] = v;
+  suffix_[static_cast<size_t>(end - 1)] = accepting_mask_;
   for (int t = end - 1; t >= 1; --t) {
-    v = StepColumn(v, t);
-    suffix_[static_cast<size_t>(t - 1)] = v;
+    suffix_[static_cast<size_t>(t - 1)] = linalg::Vector(lifted_size());
+    StepColumnInto(suffix_[static_cast<size_t>(t)], t,
+                   suffix_[static_cast<size_t>(t - 1)]);
   }
   a_bar_ = ContractColumn(suffix_[0]);
 }

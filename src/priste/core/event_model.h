@@ -52,6 +52,22 @@ class LiftedEventModel {
   virtual linalg::Vector ApplyEmission(const linalg::Vector& emission,
                                        const linalg::Vector& v) const = 0;
 
+  /// Allocation-free variants for the per-timestep hot loops (quantifier
+  /// vector chains, joint forward pushes, suffix precompute). `out` must be
+  /// lifted_size() and must NOT alias `v`; the defaults fall back to the
+  /// allocating calls, and both built-in models override them with blockwise
+  /// kernels that apply the base chain per event state — O(k · base-product)
+  /// instead of sweeping a materialized (k·m)² operator.
+  virtual void StepRowInto(const linalg::Vector& v, int t,
+                           linalg::Vector& out) const;
+  virtual void StepColumnInto(const linalg::Vector& v, int t,
+                              linalg::Vector& out) const;
+
+  /// In-place emission product: v ← p̃ᴰ_o · v (entry-wise, so aliasing is
+  /// inherent and safe).
+  virtual void ApplyEmissionInPlace(const linalg::Vector& emission,
+                                    linalg::Vector& v) const;
+
   /// Indicator of event-true lifted states after the window has been fully
   /// consumed (the two-world [0, 1] mask, generalized).
   const linalg::Vector& AcceptingMask() const { return accepting_mask_; }

@@ -1,5 +1,7 @@
 #include "priste/core/joint.h"
 
+#include <utility>
+
 #include "priste/common/check.h"
 #include "priste/core/prior.h"
 
@@ -15,11 +17,14 @@ JointCalculator::JointCalculator(const LiftedEventModel* model, linalg::Vector p
 void JointCalculator::Push(const linalg::Vector& emission_column) {
   PRISTE_CHECK(emission_column.size() == model_->num_states());
   if (t_ == 0) {
-    alpha_ = model_->ApplyEmission(emission_column, model_->LiftInitial(pi_));
+    alpha_ = model_->LiftInitial(pi_);
+    scratch_ = linalg::Vector(model_->lifted_size());
   } else {
-    alpha_ = model_->StepRow(alpha_, t_);
-    alpha_ = model_->ApplyEmission(emission_column, alpha_);
+    // Ping-pong with the scratch buffer: no allocation per push.
+    model_->StepRowInto(alpha_, t_, scratch_);
+    std::swap(alpha_, scratch_);
   }
+  model_->ApplyEmissionInPlace(emission_column, alpha_);
   ++t_;
 }
 

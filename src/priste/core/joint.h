@@ -50,7 +50,8 @@ class JointCalculator {
   const LiftedEventModel* model_;
   linalg::Vector pi_;
   double prior_event_;
-  linalg::Vector alpha_;  // lifted forward vector, size k·m
+  linalg::Vector alpha_;    // lifted forward vector, size k·m
+  linalg::Vector scratch_;  // step target, swapped with alpha_ per push
   int t_ = 0;
 };
 

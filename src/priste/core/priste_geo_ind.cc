@@ -49,6 +49,7 @@ PristeGeoInd::PristeGeoInd(
 }
 
 const lppm::Lppm& PristeGeoInd::MechanismFor(double alpha) const {
+  std::lock_guard<std::mutex> lock(mechanisms_mu_);
   auto it = mechanisms_.find(alpha);
   if (it == mechanisms_.end()) {
     it = mechanisms_.emplace(alpha, family_->Instantiate(alpha)).first;

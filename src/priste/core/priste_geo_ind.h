@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "priste/common/status.h"
@@ -47,8 +48,10 @@ class PristeGeoInd {
   const lppm::MechanismFamily& family() const { return *family_; }
 
   /// Releases a perturbed location per timestamp of `true_trajectory`
-  /// (length T >= every event's end). Not thread-safe (per-run mechanism
-  /// cache); use one instance per thread.
+  /// (length T >= every event's end). Thread-safe: concurrent Run calls on
+  /// one instance share the (mutex-guarded) mechanism cache, and each run's
+  /// randomness comes only from its own `rng` — the parallel experiment
+  /// driver relies on both.
   StatusOr<RunResult> Run(const geo::Trajectory& true_trajectory, Rng& rng) const;
 
  private:
@@ -60,7 +63,9 @@ class PristeGeoInd {
   std::vector<std::shared_ptr<const LiftedEventModel>> models_;
   std::shared_ptr<const lppm::MechanismFamily> family_;
   // Budget values form the geometric ladder initial_alpha·decay^k, so the
-  // cache stays small across timestamps and runs.
+  // cache stays small across timestamps and runs. Guarded for concurrent
+  // Run calls; entries are never erased, so returned references stay valid.
+  mutable std::mutex mechanisms_mu_;
   mutable std::map<double, std::unique_ptr<lppm::Lppm>> mechanisms_;
 };
 

@@ -1,8 +1,10 @@
 #include "priste/core/quantifier.h"
 
 #include <cmath>
+#include <utility>
 
 #include "priste/common/check.h"
+#include "priste/common/thread_pool.h"
 
 namespace priste::core {
 
@@ -20,50 +22,68 @@ TheoremVectors PrivacyQuantifier::ComputeVectors(
   for (const auto& e : emissions) PRISTE_CHECK(e.size() == m);
   const int end = model_->event_end();
 
-  std::vector<linalg::Vector> cols;
-  cols.reserve(emissions.size());
-  for (const auto& e : emissions) {
-    if (normalize_emissions_) {
-      const double scale = e.MaxAbs();
+  // Per-column normalization scales (a joint (b̄, c̄) rescaling — the
+  // conditions are scale-invariant); applied in place after each emission
+  // product, so columns are never copied.
+  std::vector<double> inv_scale(emissions.size(), 1.0);
+  if (normalize_emissions_) {
+    for (size_t i = 0; i < emissions.size(); ++i) {
+      const double scale = emissions[i].MaxAbs();
       PRISTE_CHECK_MSG(scale > 0.0, "emission column is all-zero");
-      cols.push_back(e.Scaled(1.0 / scale));
-    } else {
-      cols.push_back(e);
+      inv_scale[i] = 1.0 / scale;
     }
   }
 
+  // Two ping-pong work vectors shared by every chain below — the only lifted
+  // allocations in this call, reused across all timesteps.
+  linalg::Vector cur(model_->lifted_size());
+  linalg::Vector nxt(model_->lifted_size());
+
   // Right-to-left application of the Lemma III.2/III.3 chain onto a seed
   // column; `last` is the number of diag/transition factors to run through
-  // (t during the event, end after it).
-  const auto apply_prefix = [&](linalg::Vector w, int last) {
+  // (t during the event, end after it). Leaves the result in `cur`.
+  const auto apply_prefix = [&](const linalg::Vector& seed, int last) {
+    cur = seed;
     for (int i = last; i >= 1; --i) {
-      w = model_->ApplyEmission(cols[static_cast<size_t>(i - 1)], w);
-      if (i > 1) w = model_->StepColumn(w, i - 1);
+      model_->ApplyEmissionInPlace(emissions[static_cast<size_t>(i - 1)], cur);
+      if (inv_scale[static_cast<size_t>(i - 1)] != 1.0) {
+        cur.ScaleInPlace(inv_scale[static_cast<size_t>(i - 1)]);
+      }
+      if (i > 1) {
+        model_->StepColumnInto(cur, i - 1, nxt);
+        std::swap(cur, nxt);
+      }
     }
-    return w;
   };
 
   TheoremVectors out;
   out.t = t;
   out.a_bar = model_->PriorContraction();
 
-  const linalg::Vector ones_lifted = linalg::Vector::Ones(model_->lifted_size());
   if (t <= end) {
     // Eq. (18): b seeds with the event suffix v_t, c with the all-ones
     // column.
-    out.b_bar = model_->ContractColumn(apply_prefix(model_->SuffixTrue(t), t));
-    out.c_bar = model_->ContractColumn(apply_prefix(ones_lifted, t));
+    apply_prefix(model_->SuffixTrue(t), t);
+    out.b_bar = model_->ContractColumn(cur);
+    apply_prefix(linalg::Vector::Ones(model_->lifted_size()), t);
+    out.c_bar = model_->ContractColumn(cur);
   } else {
     // Eqs. (19)/(20): backward vector β over o_{end+1}..o_t, then the
     // during-event prefix up to `end`.
-    linalg::Vector beta = ones_lifted;
+    linalg::Vector beta = linalg::Vector::Ones(model_->lifted_size());
     for (int tau = t - 1; tau >= end; --tau) {
-      beta = model_->ApplyEmission(cols[static_cast<size_t>(tau)], beta);
-      beta = model_->StepColumn(beta, tau);
+      model_->ApplyEmissionInPlace(emissions[static_cast<size_t>(tau)], beta);
+      if (inv_scale[static_cast<size_t>(tau)] != 1.0) {
+        beta.ScaleInPlace(inv_scale[static_cast<size_t>(tau)]);
+      }
+      model_->StepColumnInto(beta, tau, nxt);
+      std::swap(beta, nxt);
     }
     linalg::Vector beta_true = beta.Hadamard(model_->AcceptingMask());
-    out.b_bar = model_->ContractColumn(apply_prefix(std::move(beta_true), end));
-    out.c_bar = model_->ContractColumn(apply_prefix(std::move(beta), end));
+    apply_prefix(beta_true, end);
+    out.b_bar = model_->ContractColumn(cur);
+    apply_prefix(beta, end);
+    out.c_bar = model_->ContractColumn(cur);
   }
   return out;
 }
@@ -125,9 +145,18 @@ PrivacyCheckResult PrivacyQuantifier::CheckArbitraryPrior(
   }
   f16.l = v.b_bar.Scaled(-e_eps);
 
+  // The two maximizations are independent; run them on the shared pool.
+  // Each Maximize is internally deterministic, so the result is identical
+  // at any thread count.
+  const QpSolver::Objective* objectives[2] = {&f15, &f16};
+  QpSolver::Result results[2];
+  ParallelFor(2, [&](size_t i) {
+    results[i] = solver.Maximize(*objectives[i], deadline);
+  });
+  const QpSolver::Result& r15 = results[0];
+  const QpSolver::Result& r16 = results[1];
+
   PrivacyCheckResult out;
-  const QpSolver::Result r15 = solver.Maximize(f15, deadline);
-  const QpSolver::Result r16 = solver.Maximize(f16, deadline);
   out.max_condition15 = r15.max_value;
   out.max_condition16 = r16.max_value;
   out.timed_out = r15.timed_out || r16.timed_out;

@@ -1,5 +1,7 @@
 #include "priste/core/two_world.h"
 
+#include <algorithm>
+
 #include "priste/common/check.h"
 #include "priste/linalg/ops.h"
 
@@ -37,33 +39,43 @@ TwoWorldModel::TwoWorldModel(markov::TransitionSchedule schedule,
   PRISTE_CHECK_MSG(event_->num_states() == schedule_.num_states(),
                    "event regions and chain disagree on the state count");
   const size_t m = num_states();
+  first_window_step_ = std::max(event_->start() - 1, 1);
+  last_window_step_ = event_->end() - 1;
+  for (int t = first_window_step_; t <= last_window_step_; ++t) {
+    window_indicators_.push_back(event_->RegionAt(t + 1).Indicator());
+  }
   InitializeDerived(Vector::Zeros(m).Concat(Vector::Ones(m)));
+}
+
+TwoWorldModel::StepForm TwoWorldModel::FormAt(int t) const {
+  StepForm form;
+  form.in_window = t >= first_window_step_ && t <= last_window_step_;
+  if (!form.in_window) return form;
+  form.enter_true = event_->kind() == SpatiotemporalEvent::Kind::kPresence ||
+                    t == event_->start() - 1;
+  form.indicator =
+      &window_indicators_[static_cast<size_t>(t - first_window_step_)];
+  return form;
 }
 
 const linalg::BlockMatrix2x2& TwoWorldModel::TransitionAt(int t) const {
   PRISTE_CHECK(t >= 1);
-  const int start = event_->start();
-  const int end = event_->end();
-  const int first_window_step = std::max(start - 1, 1);
-  const int last_window_step = end - 1;
-  const bool in_window = t >= first_window_step && t <= last_window_step;
-  const int window_offset = in_window ? t - first_window_step : -1;
+  const StepForm form = FormAt(t);
+  const int window_offset = form.in_window ? t - first_window_step_ : -1;
   const CacheKey key{schedule_.IndexAtStep(t), window_offset};
 
+  std::lock_guard<std::mutex> lock(cache_mu_);
   auto it = cache_.find(key);
   if (it != cache_.end()) return *it->second;
 
   const Matrix& m = schedule_.AtStep(t).matrix();
   std::shared_ptr<const BlockMatrix2x2> built;
-  if (!in_window) {
+  if (!form.in_window) {
     built = std::make_shared<BlockMatrix2x2>(BlockMatrix2x2::BlockDiagonal(m));
   } else {
     const Matrix zero(m.rows(), m.cols());
-    const int tau = t + 1;  // destination timestamp
-    const CaptureSplit split =
-        SplitByDestination(m, event_->RegionAt(tau).Indicator());
-    if (event_->kind() == SpatiotemporalEvent::Kind::kPresence ||
-        t == start - 1) {
+    const CaptureSplit split = SplitByDestination(m, *form.indicator);
+    if (form.enter_true) {
       // Eq. (4) for PRESENCE, Eq. (6) for the PATTERN window entry: the
       // FALSE world feeds the region's mass into TRUE; TRUE is absorbing.
       built = std::make_shared<BlockMatrix2x2>(split.keep, split.enter, zero, m);
@@ -75,6 +87,117 @@ const linalg::BlockMatrix2x2& TwoWorldModel::TransitionAt(int t) const {
   }
   it = cache_.emplace(key, std::move(built)).first;
   return *it->second;
+}
+
+void TwoWorldModel::StepRowInto(const linalg::Vector& v, int t,
+                                linalg::Vector& out) const {
+  const size_t m = num_states();
+  PRISTE_CHECK(t >= 1);
+  PRISTE_CHECK(v.size() == 2 * m && out.size() == 2 * m);
+  PRISTE_DCHECK(v.data() != out.data());
+  const markov::TransitionMatrix& base = schedule_.AtStep(t);
+  const double* vf = v.data();
+  const double* vt = v.data() + m;
+  double* of = out.data();
+  double* ot = out.data() + m;
+
+  const StepForm form = FormAt(t);
+  if (!form.in_window) {
+    // Block diagonal (Eq. 5/8): the worlds evolve independently.
+    base.PropagateSpan(vf, of);
+    base.PropagateSpan(vt, ot);
+    return;
+  }
+
+  // Window step: both blocks of each world-row are column rescalings of the
+  // base product, so two base products cover the whole 2m×2m operator.
+  static thread_local std::vector<double> u, w;
+  u.resize(m);
+  w.resize(m);
+  base.PropagateSpan(vf, u.data());  // u = v_F · M
+  base.PropagateSpan(vt, w.data());  // w = v_T · M
+  const Vector& d = *form.indicator;
+  if (form.enter_true) {
+    // [keep enter; 0 M]: F-mass landing in d transfers to TRUE.
+    for (size_t i = 0; i < m; ++i) {
+      of[i] = u[i] * (1.0 - d[i]);
+      ot[i] = u[i] * d[i] + w[i];
+    }
+  } else {
+    // [M 0; keep enter]: T-mass leaving d falls back to FALSE.
+    for (size_t i = 0; i < m; ++i) {
+      of[i] = u[i] + w[i] * (1.0 - d[i]);
+      ot[i] = w[i] * d[i];
+    }
+  }
+}
+
+void TwoWorldModel::StepColumnInto(const linalg::Vector& v, int t,
+                                   linalg::Vector& out) const {
+  const size_t m = num_states();
+  PRISTE_CHECK(t >= 1);
+  PRISTE_CHECK(v.size() == 2 * m && out.size() == 2 * m);
+  PRISTE_DCHECK(v.data() != out.data());
+  const markov::TransitionMatrix& base = schedule_.AtStep(t);
+  const double* vf = v.data();
+  const double* vt = v.data() + m;
+  double* of = out.data();
+  double* ot = out.data() + m;
+
+  const StepForm form = FormAt(t);
+  if (!form.in_window) {
+    base.BackwardSpan(vf, of);
+    base.BackwardSpan(vt, ot);
+    return;
+  }
+
+  // Column step: keep·x + enter·y = M·((1−d)∘x + d∘y) — mix first, then one
+  // base product per world.
+  static thread_local std::vector<double> mix;
+  mix.resize(m);
+  const Vector& d = *form.indicator;
+  for (size_t i = 0; i < m; ++i) {
+    mix[i] = (1.0 - d[i]) * vf[i] + d[i] * vt[i];
+  }
+  if (form.enter_true) {
+    base.BackwardSpan(mix.data(), of);
+    base.BackwardSpan(vt, ot);
+  } else {
+    base.BackwardSpan(vf, of);
+    base.BackwardSpan(mix.data(), ot);
+  }
+}
+
+void TwoWorldModel::ApplyEmissionInPlace(const linalg::Vector& emission,
+                                         linalg::Vector& v) const {
+  const size_t m = num_states();
+  PRISTE_CHECK(emission.size() == m && v.size() == 2 * m);
+  double* vf = v.data();
+  double* vt = v.data() + m;
+  const double* e = emission.data();
+  for (size_t i = 0; i < m; ++i) {
+    vf[i] *= e[i];
+    vt[i] *= e[i];
+  }
+}
+
+linalg::Vector TwoWorldModel::StepRow(const linalg::Vector& v, int t) const {
+  Vector out(2 * num_states());
+  StepRowInto(v, t, out);
+  return out;
+}
+
+linalg::Vector TwoWorldModel::StepColumn(const linalg::Vector& v, int t) const {
+  Vector out(2 * num_states());
+  StepColumnInto(v, t, out);
+  return out;
+}
+
+linalg::Vector TwoWorldModel::ApplyEmission(const linalg::Vector& emission,
+                                            const linalg::Vector& v) const {
+  Vector out = v;
+  ApplyEmissionInPlace(emission, out);
+  return out;
 }
 
 linalg::Vector TwoWorldModel::LiftInitial(const linalg::Vector& pi) const {

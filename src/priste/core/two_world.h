@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -25,10 +26,17 @@ namespace priste::core {
 /// capture (entering the region at time τ = t+1 moves probability mass
 /// between worlds).
 ///
+/// Hot path: StepRow/StepColumn never materialize the 2m×2m operator. Every
+/// window block of M_t is a column-rescaled copy of the base matrix M
+/// (keep = M·(1−d)ᴰ, enter = M·dᴰ), so one lifted step factors into two base
+/// products plus O(m) world mixing — and the base products run on the
+/// chain's CSR fast path when the chain is sparse. The dense
+/// linalg::BlockMatrix2x2 form is still built (lazily, cached, mutex-guarded)
+/// for TransitionAt() oracles and tests; the step kernels do not touch it,
+/// which makes them safe to call concurrently from many threads.
+///
 /// Time-varying chains (Section III footnote 3) are supported through a
-/// markov::TransitionSchedule; lifted matrices are built lazily and cached
-/// per (distinct base matrix, window step) pair. The cache makes const
-/// methods non-reentrant: use one instance per thread.
+/// markov::TransitionSchedule.
 ///
 /// Events whose window starts at t = 1 are handled by splitting the initial
 /// distribution across the worlds (LiftInitial) — the generalization of the
@@ -49,30 +57,52 @@ class TwoWorldModel : public LiftedEventModel {
   const markov::TransitionSchedule& schedule() const { return schedule_; }
   const event::SpatiotemporalEvent& event() const { return *event_; }
 
-  /// The lifted transition M_t for the step t → t+1 (t >= 1). Outside
-  /// [start−1, end−1] this is the block-diagonal matrix (Eq. 5/8).
+  /// The lifted transition M_t for the step t → t+1 (t >= 1), materialized
+  /// as dense blocks. Outside [start−1, end−1] this is the block-diagonal
+  /// matrix (Eq. 5/8). Oracle/test API — the step kernels are blockwise and
+  /// never build this.
   const linalg::BlockMatrix2x2& TransitionAt(int t) const;
 
   linalg::Vector LiftInitial(const linalg::Vector& pi) const override;
   linalg::Vector ContractColumn(const linalg::Vector& col) const override;
-  linalg::Vector StepRow(const linalg::Vector& v, int t) const override {
-    return TransitionAt(t).VecMat(v);
-  }
-  linalg::Vector StepColumn(const linalg::Vector& v, int t) const override {
-    return TransitionAt(t).MatVec(v);
-  }
+  linalg::Vector StepRow(const linalg::Vector& v, int t) const override;
+  linalg::Vector StepColumn(const linalg::Vector& v, int t) const override;
   linalg::Vector ApplyEmission(const linalg::Vector& emission,
-                               const linalg::Vector& v) const override {
-    return linalg::ApplyTwoWorldDiagonal(emission, v);
-  }
+                               const linalg::Vector& v) const override;
+
+  void StepRowInto(const linalg::Vector& v, int t,
+                   linalg::Vector& out) const override;
+  void StepColumnInto(const linalg::Vector& v, int t,
+                      linalg::Vector& out) const override;
+  void ApplyEmissionInPlace(const linalg::Vector& emission,
+                            linalg::Vector& v) const override;
 
  private:
+  /// Shape of the lifted step t → t+1 (Equations 4–8).
+  struct StepForm {
+    bool in_window = false;
+    /// True for the Eq. (4)/(6) shape [keep enter; 0 M] (FALSE feeds the
+    /// region mass into TRUE; TRUE absorbing); false for the Eq. (7) shape
+    /// [M 0; keep enter].
+    bool enter_true = false;
+    /// Region indicator d at the destination timestamp τ = t+1 (window only).
+    const linalg::Vector* indicator = nullptr;
+  };
+
+  StepForm FormAt(int t) const;
+
   // Cache key: (base-matrix index, window offset) with offset −1 for the
   // outside-window block-diagonal form.
   using CacheKey = std::pair<int, int>;
 
   markov::TransitionSchedule schedule_;
   event::EventPtr event_;
+  /// window_indicators_[t - first_window_step] = RegionAt(t+1).Indicator(),
+  /// precomputed so the step kernels never allocate.
+  std::vector<linalg::Vector> window_indicators_;
+  int first_window_step_ = 0;
+  int last_window_step_ = -1;
+  mutable std::mutex cache_mu_;
   mutable std::map<CacheKey, std::shared_ptr<const linalg::BlockMatrix2x2>> cache_;
 };
 

@@ -1,6 +1,6 @@
 #include "priste/hmm/forward_backward.h"
 
-#include "priste/linalg/ops.h"
+#include <cmath>
 
 namespace priste::hmm {
 namespace {
@@ -23,6 +23,39 @@ Status ValidateInputs(const markov::TransitionMatrix& transition,
   return Status::Ok();
 }
 
+// Scaled forward pass shared by ForwardBackward and ForwardOnly: fills
+// `alphas` with α̂_t (each summing to 1) and `scales` with the per-step
+// normalizers c_t. Allocation-free per step: every vector is written in
+// place via the chain's fused kernels. Fails only on a genuine zero.
+Status ScaledForward(const markov::TransitionMatrix& transition,
+                     const linalg::Vector& initial,
+                     const std::vector<linalg::Vector>& emissions,
+                     std::vector<linalg::Vector>& alphas,
+                     std::vector<double>& scales) {
+  const size_t m = transition.num_states();
+  const size_t T = emissions.size();
+  alphas.assign(T, linalg::Vector());
+  scales.assign(T, 0.0);
+
+  // α_1 = π ∘ p̃_{o_1}; α_t = (α_{t-1} M) ∘ p̃_{o_t}  (Eq. 10), rescaled to
+  // a probability vector after every step.
+  alphas[0] = initial.Hadamard(emissions[0]);
+  for (size_t t = 0; t < T; ++t) {
+    if (t > 0) {
+      alphas[t] = linalg::Vector(m);
+      transition.PropagateHadamardInto(alphas[t - 1], emissions[t], alphas[t]);
+    }
+    const double c = alphas[t].Sum();
+    if (c <= 0.0) {
+      return Status::FailedPrecondition(
+          "observations have zero probability under the model");
+    }
+    scales[t] = c;
+    alphas[t].ScaleInPlace(1.0 / c);
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 StatusOr<ForwardBackwardResult> ForwardBackward(
@@ -33,26 +66,25 @@ StatusOr<ForwardBackwardResult> ForwardBackward(
   const size_t T = emissions.size();
 
   ForwardBackwardResult out;
-  out.alphas.reserve(T);
-  // α_1 = π ∘ p̃_{o_1}; α_t = (α_{t-1} M) ∘ p̃_{o_t}  (Eq. 10).
-  linalg::Vector alpha = initial.Hadamard(emissions[0]);
-  out.alphas.push_back(alpha);
-  for (size_t t = 1; t < T; ++t) {
-    alpha = transition.Propagate(alpha);
-    alpha.HadamardInPlace(emissions[t]);
-    out.alphas.push_back(alpha);
-  }
-  out.likelihood = out.alphas.back().Sum();
+  PRISTE_RETURN_IF_ERROR(
+      ScaledForward(transition, initial, emissions, out.alphas, out.scales));
+  out.log_likelihood = 0.0;
+  for (const double c : out.scales) out.log_likelihood += std::log(c);
+  out.likelihood = std::exp(out.log_likelihood);
 
-  // β_T = 1; β_t = M (p̃_{o_{t+1}} ∘ β_{t+1})  (Eq. 11).
+  // β_T = 1; β_t = M (p̃_{o_{t+1}} ∘ β_{t+1})  (Eq. 11), divided by c_{t+1}
+  // so that β̂_t pairs with α̂_t: Σ_k α̂_t^k β̂_t^k = 1 exactly.
   out.betas.assign(T, linalg::Vector());
   out.betas[T - 1] = linalg::Vector::Ones(m);
   for (size_t t = T - 1; t-- > 0;) {
-    const linalg::Vector scaled = emissions[t + 1].Hadamard(out.betas[t + 1]);
-    out.betas[t] = linalg::MatVec(transition.matrix(), scaled);
+    out.betas[t] = linalg::Vector(m);
+    transition.BackwardHadamardInto(emissions[t + 1], out.betas[t + 1],
+                                    out.betas[t]);
+    out.betas[t].ScaleInPlace(1.0 / out.scales[t + 1]);
   }
 
-  // Posterior (Eq. 12): Pr(u_t = s_k | o_1..o_T) = α_t^k β_t^k / Σ_i α_t^i β_t^i.
+  // Posterior (Eq. 12): Pr(u_t = s_k | o_1..o_T) ∝ α̂_t^k β̂_t^k — the scale
+  // products cancel in the normalization.
   out.posteriors.reserve(T);
   for (size_t t = 0; t < T; ++t) {
     linalg::Vector post = out.alphas[t].Hadamard(out.betas[t]);
@@ -72,14 +104,9 @@ StatusOr<std::vector<linalg::Vector>> ForwardOnly(
     const std::vector<linalg::Vector>& emissions) {
   PRISTE_RETURN_IF_ERROR(ValidateInputs(transition, initial, emissions));
   std::vector<linalg::Vector> alphas;
-  alphas.reserve(emissions.size());
-  linalg::Vector alpha = initial.Hadamard(emissions[0]);
-  alphas.push_back(alpha);
-  for (size_t t = 1; t < emissions.size(); ++t) {
-    alpha = transition.Propagate(alpha);
-    alpha.HadamardInPlace(emissions[t]);
-    alphas.push_back(alpha);
-  }
+  std::vector<double> scales;
+  PRISTE_RETURN_IF_ERROR(
+      ScaledForward(transition, initial, emissions, alphas, scales));
   return alphas;
 }
 

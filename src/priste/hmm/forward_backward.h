@@ -9,15 +9,28 @@
 
 namespace priste::hmm {
 
-/// Result of the forward-backward pass over T observations (Eqs. 10–12).
+/// Result of the forward-backward pass over T observations (Eqs. 10–12),
+/// computed with per-step scaling (Rabiner-style) so long trajectories never
+/// underflow: each forward vector is renormalized to sum to 1 and the scale
+/// factors are accumulated in log-space.
 struct ForwardBackwardResult {
-  /// alphas[t-1][k] = α_t^k = Pr(u_t = s_k, o_1..o_t).
+  /// alphas[t-1][k] = α̂_t^k — the SCALED forward vector, Σ_k α̂_t^k = 1.
+  /// The paper's unscaled α_t^k = Pr(u_t = s_k, o_1..o_t) is recovered as
+  /// α̂_t^k · ∏_{i≤t} scales[i-1].
   std::vector<linalg::Vector> alphas;
-  /// betas[t-1][k] = β_t^k = Pr(o_{t+1}..o_T | u_t = s_k); β_T = 1.
+  /// betas[t-1][k] = β̂_t^k — β_t^k / ∏_{i>t} scales[i-1]; β̂_T = 1. With
+  /// this pairing Σ_k α̂_t^k β̂_t^k = 1 at every t.
   std::vector<linalg::Vector> betas;
-  /// posteriors[t-1][k] = Pr(u_t = s_k | o_1..o_T) (Eq. 12).
+  /// posteriors[t-1][k] = Pr(u_t = s_k | o_1..o_T) (Eq. 12) — exact, the
+  /// scaling cancels.
   std::vector<linalg::Vector> posteriors;
-  /// Pr(o_1..o_T) = Σ_k α_T^k.
+  /// scales[t-1] = c_t, the per-step normalizers; Pr(o_1..o_T) = ∏_t c_t.
+  std::vector<double> scales;
+  /// log Pr(o_1..o_T) = Σ_t log c_t — exact even when the raw likelihood
+  /// underflows a double.
+  double log_likelihood = 0.0;
+  /// Pr(o_1..o_T) = exp(log_likelihood); underflows to 0 on very long
+  /// trajectories — prefer log_likelihood there.
   double likelihood = 0.0;
 };
 
@@ -25,13 +38,16 @@ struct ForwardBackwardResult {
 /// the emission column p̃_{o_t} — Pr(o_t | u_t = s_k) per state k — so the
 /// caller can use a different emission matrix at every timestamp, matching
 /// the paper's Section III-C remark. Returns InvalidArgument on size
-/// mismatches or an empty observation sequence.
+/// mismatches or an empty observation sequence, FailedPrecondition only when
+/// the observations have genuinely zero probability (some c_t = 0), never
+/// from underflow.
 StatusOr<ForwardBackwardResult> ForwardBackward(
     const markov::TransitionMatrix& transition, const linalg::Vector& initial,
     const std::vector<linalg::Vector>& emissions);
 
-/// Forward filtering only: returns the sequence of α_t and the running
-/// likelihood. Cheaper than the full pass when betas are not needed.
+/// Forward filtering only: returns the sequence of scaled α̂_t (identical to
+/// ForwardBackward().alphas). Cheaper than the full pass when betas are not
+/// needed.
 StatusOr<std::vector<linalg::Vector>> ForwardOnly(
     const markov::TransitionMatrix& transition, const linalg::Vector& initial,
     const std::vector<linalg::Vector>& emissions);

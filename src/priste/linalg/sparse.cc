@@ -1,0 +1,121 @@
+#include "priste/linalg/sparse.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace priste::linalg {
+
+SparseMatrix SparseMatrix::FromDense(const Matrix& m, double prune_tol) {
+  SparseMatrix out;
+  out.rows_ = m.rows();
+  out.cols_ = m.cols();
+  out.row_ptr_.assign(out.rows_ + 1, 0);
+  size_t nnz = 0;
+  for (size_t r = 0; r < m.rows(); ++r) {
+    const double* row = m.RowPtr(r);
+    for (size_t c = 0; c < m.cols(); ++c) {
+      if (std::fabs(row[c]) > prune_tol) ++nnz;
+    }
+    out.row_ptr_[r + 1] = nnz;
+  }
+  out.col_idx_.reserve(nnz);
+  out.values_.reserve(nnz);
+  for (size_t r = 0; r < m.rows(); ++r) {
+    const double* row = m.RowPtr(r);
+    for (size_t c = 0; c < m.cols(); ++c) {
+      if (std::fabs(row[c]) > prune_tol) {
+        out.col_idx_.push_back(c);
+        out.values_.push_back(row[c]);
+      }
+    }
+  }
+  return out;
+}
+
+double SparseMatrix::density() const {
+  const size_t cells = rows_ * cols_;
+  return cells == 0 ? 0.0 : static_cast<double>(nnz()) / static_cast<double>(cells);
+}
+
+void SparseMatrix::MatVecSpan(const double* x, double* out) const {
+  PRISTE_DCHECK(x != out);
+  for (size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      acc += values_[k] * x[col_idx_[k]];
+    }
+    out[r] = acc;
+  }
+}
+
+void SparseMatrix::VecMatSpan(const double* x, double* out) const {
+  PRISTE_DCHECK(x != out);
+  std::memset(out, 0, cols_ * sizeof(double));
+  for (size_t r = 0; r < rows_; ++r) {
+    const double scale = x[r];
+    if (scale == 0.0) continue;
+    for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      out[col_idx_[k]] += scale * values_[k];
+    }
+  }
+}
+
+void SparseMatrix::MatVecInto(const Vector& x, Vector& out) const {
+  PRISTE_CHECK(x.size() == cols_ && out.size() == rows_);
+  MatVecSpan(x.data(), out.data());
+}
+
+Vector SparseMatrix::MatVec(const Vector& x) const {
+  Vector out(rows_);
+  MatVecInto(x, out);
+  return out;
+}
+
+void SparseMatrix::VecMatInto(const Vector& x, Vector& out) const {
+  PRISTE_CHECK(x.size() == rows_ && out.size() == cols_);
+  VecMatSpan(x.data(), out.data());
+}
+
+Vector SparseMatrix::VecMat(const Vector& x) const {
+  Vector out(cols_);
+  VecMatInto(x, out);
+  return out;
+}
+
+void SparseMatrix::VecMatHadamardInto(const Vector& x, const Vector& h,
+                                      Vector& out) const {
+  PRISTE_CHECK(x.size() == rows_ && h.size() == cols_ && out.size() == cols_);
+  VecMatSpan(x.data(), out.data());
+  double* o = out.data();
+  const double* hp = h.data();
+  for (size_t c = 0; c < cols_; ++c) o[c] *= hp[c];
+}
+
+void SparseMatrix::MatVecHadamardInto(const Vector& h, const Vector& x,
+                                      Vector& out) const {
+  PRISTE_CHECK(x.size() == cols_ && h.size() == cols_ && out.size() == rows_);
+  const double* xp = x.data();
+  const double* hp = h.data();
+  double* o = out.data();
+  for (size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const size_t c = col_idx_[k];
+      acc += values_[k] * hp[c] * xp[c];
+    }
+    o[r] = acc;
+  }
+}
+
+Matrix SparseMatrix::ToDense() const {
+  Matrix out(rows_, cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    double* row = out.RowPtr(r);
+    for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      row[col_idx_[k]] = values_[k];
+    }
+  }
+  return out;
+}
+
+}  // namespace priste::linalg

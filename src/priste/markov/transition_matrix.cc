@@ -1,23 +1,52 @@
 #include "priste/markov/transition_matrix.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "priste/common/strings.h"
 #include "priste/linalg/ops.h"
 
 namespace priste::markov {
 
-StatusOr<TransitionMatrix> TransitionMatrix::Create(linalg::Matrix m, double tol) {
+TransitionMatrix::TransitionMatrix(linalg::Matrix m, bool allow_sparse)
+    : matrix_(std::move(m)) {
+  if (!allow_sparse || matrix_.rows() < kSparseMinStates) return;
+  size_t nnz = 0;
+  for (size_t r = 0; r < matrix_.rows(); ++r) {
+    const double* row = matrix_.RowPtr(r);
+    for (size_t c = 0; c < matrix_.cols(); ++c) {
+      if (row[c] != 0.0) ++nnz;
+    }
+  }
+  const double density = static_cast<double>(nnz) /
+                         static_cast<double>(matrix_.rows() * matrix_.cols());
+  if (density <= kSparseDensityThreshold) {
+    sparse_ = std::make_shared<const linalg::SparseMatrix>(
+        linalg::SparseMatrix::FromDense(matrix_));
+  }
+}
+
+StatusOr<TransitionMatrix> TransitionMatrix::Create(linalg::Matrix m, double tol,
+                                                    bool allow_sparse) {
   if (m.rows() == 0 || m.rows() != m.cols()) {
     return Status::InvalidArgument("TransitionMatrix must be square and non-empty");
   }
   for (size_t r = 0; r < m.rows(); ++r) {
+    // Clamp within-tolerance negatives to zero BEFORE computing the
+    // normalization sum, so rows with tiny negative entries renormalize to
+    // exactly 1 instead of 1/(1 − |negatives|).
     double sum = 0.0;
     for (size_t c = 0; c < m.cols(); ++c) {
+      if (!std::isfinite(m(r, c))) {
+        return Status::InvalidArgument(
+            StrFormat("TransitionMatrix entry (%zu,%zu)=%g is not finite", r, c,
+                      m(r, c)));
+      }
       if (m(r, c) < -tol) {
         return Status::InvalidArgument(
             StrFormat("TransitionMatrix entry (%zu,%zu)=%g is negative", r, c, m(r, c)));
       }
+      if (m(r, c) < 0.0) m(r, c) = 0.0;
       sum += m(r, c);
     }
     if (std::fabs(sum - 1.0) > tol) {
@@ -25,11 +54,9 @@ StatusOr<TransitionMatrix> TransitionMatrix::Create(linalg::Matrix m, double tol
           StrFormat("TransitionMatrix row %zu sums to %g, expected 1", r, sum));
     }
     // Exact renormalization keeps long products stochastic.
-    for (size_t c = 0; c < m.cols(); ++c) {
-      m(r, c) = m(r, c) < 0.0 ? 0.0 : m(r, c) / sum;
-    }
+    for (size_t c = 0; c < m.cols(); ++c) m(r, c) /= sum;
   }
-  return TransitionMatrix(std::move(m));
+  return TransitionMatrix(std::move(m), allow_sparse);
 }
 
 TransitionMatrix TransitionMatrix::Uniform(size_t num_states) {
@@ -43,23 +70,110 @@ TransitionMatrix TransitionMatrix::Identity(size_t num_states) {
   return TransitionMatrix(linalg::Matrix::Identity(num_states));
 }
 
+void TransitionMatrix::PropagateSpan(const double* p, double* out) const {
+  if (sparse_ != nullptr) {
+    sparse_->VecMatSpan(p, out);
+    return;
+  }
+  const size_t m = num_states();
+  std::memset(out, 0, m * sizeof(double));
+  for (size_t r = 0; r < m; ++r) {
+    const double scale = p[r];
+    if (scale == 0.0) continue;
+    const double* row = matrix_.RowPtr(r);
+    for (size_t c = 0; c < m; ++c) out[c] += scale * row[c];
+  }
+}
+
+void TransitionMatrix::BackwardSpan(const double* v, double* out) const {
+  if (sparse_ != nullptr) {
+    sparse_->MatVecSpan(v, out);
+    return;
+  }
+  const size_t m = num_states();
+  for (size_t r = 0; r < m; ++r) {
+    const double* row = matrix_.RowPtr(r);
+    double acc = 0.0;
+    for (size_t c = 0; c < m; ++c) acc += row[c] * v[c];
+    out[r] = acc;
+  }
+}
+
+void TransitionMatrix::PropagateInto(const linalg::Vector& p,
+                                     linalg::Vector& out) const {
+  PRISTE_CHECK(p.size() == num_states() && out.size() == num_states());
+  PRISTE_DCHECK(p.data() != out.data());
+  PropagateSpan(p.data(), out.data());
+}
+
+void TransitionMatrix::PropagateHadamardInto(const linalg::Vector& p,
+                                             const linalg::Vector& h,
+                                             linalg::Vector& out) const {
+  if (sparse_ != nullptr) {
+    sparse_->VecMatHadamardInto(p, h, out);
+    return;
+  }
+  PropagateInto(p, out);
+  out.HadamardInPlace(h);
+}
+
+void TransitionMatrix::BackwardInto(const linalg::Vector& v,
+                                    linalg::Vector& out) const {
+  PRISTE_CHECK(v.size() == num_states() && out.size() == num_states());
+  PRISTE_DCHECK(v.data() != out.data());
+  BackwardSpan(v.data(), out.data());
+}
+
+void TransitionMatrix::BackwardHadamardInto(const linalg::Vector& h,
+                                            const linalg::Vector& v,
+                                            linalg::Vector& out) const {
+  if (sparse_ != nullptr) {
+    sparse_->MatVecHadamardInto(h, v, out);
+    return;
+  }
+  PRISTE_CHECK(v.size() == num_states() && h.size() == num_states() &&
+               out.size() == num_states());
+  PRISTE_DCHECK(v.data() != out.data());
+  const size_t m = num_states();
+  const double* hp = h.data();
+  const double* vp = v.data();
+  double* o = out.data();
+  for (size_t r = 0; r < m; ++r) {
+    const double* row = matrix_.RowPtr(r);
+    double acc = 0.0;
+    for (size_t c = 0; c < m; ++c) acc += row[c] * hp[c] * vp[c];
+    o[r] = acc;
+  }
+}
+
 linalg::Vector TransitionMatrix::Propagate(const linalg::Vector& p) const {
-  return linalg::VecMat(p, matrix_);
+  linalg::Vector out(num_states());
+  PropagateInto(p, out);
+  return out;
 }
 
 linalg::Vector TransitionMatrix::PropagateSteps(const linalg::Vector& p, int steps) const {
   PRISTE_CHECK(steps >= 0);
-  linalg::Vector out = p;
-  for (int i = 0; i < steps; ++i) out = Propagate(out);
-  return out;
+  if (steps == 0) return p;
+  linalg::Vector cur = p;
+  linalg::Vector next(num_states());
+  for (int i = 0; i < steps; ++i) {
+    PropagateInto(cur, next);
+    std::swap(cur, next);
+  }
+  return cur;
 }
 
 linalg::Vector TransitionMatrix::StationaryDistribution(int max_iters, double tol) const {
   linalg::Vector p = linalg::Vector::UniformProbability(num_states());
+  linalg::Vector next(num_states());
   for (int i = 0; i < max_iters; ++i) {
-    linalg::Vector next = Propagate(p);
-    const double diff = next.Minus(p).MaxAbs();
-    p = std::move(next);
+    PropagateInto(p, next);
+    double diff = 0.0;
+    for (size_t j = 0; j < p.size(); ++j) {
+      diff = std::max(diff, std::fabs(next[j] - p[j]));
+    }
+    std::swap(p, next);
     if (diff < tol) break;
   }
   return p;

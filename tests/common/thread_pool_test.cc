@@ -1,0 +1,109 @@
+#include "priste/common/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace priste {
+namespace {
+
+// A deterministic per-index computation with enough work that iterations
+// overlap when threads are available.
+double Work(size_t i) {
+  double acc = static_cast<double>(i) + 1.0;
+  for (int k = 0; k < 1000; ++k) {
+    acc = acc * 1.0000001 + static_cast<double>(i % 7);
+  }
+  return acc;
+}
+
+TEST(ParallelForTest, ResultsAreIndependentOfThreadCount) {
+  const size_t n = 64;
+  std::vector<std::vector<double>> per_pool;
+  for (const int threads : {0, 1, 2, 4}) {
+    ThreadPool pool(threads);
+    std::vector<double> out(n, 0.0);
+    ParallelFor(pool, n, [&](size_t i) { out[i] = Work(i); });
+    per_pool.push_back(std::move(out));
+  }
+  for (size_t p = 1; p < per_pool.size(); ++p) {
+    for (size_t i = 0; i < n; ++i) {
+      // Bit-identical, not just close: the computation per index is fixed.
+      EXPECT_EQ(per_pool[0][i], per_pool[p][i]) << "pool=" << p << " i=" << i;
+    }
+  }
+}
+
+TEST(ParallelForTest, EveryIndexRunsExactlyOnce) {
+  ThreadPool pool(4);
+  const size_t n = 500;
+  std::vector<std::atomic<int>> counts(n);
+  for (auto& c : counts) c.store(0);
+  ParallelFor(pool, n, [&](size_t i) { counts[i].fetch_add(1); });
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(counts[i].load(), 1) << i;
+}
+
+TEST(ParallelForTest, HandlesDegenerateSizes) {
+  ThreadPool pool(2);
+  int calls = 0;
+  ParallelFor(pool, 0, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  ParallelFor(pool, 1, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelForTest, ZeroThreadPoolRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 0);
+  std::vector<double> out(8, 0.0);
+  ParallelFor(pool, out.size(), [&](size_t i) { out[i] = Work(i); });
+  for (size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], Work(i));
+}
+
+TEST(ParallelForTest, NestedLoopsDoNotDeadlock) {
+  // Inner parallel sections run on the same pool as the outer one; the
+  // caller-participates design guarantees progress even when every worker
+  // is already busy with outer iterations.
+  ThreadPool pool(3);
+  const size_t outer = 8, inner = 8;
+  std::vector<double> out(outer * inner, 0.0);
+  ParallelFor(pool, outer, [&](size_t i) {
+    ParallelFor(pool, inner, [&](size_t j) { out[i * inner + j] = Work(i * inner + j); });
+  });
+  for (size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], Work(i));
+}
+
+TEST(ThreadPoolTest, SubmitExecutesTasks) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&done] { done.fetch_add(1); });
+    }
+    // Destructor drains the queue before joining.
+  }
+  EXPECT_EQ(done.load(), 10);
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountHonoursEnv) {
+  const char* saved = std::getenv("PRISTE_THREADS");
+  const std::string saved_value = saved != nullptr ? saved : "";
+
+  setenv("PRISTE_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::DefaultThreadCount(), 3);
+  setenv("PRISTE_THREADS", "0", 1);  // invalid → hardware fallback
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1);
+  unsetenv("PRISTE_THREADS");
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1);
+
+  if (saved != nullptr) setenv("PRISTE_THREADS", saved_value.c_str(), 1);
+}
+
+}  // namespace
+}  // namespace priste

@@ -4,6 +4,8 @@
 
 #include <cmath>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -172,6 +174,79 @@ TEST(QuantifierTest, ArbitraryPriorCheckImpliesEveryFixedPrior) {
     EXPECT_TRUE(PrivacyQuantifier::CheckFixedPrior(v, pi, epsilon, 1e-9));
   }
 }
+
+// A sparse ring random walk (3 nonzeros per row) built twice: once with the
+// CSR fast path, once force-dense. Every quantifier output must match.
+markov::TransitionMatrix RingWalk(size_t m, bool allow_sparse, Rng& rng) {
+  linalg::Matrix t(m, m);
+  for (size_t s = 0; s < m; ++s) {
+    const double stay = 0.2 + 0.6 * rng.NextDouble();
+    const double left = (1.0 - stay) * rng.NextDouble();
+    t(s, s) = stay;
+    t(s, (s + m - 1) % m) = left;
+    t(s, (s + 1) % m) = 1.0 - stay - left;
+  }
+  auto result = markov::TransitionMatrix::Create(std::move(t), 1e-6, allow_sparse);
+  PRISTE_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+class SparseDenseEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SparseDenseEquivalenceTest, QuantifierOutputsMatch) {
+  // Both chains are numerically identical matrices; only the kernel path
+  // differs (CSR blockwise vs dense sweep). ā, b̄, c̄ and both Theorem IV.1
+  // conditions must agree to tight tolerance at every prefix length,
+  // including past the event window (the Lemma III.3 regime).
+  const size_t m = 18;  // ≥ kSparseMinStates so the CSR view kicks in
+  Rng rng(7000 + GetParam());
+  Rng rng_copy = rng;
+  const markov::TransitionMatrix sparse_chain = RingWalk(m, true, rng);
+  const markov::TransitionMatrix dense_chain = RingWalk(m, false, rng_copy);
+  ASSERT_TRUE(sparse_chain.has_sparse());
+  ASSERT_FALSE(dense_chain.has_sparse());
+
+  const bool presence = GetParam() % 2 == 0;
+  const int start = 2 + GetParam() % 2;
+  std::vector<geo::Region> regions;
+  for (int i = 0; i < 2; ++i) regions.push_back(testing::RandomRegion(m, rng));
+  event::EventPtr ev;
+  if (presence) {
+    ev = std::make_shared<PresenceEvent>(regions, start);
+  } else {
+    ev = std::make_shared<PatternEvent>(regions, start);
+  }
+  const TwoWorldModel sparse_model(sparse_chain, ev);
+  const TwoWorldModel dense_model(dense_chain, ev);
+  const PrivacyQuantifier sparse_quant(&sparse_model);
+  const PrivacyQuantifier dense_quant(&dense_model);
+
+  EXPECT_LT(sparse_model.PriorContraction()
+                .Minus(dense_model.PriorContraction())
+                .MaxAbs(),
+            1e-12);
+
+  std::vector<linalg::Vector> emissions;
+  const int horizon = sparse_model.event_end() + 3;
+  for (int t = 1; t <= horizon; ++t) {
+    emissions.push_back(testing::RandomEmissionColumn(m, rng));
+    const TheoremVectors vs = sparse_quant.ComputeVectors(emissions);
+    const TheoremVectors vd = dense_quant.ComputeVectors(emissions);
+    EXPECT_LT(vs.a_bar.Minus(vd.a_bar).MaxAbs(), 1e-12) << "t=" << t;
+    EXPECT_LT(vs.b_bar.Minus(vd.b_bar).MaxAbs(), 1e-12) << "t=" << t;
+    EXPECT_LT(vs.c_bar.Minus(vd.c_bar).MaxAbs(), 1e-12) << "t=" << t;
+    const linalg::Vector pi = testing::RandomProbability(m, rng);
+    for (const double eps : {0.1, 0.5, 2.0}) {
+      EXPECT_NEAR(PrivacyQuantifier::Condition15(vs, pi, eps),
+                  PrivacyQuantifier::Condition15(vd, pi, eps), 1e-9);
+      EXPECT_NEAR(PrivacyQuantifier::Condition16(vs, pi, eps),
+                  PrivacyQuantifier::Condition16(vd, pi, eps), 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Trials, SparseDenseEquivalenceTest,
+                         ::testing::Range(0, 6));
 
 TEST(QuantifierTest, WorstPiIsReportedForViolations) {
   Rng rng(49);

@@ -120,5 +120,37 @@ TEST(ExperimentTest, RepeatedDeltaLocRunsAggregate) {
   EXPECT_EQ(stats.budget_per_timestamp.length(), 5u);
 }
 
+TEST(ExperimentTest, RepeatedRunsAreDeterministic) {
+  // The repeated runs fan out over the shared thread pool; the pre-split
+  // RNG streams and in-order aggregation must make the statistics
+  // bit-identical between invocations. Cross-pool-size invariance is
+  // exercised by CI re-running the suite at PRISTE_THREADS=1 and =4 (the
+  // shared pool is sized once per process, so one test can only see one
+  // size) and by common.thread_pool's explicit-pool bit-equality test.
+  ExperimentScale scale;
+  scale.grid_width = 4;
+  scale.grid_height = 4;
+  scale.horizon = 5;
+  scale.runs = 4;
+  const SyntheticWorkload workload(scale, 1.0);
+  const auto ev = event::PresenceEvent::Make(workload.grid.num_cells(), 1, 4, 2, 3);
+  core::PristeOptions options = DefaultBenchOptions(0.8, 0.3);
+  options.qp.grid_points = 9;
+  options.qp_threshold_seconds = 0.0;  // no wall-clock dependence
+  const RepeatedRunStats a = RunRepeatedGeoInd(
+      workload.grid, workload.Chain(), {ev}, options, scale, /*seed=*/77);
+  const RepeatedRunStats b = RunRepeatedGeoInd(
+      workload.grid, workload.Chain(), {ev}, options, scale, /*seed=*/77);
+  EXPECT_EQ(a.mean_budget.mean(), b.mean_budget.mean());
+  EXPECT_EQ(a.euclid_km.mean(), b.euclid_km.mean());
+  EXPECT_EQ(a.conservative_releases.mean(), b.conservative_releases.mean());
+  ASSERT_EQ(a.budget_per_timestamp.length(), b.budget_per_timestamp.length());
+  for (size_t t = 0; t < a.budget_per_timestamp.length(); ++t) {
+    EXPECT_EQ(a.budget_per_timestamp.At(t).mean(),
+              b.budget_per_timestamp.At(t).mean())
+        << "t=" << t;
+  }
+}
+
 }  // namespace
 }  // namespace priste::eval

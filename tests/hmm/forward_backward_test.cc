@@ -1,5 +1,7 @@
 #include "priste/hmm/forward_backward.h"
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "priste/markov/markov_chain.h"
@@ -67,7 +69,9 @@ TEST_P(ForwardBackwardPropertyTest, PosteriorsAreDistributions) {
 }
 
 TEST_P(ForwardBackwardPropertyTest, AlphaBetaProductIsConstantLikelihood) {
-  // Σ_k α_t^k β_t^k == Pr(o_1..o_T) at every t.
+  // Scaled pairing: Σ_k α̂_t^k β̂_t^k == 1 at every t; reconstructing the
+  // unscaled vectors through the scale factors recovers the paper's
+  // invariant Σ_k α_t^k β_t^k == Pr(o_1..o_T).
   Rng rng(3000 + GetParam());
   const size_t m = 3;
   const markov::MarkovChain chain(testing::RandomTransition(m, rng),
@@ -78,8 +82,65 @@ TEST_P(ForwardBackwardPropertyTest, AlphaBetaProductIsConstantLikelihood) {
   }
   const auto result = ForwardBackward(chain.transition(), chain.initial(), emissions);
   ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->scales.size(), emissions.size());
+  double prefix = 1.0;  // ∏_{i≤t} c_i
   for (size_t t = 0; t < emissions.size(); ++t) {
-    EXPECT_NEAR(result->alphas[t].Dot(result->betas[t]), result->likelihood, 1e-12);
+    EXPECT_NEAR(result->alphas[t].Dot(result->betas[t]), 1.0, 1e-12);
+    prefix *= result->scales[t];
+    double suffix = 1.0;  // ∏_{i>t} c_i
+    for (size_t i = t + 1; i < emissions.size(); ++i) suffix *= result->scales[i];
+    const double unscaled =
+        result->alphas[t].Scaled(prefix).Dot(result->betas[t].Scaled(suffix));
+    EXPECT_NEAR(unscaled, result->likelihood, 1e-12);
+  }
+}
+
+TEST(ForwardBackwardTest, ScaleProductIsTheLikelihood) {
+  Rng rng(4000);
+  const size_t m = 4;
+  const markov::MarkovChain chain(testing::RandomTransition(m, rng),
+                                  testing::RandomProbability(m, rng));
+  std::vector<linalg::Vector> emissions;
+  for (int t = 0; t < 5; ++t) {
+    emissions.push_back(testing::RandomEmissionColumn(m, rng));
+  }
+  const auto result = ForwardBackward(chain.transition(), chain.initial(), emissions);
+  ASSERT_TRUE(result.ok());
+  double product = 1.0;
+  double log_sum = 0.0;
+  for (const double c : result->scales) {
+    product *= c;
+    log_sum += std::log(c);
+  }
+  EXPECT_NEAR(product, result->likelihood, 1e-13);
+  EXPECT_NEAR(log_sum, result->log_likelihood, 1e-12);
+  // Every scaled forward vector is a probability distribution.
+  for (const auto& alpha : result->alphas) {
+    EXPECT_NEAR(alpha.Sum(), 1.0, 1e-12);
+  }
+}
+
+TEST(ForwardBackwardTest, LongTrajectoryDoesNotUnderflow) {
+  // Before per-step scaling, T=600 steps of ~1e-3 emission mass drove the
+  // raw α to ~1e-1800 — a spurious FailedPrecondition("observations have
+  // zero probability"). The scaled pass must succeed with an exact
+  // log-likelihood even though the raw likelihood underflows to 0.
+  Rng rng(4100);
+  const size_t m = 4;
+  const markov::MarkovChain chain(testing::RandomTransition(m, rng),
+                                  testing::RandomProbability(m, rng));
+  std::vector<linalg::Vector> emissions;
+  for (int t = 0; t < 600; ++t) {
+    emissions.push_back(testing::RandomEmissionColumn(m, rng).Scaled(1e-3));
+  }
+  const auto result = ForwardBackward(chain.transition(), chain.initial(), emissions);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(std::isfinite(result->log_likelihood));
+  EXPECT_LT(result->log_likelihood, -1000.0);
+  EXPECT_EQ(result->likelihood, 0.0);  // genuinely below double range
+  for (const auto& post : result->posteriors) {
+    EXPECT_NEAR(post.Sum(), 1.0, 1e-10);
+    EXPECT_TRUE(post.AllInRange(0.0, 1.0));
   }
 }
 

@@ -1,5 +1,9 @@
 #include "priste/markov/transition_matrix.h"
 
+#include <limits>
+#include <utility>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "testing/test_util.h"
@@ -16,6 +20,16 @@ TEST(TransitionMatrixTest, CreateValidatesRows) {
   EXPECT_FALSE(TransitionMatrix::Create(linalg::Matrix{{0.5, 0.6}, {0.5, 0.5}}).ok());
   EXPECT_FALSE(TransitionMatrix::Create(linalg::Matrix{{-0.2, 1.2}, {0.5, 0.5}}).ok());
   EXPECT_TRUE(TransitionMatrix::Create(linalg::Matrix{{0.3, 0.7}, {1.0, 0.0}}).ok());
+}
+
+TEST(TransitionMatrixTest, CreateRejectsNonFiniteEntries) {
+  // NaN compares false against every validation guard; without an explicit
+  // finiteness check a NaN row passes and poisons every downstream kernel.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(TransitionMatrix::Create(linalg::Matrix{{nan, 1.0}, {0.5, 0.5}}).ok());
+  EXPECT_FALSE(TransitionMatrix::Create(linalg::Matrix{{inf, 0.0}, {0.5, 0.5}}).ok());
+  EXPECT_FALSE(TransitionMatrix::Create(linalg::Matrix{{-inf, 1.0}, {0.5, 0.5}}).ok());
 }
 
 TEST(TransitionMatrixTest, PaperExampleMatrixIsValid) {
@@ -59,6 +73,91 @@ TEST(TransitionMatrixTest, StationaryDistributionIsFixedPoint) {
   const linalg::Vector pi = m.StationaryDistribution();
   EXPECT_NEAR(pi.Sum(), 1.0, 1e-9);
   EXPECT_LT(m.Propagate(pi).Minus(pi).MaxAbs(), 1e-9);
+}
+
+TEST(TransitionMatrixTest, TinyNegativesClampBeforeRenormalization) {
+  // A within-tolerance negative entry must be zeroed BEFORE the row sum used
+  // for renormalization is computed, so the row lands on exactly 1 — the old
+  // order renormalized by 1 − |negative| and left the row sum slightly off.
+  linalg::Matrix m{{1.0, -1e-9, 0.0}, {0.2, 0.3, 0.5}, {0.0, 0.0, 1.0}};
+  const auto t = TransitionMatrix::Create(std::move(m));
+  ASSERT_TRUE(t.ok());
+  for (size_t r = 0; r < 3; ++r) {
+    double sum = 0.0;
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_GE((*t)(r, c), 0.0);
+      sum += (*t)(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-15) << "row " << r;
+  }
+  EXPECT_DOUBLE_EQ((*t)(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ((*t)(0, 1), 0.0);
+}
+
+// A 4-neighbour (von Neumann) random walk on a width×height grid — the
+// sparse-chain shape the CSR fast path exists for.
+TransitionMatrix GridRandomWalk(int width, int height, bool allow_sparse) {
+  const size_t m = static_cast<size_t>(width * height);
+  linalg::Matrix t(m, m);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      const size_t cell = static_cast<size_t>(y * width + x);
+      std::vector<size_t> neighbors = {cell};
+      if (x > 0) neighbors.push_back(cell - 1);
+      if (x + 1 < width) neighbors.push_back(cell + 1);
+      if (y > 0) neighbors.push_back(cell - static_cast<size_t>(width));
+      if (y + 1 < height) neighbors.push_back(cell + static_cast<size_t>(width));
+      for (const size_t n : neighbors) {
+        t(cell, n) = 1.0 / static_cast<double>(neighbors.size());
+      }
+    }
+  }
+  auto result = TransitionMatrix::Create(std::move(t), 1e-6, allow_sparse);
+  PRISTE_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+TEST(TransitionMatrixTest, SparseViewDetectedForGridWalk) {
+  const TransitionMatrix sparse = GridRandomWalk(6, 6, /*allow_sparse=*/true);
+  ASSERT_TRUE(sparse.has_sparse());
+  EXPECT_LE(sparse.sparse()->density(), TransitionMatrix::kSparseDensityThreshold);
+  // Dense chains and force-dense construction carry no view.
+  EXPECT_FALSE(TransitionMatrix::Uniform(36).has_sparse());
+  EXPECT_FALSE(GridRandomWalk(6, 6, /*allow_sparse=*/false).has_sparse());
+}
+
+TEST(TransitionMatrixTest, SparseAndDensePropagateAgree) {
+  const TransitionMatrix sparse = GridRandomWalk(7, 5, /*allow_sparse=*/true);
+  const TransitionMatrix dense = GridRandomWalk(7, 5, /*allow_sparse=*/false);
+  ASSERT_TRUE(sparse.has_sparse());
+  Rng rng(21);
+  const linalg::Vector p = testing::RandomProbability(35, rng);
+  EXPECT_LT(sparse.Propagate(p).Minus(dense.Propagate(p)).MaxAbs(), 1e-12);
+  EXPECT_LT(sparse.PropagateSteps(p, 6).Minus(dense.PropagateSteps(p, 6)).MaxAbs(),
+            1e-12);
+  linalg::Vector backward_sparse(35), backward_dense(35);
+  sparse.BackwardInto(p, backward_sparse);
+  dense.BackwardInto(p, backward_dense);
+  EXPECT_LT(backward_sparse.Minus(backward_dense).MaxAbs(), 1e-12);
+  EXPECT_LT(sparse.StationaryDistribution()
+                .Minus(dense.StationaryDistribution())
+                .MaxAbs(),
+            1e-9);
+}
+
+TEST(TransitionMatrixTest, FusedKernelsMatchComposition) {
+  const TransitionMatrix chain = GridRandomWalk(5, 5, /*allow_sparse=*/true);
+  ASSERT_TRUE(chain.has_sparse());
+  Rng rng(23);
+  const linalg::Vector p = testing::RandomProbability(25, rng);
+  const linalg::Vector h = testing::RandomEmissionColumn(25, rng);
+  linalg::Vector fused(25);
+  chain.PropagateHadamardInto(p, h, fused);
+  EXPECT_LT(fused.Minus(chain.Propagate(p).Hadamard(h)).MaxAbs(), 1e-12);
+  linalg::Vector fused_back(25), composed(25);
+  chain.BackwardHadamardInto(h, p, fused_back);
+  chain.BackwardInto(h.Hadamard(p), composed);
+  EXPECT_LT(fused_back.Minus(composed).MaxAbs(), 1e-12);
 }
 
 TEST(TransitionMatrixTest, RowDistributionIsProbability) {
