@@ -44,4 +44,14 @@ PRISTE_THREADS="${PRISTE_THREADS:-4}" \
   --benchmark_context=priste_threads="${PRISTE_THREADS:-4}" \
   --benchmark_counters_tabular=true $EXTRA
 
+# The sparse-emission / support-aware-QP pairs are part of the recorded perf
+# trajectory — fail loudly if a refactor drops them from the binary.
+for family in BM_SparseEmissionTheoremVectors BM_SparseEmissionForwardBackward \
+              BM_QpSupportAware; do
+  if ! grep -q "$family" "$OUT"; then
+    echo "$OUT is missing benchmark family $family" >&2
+    exit 1
+  fi
+done
+
 echo "wrote $OUT (PRISTE_THREADS=${PRISTE_THREADS:-4})"

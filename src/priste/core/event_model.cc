@@ -19,6 +19,18 @@ void LiftedEventModel::ApplyEmissionInPlace(const linalg::Vector& emission,
   v = ApplyEmission(emission, v);
 }
 
+void LiftedEventModel::ApplyEmissionInPlace(const linalg::SparseVector& emission,
+                                            linalg::Vector& v) const {
+  const size_t m = num_states();
+  PRISTE_CHECK(emission.size() == m);
+  PRISTE_CHECK(v.size() == lifted_size());
+  PRISTE_CHECK(m > 0 && lifted_size() % m == 0);
+  const size_t k = lifted_size() / m;
+  for (size_t q = 0; q < k; ++q) {
+    emission.HadamardSpanInPlace(v.data() + q * m);
+  }
+}
+
 void LiftedEventModel::InitializeDerived(linalg::Vector accepting_mask) {
   PRISTE_CHECK(accepting_mask.size() == lifted_size());
   accepting_mask_ = std::move(accepting_mask);

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "priste/linalg/sparse_vector.h"
 #include "priste/linalg/vector.h"
 
 namespace priste::core {
@@ -66,6 +67,15 @@ class LiftedEventModel {
   /// In-place emission product: v ← p̃ᴰ_o · v (entry-wise, so aliasing is
   /// inherent and safe).
   virtual void ApplyEmissionInPlace(const linalg::Vector& emission,
+                                    linalg::Vector& v) const;
+
+  /// Sparse emission view: the column carries only its support (δ-location-
+  /// set columns are mostly zero), and the product touches O(k·support)
+  /// entries while zero-filling the gaps in one pass per event-state block.
+  /// The default implementation relies on the documented lifted layout — k
+  /// contiguous blocks of m map states — which both built-in models share;
+  /// a model with a different layout must override.
+  virtual void ApplyEmissionInPlace(const linalg::SparseVector& emission,
                                     linalg::Vector& v) const;
 
   /// Indicator of event-true lifted states after the window has been fully

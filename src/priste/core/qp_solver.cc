@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <vector>
 
 #include "priste/common/check.h"
 #include "priste/common/random.h"
@@ -13,28 +14,32 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-// Range of x = π·a over the constraint set.
-void SliceRange(const linalg::Vector& a, QpSolver::ConstraintSet constraint,
-                double* lo, double* hi) {
+// Range of x = π·a over the constraint set {Σπ = 1, 0 ≤ π ≤ u} (simplex) or
+// {0 ≤ π ≤ u} (box). Every cap here is ≥ 1 (support coordinates carry the
+// original cap of 1; the slack cap is the off-support count), so the simplex
+// extremes stay the single-coordinate vertices a.Min()/a.Max().
+void SliceRange(const linalg::Vector& a, const linalg::Vector& upper,
+                QpSolver::ConstraintSet constraint, double* lo, double* hi) {
   if (constraint == QpSolver::ConstraintSet::kSimplex) {
     *lo = a.Min();
     *hi = a.Max();
   } else {
     *lo = 0.0;
     *hi = 0.0;
-    for (double ai : a) {
-      if (ai < 0.0) {
-        *lo += ai;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (a[i] < 0.0) {
+        *lo += a[i] * upper[i];
       } else {
-        *hi += ai;
+        *hi += a[i] * upper[i];
       }
     }
   }
 }
 
-// Solves one slice: maximize (x·d + l)ᵀπ subject to π·a = x (+ simplex row).
-// Returns −inf when the slice is infeasible.
+// Solves one slice: maximize (x·d + l)ᵀπ subject to π·a = x (+ simplex row),
+// 0 ≤ π ≤ upper. Returns −inf when the slice is infeasible.
 double SolveSlice(const QpSolver::Objective& objective,
+                  const linalg::Vector& upper,
                   QpSolver::ConstraintSet constraint, double x,
                   linalg::Vector* argmax) {
   const size_t n = objective.a.size();
@@ -52,7 +57,7 @@ double SolveSlice(const QpSolver::Objective& objective,
   }
   lp.c = linalg::Vector(n);
   for (size_t j = 0; j < n; ++j) lp.c[j] = x * objective.d[j] + objective.l[j];
-  lp.upper = linalg::Vector::Ones(n);
+  lp.upper = upper;
 
   const LpSolution sol = SolveBoundedLp(lp);
   if (sol.outcome != LpSolution::Outcome::kOptimal) return -kInf;
@@ -62,49 +67,31 @@ double SolveSlice(const QpSolver::Objective& objective,
   return objective.Evaluate(sol.x);
 }
 
-void ClipToBox(linalg::Vector* v) {
+void ClipToBox(const linalg::Vector& upper, linalg::Vector* v) {
   for (size_t i = 0; i < v->size(); ++i) {
-    (*v)[i] = std::clamp((*v)[i], 0.0, 1.0);
+    (*v)[i] = std::clamp((*v)[i], 0.0, upper[i]);
   }
 }
 
-}  // namespace
-
-linalg::Vector ProjectOntoCappedSimplex(const linalg::Vector& v) {
-  const size_t n = v.size();
-  PRISTE_CHECK(n > 0);
-  // Find τ with Σ clamp(v_i − τ, 0, 1) = 1 by bisection.
-  double lo = v.Min() - 1.0;
-  double hi = v.Max();
-  const auto mass = [&v](double tau) {
-    double total = 0.0;
-    for (double x : v) total += std::clamp(x - tau, 0.0, 1.0);
-    return total;
-  };
-  for (int iter = 0; iter < 100; ++iter) {
-    const double mid = 0.5 * (lo + hi);
-    if (mass(mid) > 1.0) {
-      lo = mid;
-    } else {
-      hi = mid;
-    }
-  }
-  const double tau = 0.5 * (lo + hi);
-  linalg::Vector out(n);
-  for (size_t i = 0; i < n; ++i) out[i] = std::clamp(v[i] - tau, 0.0, 1.0);
-  // Exact renormalization of the clipped mass.
-  const double total = out.Sum();
-  if (total > 0.0) out.ScaleInPlace(1.0 / total);
-  return out;
-}
-
-QpSolver::Result QpSolver::Maximize(const Objective& objective,
-                                    const Deadline& deadline) const {
+// The search core shared by the full-dimension and support-reduced paths:
+// slice sweep + refinement, PGA multistarts, near-zero escalation. `upper`
+// carries the per-coordinate caps (all 1 in the full problem; the reduced
+// simplex problem appends a slack coordinate capped at the off-support
+// count).
+QpSolver::Result MaximizeCore(const QpSolver::Objective& objective,
+                              const linalg::Vector& upper,
+                              const QpSolver::Options& options,
+                              const Deadline& deadline) {
   const size_t n = objective.a.size();
+  PRISTE_CHECK(n > 0);
   PRISTE_CHECK(objective.d.size() == n && objective.l.size() == n);
-  Result result;
+  PRISTE_CHECK(upper.size() == n);
+  const bool simplex = options.constraint == QpSolver::ConstraintSet::kSimplex;
+
+  QpSolver::Result result;
   result.argmax = linalg::Vector(n);
   result.max_value = -kInf;
+  result.reduced_dim = n;
 
   const auto consider = [&result](double value, const linalg::Vector& pi) {
     if (value > result.max_value) {
@@ -113,14 +100,26 @@ QpSolver::Result QpSolver::Maximize(const Objective& objective,
     }
   };
 
+  // Seed a feasible incumbent BEFORE any deadline-checked work: expiry at
+  // any later point still returns a genuine lower bound with a feasible
+  // argmax, never −inf or an uninitialized vector.
+  {
+    linalg::Vector seed(n);
+    if (simplex) {
+      const double share = 1.0 / static_cast<double>(n);
+      for (size_t i = 0; i < n; ++i) seed[i] = share;  // share ≤ 1 ≤ upper_i
+    }  // box: the all-zeros vector is feasible
+    consider(objective.Evaluate(seed), seed);
+  }
+
   double x_lo = 0.0, x_hi = 0.0;
-  SliceRange(objective.a, options_.constraint, &x_lo, &x_hi);
+  SliceRange(objective.a, upper, options.constraint, &x_lo, &x_hi);
 
   // --- Slice sweep: grid + local shrink refinement. ---
   const auto sweep = [&](double lo, double hi, int points) -> bool {
     if (points < 2 || hi <= lo) {
       linalg::Vector arg;
-      const double v = SolveSlice(objective, options_.constraint, lo, &arg);
+      const double v = SolveSlice(objective, upper, options.constraint, lo, &arg);
       ++result.slices_solved;
       if (v > -kInf) consider(v, arg);
       return true;
@@ -130,7 +129,7 @@ QpSolver::Result QpSolver::Maximize(const Objective& objective,
       if (deadline.Expired()) return false;
       const double x = lo + (hi - lo) * g / (points - 1);
       linalg::Vector arg;
-      const double v = SolveSlice(objective, options_.constraint, x, &arg);
+      const double v = SolveSlice(objective, upper, options.constraint, x, &arg);
       ++result.slices_solved;
       if (v > -kInf && v >= result.max_value) best_x = x;
       if (v > -kInf) consider(v, arg);
@@ -138,14 +137,14 @@ QpSolver::Result QpSolver::Maximize(const Objective& objective,
     // Shrinking local refinement around the best slice.
     double span = (hi - lo) / (points - 1);
     double center = best_x;
-    for (int it = 0; it < options_.refine_iters; ++it) {
+    for (int it = 0; it < options.refine_iters; ++it) {
       if (deadline.Expired()) return false;
       bool improved = false;
       for (const double x :
            {center - span, center - 0.5 * span, center + 0.5 * span, center + span}) {
         if (x < lo || x > hi) continue;
         linalg::Vector arg;
-        const double v = SolveSlice(objective, options_.constraint, x, &arg);
+        const double v = SolveSlice(objective, upper, options.constraint, x, &arg);
         ++result.slices_solved;
         if (v > -kInf && v > result.max_value) {
           consider(v, arg);
@@ -159,32 +158,32 @@ QpSolver::Result QpSolver::Maximize(const Objective& objective,
     return true;
   };
 
-  bool finished = sweep(x_lo, x_hi, options_.grid_points);
+  bool finished = sweep(x_lo, x_hi, options.grid_points);
 
   // --- Projected gradient ascent multistarts. ---
-  Rng rng(options_.seed);
-  const auto project = [this](linalg::Vector* pi) {
-    if (options_.constraint == ConstraintSet::kSimplex) {
-      *pi = ProjectOntoCappedSimplex(*pi);
+  Rng rng(options.seed);
+  const auto project = [&](linalg::Vector* pi) {
+    if (simplex) {
+      *pi = ProjectOntoCappedSimplex(*pi, upper);
     } else {
-      ClipToBox(pi);
+      ClipToBox(upper, pi);
     }
   };
-  for (int restart = 0; restart < options_.pga_restarts && finished; ++restart) {
+  for (int restart = 0; restart < options.pga_restarts && finished; ++restart) {
     if (deadline.Expired()) {
       finished = false;
       break;
     }
     linalg::Vector pi(n);
-    if (restart == 0 && result.max_value > -kInf) {
-      pi = result.argmax;  // polish the incumbent
+    if (restart == 0) {
+      pi = result.argmax;  // polish the incumbent (always seeded above)
     } else {
       for (size_t i = 0; i < n; ++i) pi[i] = rng.NextDouble();
       project(&pi);
     }
     double value = objective.Evaluate(pi);
     double step = 1.0;
-    for (int it = 0; it < options_.pga_iters; ++it) {
+    for (int it = 0; it < options.pga_iters; ++it) {
       const double xa = pi.Dot(objective.a);
       const double xd = pi.Dot(objective.d);
       linalg::Vector grad(n);
@@ -217,16 +216,157 @@ QpSolver::Result QpSolver::Maximize(const Objective& objective,
   const double objective_scale = std::max(
       {objective.l.MaxAbs(), objective.a.MaxAbs() * objective.d.MaxAbs(), 1e-300});
   if (finished && result.max_value <= 0.0 &&
-      result.max_value > -options_.escalation_band * objective_scale) {
-    finished = sweep(x_lo, x_hi, options_.grid_points * options_.escalation_factor);
+      result.max_value > -options.escalation_band * objective_scale) {
+    finished = sweep(x_lo, x_hi, options.grid_points * options.escalation_factor);
   }
 
   result.timed_out = !finished;
-  if (result.max_value == -kInf) {
-    // Constraint set empty only if n == 0; keep a defined value.
-    result.max_value = 0.0;
-    result.timed_out = true;
+  return result;
+}
+
+}  // namespace
+
+linalg::Vector ProjectOntoCappedSimplex(const linalg::Vector& v) {
+  return ProjectOntoCappedSimplex(v, linalg::Vector::Ones(v.size()));
+}
+
+linalg::Vector ProjectOntoCappedSimplex(const linalg::Vector& v,
+                                        const linalg::Vector& upper) {
+  const size_t n = v.size();
+  PRISTE_CHECK(n > 0 && upper.size() == n);
+  double total_cap = 0.0;
+  for (const double u : upper) {
+    PRISTE_CHECK_MSG(u >= 0.0, "negative cap");
+    total_cap += u;
   }
+  PRISTE_CHECK_MSG(total_cap >= 1.0 - 1e-12,
+                   "caps cannot carry unit mass — feasible set is empty");
+  if (total_cap <= 1.0) return upper;  // the unique feasible point
+
+  // Find τ with Σ clamp(v_i − τ, 0, u_i) = 1 by bisection. The bracket is
+  // exact: mass(v.Max()) = 0 ≤ 1, and at τ = v.Min() − 1 every term is
+  // min(u_i, v_i − τ) ≥ min(u_i, 1), whose sum is ≥ 1 whenever Σu ≥ 1.
+  const auto mass = [&](double tau) {
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      total += std::clamp(v[i] - tau, 0.0, upper[i]);
+    }
+    return total;
+  };
+  double lo = v.Min() - 1.0;
+  double hi = v.Max();
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (mass(mid) > 1.0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo <= 1e-15 * std::max(1.0, std::fabs(lo) + std::fabs(hi))) break;
+  }
+  const double tau = 0.5 * (lo + hi);
+  linalg::Vector out(n);
+  for (size_t i = 0; i < n; ++i) out[i] = std::clamp(v[i] - tau, 0.0, upper[i]);
+
+  // Restore the unit sum exactly — but only through coordinates with room in
+  // the needed direction, so no entry ever leaves [0, u_i]. (The old global
+  // 1/Σ rescale could push capped coordinates past their cap and returned
+  // the zero vector when Σ underflowed to 0.)
+  double residual = 1.0 - out.Sum();
+  for (int pass = 0; pass < 8 && residual != 0.0; ++pass) {
+    size_t room = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (residual > 0.0 ? out[i] < upper[i] : out[i] > 0.0) ++room;
+    }
+    if (room == 0) break;
+    const double share = residual / static_cast<double>(room);
+    for (size_t i = 0; i < n; ++i) {
+      const bool has_room = residual > 0.0 ? out[i] < upper[i] : out[i] > 0.0;
+      if (!has_room) continue;
+      const double nv = std::clamp(out[i] + share, 0.0, upper[i]);
+      residual -= nv - out[i];
+      out[i] = nv;
+    }
+  }
+  return out;
+}
+
+QpSolver::Result QpSolver::Maximize(const Objective& objective,
+                                    const Deadline& deadline) const {
+  const size_t n = objective.a.size();
+  PRISTE_CHECK(n > 0);
+  PRISTE_CHECK(objective.d.size() == n && objective.l.size() == n);
+  const bool simplex = options_.constraint == ConstraintSet::kSimplex;
+
+  // Joint support of (a, d, l): a coordinate outside it has zero coefficient
+  // in every term of f(π) = (π·a)(π·d) + π·l, so its only role is carrying
+  // probability mass — which one aggregate slack coordinate (capped at the
+  // off-support count) models exactly on the simplex, and which is simply
+  // irrelevant on the box.
+  std::vector<size_t> support;
+  if (options_.exploit_support) {
+    support.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (objective.a[i] != 0.0 || objective.d[i] != 0.0 ||
+          objective.l[i] != 0.0) {
+        support.push_back(i);
+      }
+    }
+  }
+  const bool reduce = options_.exploit_support && support.size() < n;
+
+  if (!reduce) {
+    return MaximizeCore(objective, linalg::Vector::Ones(n), options_, deadline);
+  }
+
+  const size_t off = n - support.size();
+  if (support.empty() && !simplex) {
+    // Identically-zero objective on the box: 0 at the zero vector is the
+    // exact maximum; there is nothing to search.
+    Result result;
+    result.argmax = linalg::Vector(n);
+    result.max_value = 0.0;
+    result.reduced_dim = 0;
+    return result;
+  }
+
+  // Reduced problem: gathered support coordinates, plus (simplex only) the
+  // slack with zero objective coefficients and cap `off`.
+  const size_t ns = support.size() + (simplex ? 1 : 0);
+  Objective reduced;
+  reduced.a = linalg::Vector(ns);
+  reduced.d = linalg::Vector(ns);
+  reduced.l = linalg::Vector(ns);
+  linalg::Vector upper = linalg::Vector::Ones(ns);
+  for (size_t j = 0; j < support.size(); ++j) {
+    reduced.a[j] = objective.a[support[j]];
+    reduced.d[j] = objective.d[support[j]];
+    reduced.l[j] = objective.l[support[j]];
+  }
+  if (simplex) upper[ns - 1] = static_cast<double>(off);
+
+  Result result = MaximizeCore(reduced, upper, options_, deadline);
+
+  // Scatter the reduced argmax back to n dimensions, resolving off-support
+  // coordinates in closed form: spread the slack mass uniformly (each share
+  // is ≤ 1 because the slack is capped at `off`). The objective value is
+  // unchanged — off-support coefficients are all zero.
+  linalg::Vector full(n);
+  for (size_t j = 0; j < support.size(); ++j) {
+    full[support[j]] = result.argmax[j];
+  }
+  if (simplex && off > 0) {
+    const double share = result.argmax[ns - 1] / static_cast<double>(off);
+    size_t next_support = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (next_support < support.size() && support[next_support] == i) {
+        ++next_support;
+      } else {
+        full[i] = share;
+      }
+    }
+  }
+  result.argmax = std::move(full);
   return result;
 }
 

@@ -52,6 +52,15 @@ class QpSolver {
     /// near-boundary case is where a missed global max would matter.
     double escalation_band = 1e-6;
     int escalation_factor = 8;
+    /// When set (default), Maximize() detects the joint support of
+    /// (a, d, l) and solves every slice LP — and runs every
+    /// projected-gradient iterate — in the reduced dimension |support| (+1
+    /// slack on the simplex). Off-support coordinates contribute nothing to
+    /// the objective, so they are resolved in closed form: the slack mass is
+    /// spread uniformly across them when the argmax is scattered back. With
+    /// δ-location-set emissions the Theorem vectors are supported on a
+    /// handful of cells, shrinking each LP by ~m/|support|.
+    bool exploit_support = true;
     uint64_t seed = 0xC0FFEE;
   };
 
@@ -67,14 +76,20 @@ class QpSolver {
   };
 
   struct Result {
-    /// Best objective value found (lower bound on the true maximum).
+    /// Best objective value found (lower bound on the true maximum). Always
+    /// finite: a feasible incumbent is seeded before the sweep, so deadline
+    /// expiry can never surface −inf or an empty argmax.
     double max_value = 0.0;
-    /// The maximizing prior found.
+    /// The maximizing prior found (always a feasible point of the full
+    /// n-dimensional constraint set, even when slices were solved reduced).
     linalg::Vector argmax;
     /// True when the deadline expired before the sweep finished.
     bool timed_out = false;
     /// Number of LP slices solved (diagnostics / Table III accounting).
     int slices_solved = 0;
+    /// Dimension the slice LPs / PGA iterates ran in (n when no support
+    /// reduction applied; |support|+1 on the simplex, |support| on the box).
+    size_t reduced_dim = 0;
   };
 
   QpSolver() = default;
@@ -90,9 +105,20 @@ class QpSolver {
   Options options_;
 };
 
-/// Projects `v` onto {π : Σπ = 1, 0 ≤ π ≤ 1} in O(n log n) (bisection on the
-/// shift). Exposed for tests.
+/// Projects `v` onto {π : Σπ = 1, 0 ≤ π ≤ 1} by bisection on the shift τ
+/// with Σ clamp(v_i − τ, 0, 1) = 1, run to floating-point tolerance; any
+/// residual mass is then redistributed only across coordinates with room in
+/// the needed direction, so the result always satisfies max ≤ 1 and
+/// Σ = 1 (± 1e-12) — no global rescale that could push entries past the cap.
+/// Exposed for tests.
 linalg::Vector ProjectOntoCappedSimplex(const linalg::Vector& v);
+
+/// Per-coordinate-cap form: projects onto {π : Σπ = 1, 0 ≤ π_i ≤ upper_i}.
+/// Requires Σ upper ≥ 1 (the set is empty otherwise); when Σ upper == 1 the
+/// unique feasible point `upper` is returned. The support-aware QP uses this
+/// with a slack coordinate capped at the number of off-support cells.
+linalg::Vector ProjectOntoCappedSimplex(const linalg::Vector& v,
+                                        const linalg::Vector& upper);
 
 }  // namespace priste::core
 

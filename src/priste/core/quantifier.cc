@@ -7,26 +7,27 @@
 #include "priste/common/thread_pool.h"
 
 namespace priste::core {
+namespace {
 
-PrivacyQuantifier::PrivacyQuantifier(const LiftedEventModel* model,
-                                     bool normalize_emissions)
-    : model_(model), normalize_emissions_(normalize_emissions) {
-  PRISTE_CHECK(model_ != nullptr);
-}
-
-TheoremVectors PrivacyQuantifier::ComputeVectors(
-    const std::vector<linalg::Vector>& emissions) const {
-  const size_t m = model_->num_states();
+// Shared Lemma III.2/III.3 chain over dense or sparse emission columns. Both
+// column types expose size() and MaxAbs(), and the model overloads
+// ApplyEmissionInPlace on the column type — the sparse form touches only the
+// support of each column.
+template <typename Column>
+TheoremVectors ComputeVectorsImpl(const LiftedEventModel& model,
+                                  bool normalize_emissions,
+                                  const std::vector<Column>& emissions) {
+  const size_t m = model.num_states();
   const int t = static_cast<int>(emissions.size());
   PRISTE_CHECK_MSG(t >= 1, "need at least one observation");
   for (const auto& e : emissions) PRISTE_CHECK(e.size() == m);
-  const int end = model_->event_end();
+  const int end = model.event_end();
 
   // Per-column normalization scales (a joint (b̄, c̄) rescaling — the
   // conditions are scale-invariant); applied in place after each emission
   // product, so columns are never copied.
   std::vector<double> inv_scale(emissions.size(), 1.0);
-  if (normalize_emissions_) {
+  if (normalize_emissions) {
     for (size_t i = 0; i < emissions.size(); ++i) {
       const double scale = emissions[i].MaxAbs();
       PRISTE_CHECK_MSG(scale > 0.0, "emission column is all-zero");
@@ -36,8 +37,8 @@ TheoremVectors PrivacyQuantifier::ComputeVectors(
 
   // Two ping-pong work vectors shared by every chain below — the only lifted
   // allocations in this call, reused across all timesteps.
-  linalg::Vector cur(model_->lifted_size());
-  linalg::Vector nxt(model_->lifted_size());
+  linalg::Vector cur(model.lifted_size());
+  linalg::Vector nxt(model.lifted_size());
 
   // Right-to-left application of the Lemma III.2/III.3 chain onto a seed
   // column; `last` is the number of diag/transition factors to run through
@@ -45,12 +46,12 @@ TheoremVectors PrivacyQuantifier::ComputeVectors(
   const auto apply_prefix = [&](const linalg::Vector& seed, int last) {
     cur = seed;
     for (int i = last; i >= 1; --i) {
-      model_->ApplyEmissionInPlace(emissions[static_cast<size_t>(i - 1)], cur);
+      model.ApplyEmissionInPlace(emissions[static_cast<size_t>(i - 1)], cur);
       if (inv_scale[static_cast<size_t>(i - 1)] != 1.0) {
         cur.ScaleInPlace(inv_scale[static_cast<size_t>(i - 1)]);
       }
       if (i > 1) {
-        model_->StepColumnInto(cur, i - 1, nxt);
+        model.StepColumnInto(cur, i - 1, nxt);
         std::swap(cur, nxt);
       }
     }
@@ -58,34 +59,52 @@ TheoremVectors PrivacyQuantifier::ComputeVectors(
 
   TheoremVectors out;
   out.t = t;
-  out.a_bar = model_->PriorContraction();
+  out.a_bar = model.PriorContraction();
 
   if (t <= end) {
     // Eq. (18): b seeds with the event suffix v_t, c with the all-ones
     // column.
-    apply_prefix(model_->SuffixTrue(t), t);
-    out.b_bar = model_->ContractColumn(cur);
-    apply_prefix(linalg::Vector::Ones(model_->lifted_size()), t);
-    out.c_bar = model_->ContractColumn(cur);
+    apply_prefix(model.SuffixTrue(t), t);
+    out.b_bar = model.ContractColumn(cur);
+    apply_prefix(linalg::Vector::Ones(model.lifted_size()), t);
+    out.c_bar = model.ContractColumn(cur);
   } else {
     // Eqs. (19)/(20): backward vector β over o_{end+1}..o_t, then the
     // during-event prefix up to `end`.
-    linalg::Vector beta = linalg::Vector::Ones(model_->lifted_size());
+    linalg::Vector beta = linalg::Vector::Ones(model.lifted_size());
     for (int tau = t - 1; tau >= end; --tau) {
-      model_->ApplyEmissionInPlace(emissions[static_cast<size_t>(tau)], beta);
+      model.ApplyEmissionInPlace(emissions[static_cast<size_t>(tau)], beta);
       if (inv_scale[static_cast<size_t>(tau)] != 1.0) {
         beta.ScaleInPlace(inv_scale[static_cast<size_t>(tau)]);
       }
-      model_->StepColumnInto(beta, tau, nxt);
+      model.StepColumnInto(beta, tau, nxt);
       std::swap(beta, nxt);
     }
-    linalg::Vector beta_true = beta.Hadamard(model_->AcceptingMask());
+    linalg::Vector beta_true = beta.Hadamard(model.AcceptingMask());
     apply_prefix(beta_true, end);
-    out.b_bar = model_->ContractColumn(cur);
+    out.b_bar = model.ContractColumn(cur);
     apply_prefix(beta, end);
-    out.c_bar = model_->ContractColumn(cur);
+    out.c_bar = model.ContractColumn(cur);
   }
   return out;
+}
+
+}  // namespace
+
+PrivacyQuantifier::PrivacyQuantifier(const LiftedEventModel* model,
+                                     bool normalize_emissions)
+    : model_(model), normalize_emissions_(normalize_emissions) {
+  PRISTE_CHECK(model_ != nullptr);
+}
+
+TheoremVectors PrivacyQuantifier::ComputeVectors(
+    const std::vector<linalg::Vector>& emissions) const {
+  return ComputeVectorsImpl(*model_, normalize_emissions_, emissions);
+}
+
+TheoremVectors PrivacyQuantifier::ComputeVectors(
+    const std::vector<linalg::SparseVector>& emissions) const {
+  return ComputeVectorsImpl(*model_, normalize_emissions_, emissions);
 }
 
 double PrivacyQuantifier::Condition15(const TheoremVectors& v,

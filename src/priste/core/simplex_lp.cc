@@ -14,10 +14,30 @@ constexpr double kTol = 1e-9;
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
 // Solves the k×k system B y = rhs by Gaussian elimination with partial
-// pivoting. Returns false when B is (numerically) singular.
+// pivoting. Returns false when B is (numerically) singular. The k ∈ {1, 2}
+// systems the QP slice LPs generate every simplex iteration take the closed
+// forms below — the same pivot choices and tolerances as the general
+// elimination, without its loop overhead.
 bool SolveSquare(linalg::Matrix b, linalg::Vector rhs, linalg::Vector* out) {
   const size_t k = b.rows();
   PRISTE_CHECK(b.cols() == k && rhs.size() == k);
+  if (k == 1) {
+    if (std::fabs(b(0, 0)) < 1e-12) return false;
+    *out = linalg::Vector{rhs[0] / b(0, 0)};
+    return true;
+  }
+  if (k == 2) {
+    const size_t p = std::fabs(b(1, 0)) > std::fabs(b(0, 0)) ? 1 : 0;
+    const size_t q = 1 - p;
+    if (std::fabs(b(p, 0)) < 1e-12) return false;
+    const double f = b(q, 0) / b(p, 0);
+    const double denom = b(q, 1) - f * b(p, 1);
+    if (std::fabs(denom) < 1e-12) return false;
+    const double y1 = (rhs[q] - f * rhs[p]) / denom;
+    const double y0 = (rhs[p] - b(p, 1) * y1) / b(p, 0);
+    *out = linalg::Vector{y0, y1};
+    return true;
+  }
   for (size_t col = 0; col < k; ++col) {
     size_t pivot = col;
     for (size_t r = col + 1; r < k; ++r) {

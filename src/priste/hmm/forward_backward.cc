@@ -5,9 +5,24 @@
 namespace priste::hmm {
 namespace {
 
+// Dense/sparse emission columns share every recursion below; the only
+// per-type operations are the size probe (both types spell it size()), the
+// first-step Hadamard with the initial distribution, and the fused
+// transition kernels (overloaded on the column type).
+void FirstAlphaInto(const linalg::Vector& initial, const linalg::Vector& e,
+                    linalg::Vector& out) {
+  for (size_t i = 0; i < out.size(); ++i) out[i] = initial[i] * e[i];
+}
+
+void FirstAlphaInto(const linalg::Vector& initial,
+                    const linalg::SparseVector& e, linalg::Vector& out) {
+  e.HadamardInto(initial, out);
+}
+
+template <typename Column>
 Status ValidateInputs(const markov::TransitionMatrix& transition,
                       const linalg::Vector& initial,
-                      const std::vector<linalg::Vector>& emissions) {
+                      const std::vector<Column>& emissions) {
   const size_t m = transition.num_states();
   if (initial.size() != m) {
     return Status::InvalidArgument("initial distribution size != num_states");
@@ -27,9 +42,10 @@ Status ValidateInputs(const markov::TransitionMatrix& transition,
 // `alphas` with α̂_t (each summing to 1) and `scales` with the per-step
 // normalizers c_t. Allocation-free per step: every vector is written in
 // place via the chain's fused kernels. Fails only on a genuine zero.
+template <typename Column>
 Status ScaledForward(const markov::TransitionMatrix& transition,
                      const linalg::Vector& initial,
-                     const std::vector<linalg::Vector>& emissions,
+                     const std::vector<Column>& emissions,
                      std::vector<linalg::Vector>& alphas,
                      std::vector<double>& scales) {
   const size_t m = transition.num_states();
@@ -39,10 +55,11 @@ Status ScaledForward(const markov::TransitionMatrix& transition,
 
   // α_1 = π ∘ p̃_{o_1}; α_t = (α_{t-1} M) ∘ p̃_{o_t}  (Eq. 10), rescaled to
   // a probability vector after every step.
-  alphas[0] = initial.Hadamard(emissions[0]);
   for (size_t t = 0; t < T; ++t) {
-    if (t > 0) {
-      alphas[t] = linalg::Vector(m);
+    alphas[t] = linalg::Vector(m);
+    if (t == 0) {
+      FirstAlphaInto(initial, emissions[0], alphas[0]);
+    } else {
       transition.PropagateHadamardInto(alphas[t - 1], emissions[t], alphas[t]);
     }
     const double c = alphas[t].Sum();
@@ -56,11 +73,10 @@ Status ScaledForward(const markov::TransitionMatrix& transition,
   return Status::Ok();
 }
 
-}  // namespace
-
-StatusOr<ForwardBackwardResult> ForwardBackward(
+template <typename Column>
+StatusOr<ForwardBackwardResult> ForwardBackwardImpl(
     const markov::TransitionMatrix& transition, const linalg::Vector& initial,
-    const std::vector<linalg::Vector>& emissions) {
+    const std::vector<Column>& emissions) {
   PRISTE_RETURN_IF_ERROR(ValidateInputs(transition, initial, emissions));
   const size_t m = transition.num_states();
   const size_t T = emissions.size();
@@ -99,9 +115,10 @@ StatusOr<ForwardBackwardResult> ForwardBackward(
   return out;
 }
 
-StatusOr<std::vector<linalg::Vector>> ForwardOnly(
+template <typename Column>
+StatusOr<std::vector<linalg::Vector>> ForwardOnlyImpl(
     const markov::TransitionMatrix& transition, const linalg::Vector& initial,
-    const std::vector<linalg::Vector>& emissions) {
+    const std::vector<Column>& emissions) {
   PRISTE_RETURN_IF_ERROR(ValidateInputs(transition, initial, emissions));
   std::vector<linalg::Vector> alphas;
   std::vector<double> scales;
@@ -110,12 +127,53 @@ StatusOr<std::vector<linalg::Vector>> ForwardOnly(
   return alphas;
 }
 
+}  // namespace
+
+StatusOr<ForwardBackwardResult> ForwardBackward(
+    const markov::TransitionMatrix& transition, const linalg::Vector& initial,
+    const std::vector<linalg::Vector>& emissions) {
+  return ForwardBackwardImpl(transition, initial, emissions);
+}
+
+StatusOr<ForwardBackwardResult> ForwardBackward(
+    const markov::TransitionMatrix& transition, const linalg::Vector& initial,
+    const std::vector<linalg::SparseVector>& emissions) {
+  return ForwardBackwardImpl(transition, initial, emissions);
+}
+
+StatusOr<std::vector<linalg::Vector>> ForwardOnly(
+    const markov::TransitionMatrix& transition, const linalg::Vector& initial,
+    const std::vector<linalg::Vector>& emissions) {
+  return ForwardOnlyImpl(transition, initial, emissions);
+}
+
+StatusOr<std::vector<linalg::Vector>> ForwardOnly(
+    const markov::TransitionMatrix& transition, const linalg::Vector& initial,
+    const std::vector<linalg::SparseVector>& emissions) {
+  return ForwardOnlyImpl(transition, initial, emissions);
+}
+
 StatusOr<linalg::Vector> PosteriorUpdate(const linalg::Vector& prior,
                                          const linalg::Vector& emission_column) {
   if (prior.size() != emission_column.size()) {
     return Status::InvalidArgument("prior/emission size mismatch");
   }
   linalg::Vector post = prior.Hadamard(emission_column);
+  const double norm = post.Sum();
+  if (norm <= 0.0) {
+    return Status::FailedPrecondition("observation impossible under prior");
+  }
+  post.ScaleInPlace(1.0 / norm);
+  return post;
+}
+
+StatusOr<linalg::Vector> PosteriorUpdate(
+    const linalg::Vector& prior, const linalg::SparseVector& emission_column) {
+  if (prior.size() != emission_column.size()) {
+    return Status::InvalidArgument("prior/emission size mismatch");
+  }
+  linalg::Vector post(prior.size());
+  emission_column.HadamardInto(prior, post);
   const double norm = post.Sum();
   if (norm <= 0.0) {
     return Status::FailedPrecondition("observation impossible under prior");

@@ -1,6 +1,7 @@
 #include "priste/io/trajectory_io.h"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <sstream>
@@ -10,29 +11,43 @@
 namespace priste::io {
 namespace {
 
-std::vector<std::string> SplitLines(const std::string& text) {
-  std::vector<std::string> lines;
+// A non-blank CSV line together with its 1-based physical line number, so
+// error messages point at the line the user sees in their editor even when
+// the file contains blank lines.
+struct CsvLine {
+  std::string text;
+  size_t number = 0;
+};
+
+std::vector<CsvLine> SplitLines(const std::string& text) {
+  std::vector<CsvLine> lines;
   std::istringstream stream(text);
   std::string line;
+  size_t number = 0;
   while (std::getline(stream, line)) {
+    ++number;
     if (!line.empty() && line.back() == '\r') line.pop_back();
-    if (!line.empty()) lines.push_back(line);
+    if (!line.empty()) lines.push_back(CsvLine{line, number});
   }
   return lines;
 }
 
+// Splits on commas, trimming only LEADING and TRAILING whitespace of each
+// field — whitespace inside a field is preserved so "1 2" is reported as the
+// malformed field it is instead of silently collapsing to "12".
 std::vector<std::string> SplitFields(const std::string& line) {
   std::vector<std::string> fields;
-  std::string current;
-  for (char c : line) {
-    if (c == ',') {
-      fields.push_back(current);
-      current.clear();
-    } else if (c != ' ' && c != '\t') {
-      current += c;
-    }
+  size_t start = 0;
+  while (true) {
+    const size_t comma = line.find(',', start);
+    const size_t end = comma == std::string::npos ? line.size() : comma;
+    size_t lo = start, hi = end;
+    while (lo < hi && (line[lo] == ' ' || line[lo] == '\t')) ++lo;
+    while (hi > lo && (line[hi - 1] == ' ' || line[hi - 1] == '\t')) --hi;
+    fields.push_back(line.substr(lo, hi - lo));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
   }
-  fields.push_back(current);
   return fields;
 }
 
@@ -47,14 +62,29 @@ StatusOr<double> ParseDouble(const std::string& field) {
   return value;
 }
 
+// Parses a field that must hold an integer: fractional values are rejected
+// instead of silently truncated (t=1.9 used to pass as t=1).
+StatusOr<int> ParseInteger(const std::string& field, const char* what) {
+  PRISTE_ASSIGN_OR_RETURN(const double value, ParseDouble(field));
+  if (value != std::floor(value)) {
+    return Status::InvalidArgument(
+        StrFormat("%s '%s' is not an integer", what, field.c_str()));
+  }
+  if (std::fabs(value) > 1e9) {  // guards the int cast below
+    return Status::InvalidArgument(
+        StrFormat("%s '%s' is out of range", what, field.c_str()));
+  }
+  return static_cast<int>(value);
+}
+
 }  // namespace
 
 StatusOr<geo::Trajectory> ParseTrajectoryCsv(const std::string& csv,
                                              const geo::Grid& grid) {
-  const std::vector<std::string> lines = SplitLines(csv);
+  const std::vector<CsvLine> lines = SplitLines(csv);
   if (lines.empty()) return Status::InvalidArgument("empty CSV");
 
-  const std::vector<std::string> header = SplitFields(lines[0]);
+  const std::vector<std::string> header = SplitFields(lines[0].text);
   bool discrete;
   if (header.size() == 2 && header[0] == "t" && header[1] == "cell") {
     discrete = true;
@@ -69,33 +99,45 @@ StatusOr<geo::Trajectory> ParseTrajectoryCsv(const std::string& csv,
   geo::Trajectory trajectory;
   int expected_t = 1;
   for (size_t i = 1; i < lines.size(); ++i) {
-    const std::vector<std::string> fields = SplitFields(lines[i]);
+    const size_t lineno = lines[i].number;
+    const std::vector<std::string> fields = SplitFields(lines[i].text);
     if (fields.size() != header.size()) {
       return Status::InvalidArgument(
-          StrFormat("row %zu has %zu fields, expected %zu", i, fields.size(),
-                    header.size()));
+          StrFormat("line %zu has %zu fields, expected %zu", lineno,
+                    fields.size(), header.size()));
     }
-    PRISTE_ASSIGN_OR_RETURN(const double t_value, ParseDouble(fields[0]));
-    if (static_cast<int>(t_value) != expected_t) {
+    const StatusOr<int> t_value = ParseInteger(fields[0], "timestamp");
+    if (!t_value.ok()) {
       return Status::InvalidArgument(
-          StrFormat("row %zu: timestamp %d out of order (expected %d)", i,
-                    static_cast<int>(t_value), expected_t));
+          StrFormat("line %zu: %s", lineno, t_value.status().message().c_str()));
+    }
+    if (*t_value != expected_t) {
+      return Status::InvalidArgument(
+          StrFormat("line %zu: timestamp %d out of order (expected %d)", lineno,
+                    *t_value, expected_t));
     }
     ++expected_t;
 
     if (discrete) {
-      PRISTE_ASSIGN_OR_RETURN(const double cell_value, ParseDouble(fields[1]));
-      const int cell = static_cast<int>(cell_value);
-      if (!grid.ContainsCell(cell)) {
-        return Status::OutOfRange(
-            StrFormat("row %zu: cell %d outside the %zu-cell grid", i, cell,
-                      grid.num_cells()));
+      const StatusOr<int> cell = ParseInteger(fields[1], "cell");
+      if (!cell.ok()) {
+        return Status::InvalidArgument(
+            StrFormat("line %zu: %s", lineno, cell.status().message().c_str()));
       }
-      trajectory.Append(cell);
+      if (!grid.ContainsCell(*cell)) {
+        return Status::OutOfRange(
+            StrFormat("line %zu: cell %d outside the %zu-cell grid", lineno,
+                      *cell, grid.num_cells()));
+      }
+      trajectory.Append(*cell);
     } else {
-      PRISTE_ASSIGN_OR_RETURN(const double x, ParseDouble(fields[1]));
-      PRISTE_ASSIGN_OR_RETURN(const double y, ParseDouble(fields[2]));
-      trajectory.Append(grid.CellContaining(geo::PointKm{x, y}));
+      const StatusOr<double> x = ParseDouble(fields[1]);
+      const StatusOr<double> y = x.ok() ? ParseDouble(fields[2]) : x;
+      if (!y.ok()) {
+        return Status::InvalidArgument(
+            StrFormat("line %zu: %s", lineno, y.status().message().c_str()));
+      }
+      trajectory.Append(grid.CellContaining(geo::PointKm{*x, *y}));
     }
   }
   if (trajectory.empty()) return Status::InvalidArgument("CSV has no data rows");

@@ -20,6 +20,10 @@ namespace priste::io {
 ///   t,x_km,y_km       — continuous form: planar km coordinates mapped to
 ///                       cells via Grid::CellContaining
 /// Rows must be sorted by t with consecutive timestamps starting at 1.
+/// Timestamps and cell ids must be integral (fractional values are rejected,
+/// never truncated); fields are trimmed of leading/trailing whitespace only,
+/// so whitespace inside a field is malformed; blank lines are skipped, and
+/// error messages cite 1-based physical line numbers.
 
 /// Parses a trajectory from CSV text (either format, detected from the
 /// header). `grid` validates cell ids and maps coordinates.

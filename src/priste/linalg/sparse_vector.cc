@@ -1,0 +1,87 @@
+#include "priste/linalg/sparse_vector.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "priste/common/check.h"
+
+namespace priste::linalg {
+
+SparseVector SparseVector::FromDense(const Vector& v, double prune_tol) {
+  SparseVector out;
+  out.dim_ = v.size();
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (std::fabs(v[i]) > prune_tol) {
+      out.indices_.push_back(i);
+      out.values_.push_back(v[i]);
+    }
+  }
+  return out;
+}
+
+SparseVector::SparseVector(size_t dim, std::vector<size_t> indices,
+                           std::vector<double> values)
+    : dim_(dim), indices_(std::move(indices)), values_(std::move(values)) {
+  PRISTE_CHECK(indices_.size() == values_.size());
+  for (size_t k = 0; k < indices_.size(); ++k) {
+    PRISTE_CHECK(indices_[k] < dim_);
+    PRISTE_CHECK(k == 0 || indices_[k - 1] < indices_[k]);
+  }
+}
+
+double SparseVector::Dot(const Vector& dense) const {
+  PRISTE_CHECK(dense.size() == dim_);
+  return DotSpan(dense.data());
+}
+
+double SparseVector::DotSpan(const double* x) const {
+  double acc = 0.0;
+  for (size_t k = 0; k < values_.size(); ++k) {
+    acc += values_[k] * x[indices_[k]];
+  }
+  return acc;
+}
+
+void SparseVector::AxpyInto(double alpha, Vector& out) const {
+  PRISTE_CHECK(out.size() == dim_);
+  double* o = out.data();
+  for (size_t k = 0; k < values_.size(); ++k) {
+    o[indices_[k]] += alpha * values_[k];
+  }
+}
+
+void SparseVector::HadamardInto(const Vector& dense, Vector& out) const {
+  PRISTE_CHECK(dense.size() == dim_ && out.size() == dim_);
+  PRISTE_DCHECK(dense.data() != out.data());
+  std::memset(out.data(), 0, dim_ * sizeof(double));
+  const double* x = dense.data();
+  double* o = out.data();
+  for (size_t k = 0; k < values_.size(); ++k) {
+    o[indices_[k]] = values_[k] * x[indices_[k]];
+  }
+}
+
+void SparseVector::HadamardSpanInPlace(double* x) const {
+  size_t prev = 0;
+  for (size_t k = 0; k < values_.size(); ++k) {
+    const size_t idx = indices_[k];
+    if (idx > prev) std::memset(x + prev, 0, (idx - prev) * sizeof(double));
+    x[idx] *= values_[k];
+    prev = idx + 1;
+  }
+  if (dim_ > prev) std::memset(x + prev, 0, (dim_ - prev) * sizeof(double));
+}
+
+double SparseVector::MaxAbs() const {
+  double best = 0.0;
+  for (const double v : values_) best = std::max(best, std::fabs(v));
+  return best;
+}
+
+Vector SparseVector::ToDense() const {
+  Vector out(dim_);
+  for (size_t k = 0; k < values_.size(); ++k) out[indices_[k]] = values_[k];
+  return out;
+}
+
+}  // namespace priste::linalg

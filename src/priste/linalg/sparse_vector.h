@@ -1,0 +1,73 @@
+#ifndef PRISTE_LINALG_SPARSE_VECTOR_H_
+#define PRISTE_LINALG_SPARSE_VECTOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "priste/linalg/vector.h"
+
+namespace priste::linalg {
+
+/// Sorted index/value view of a mostly-zero vector — the natural shape of
+/// δ-location-set emission columns, where an observation is only possible
+/// from a handful of cells and the dense column p̃_o is zero elsewhere.
+///
+/// All kernels are O(nnz) (plus an O(dim) zero-fill where the result is
+/// dense); the in-place Hadamard walks the support gaps in one pass so it
+/// never allocates. Indices are strictly increasing; values may be zero only
+/// when explicitly constructed that way (FromDense prunes them).
+class SparseVector {
+ public:
+  SparseVector() = default;
+
+  /// Keeps entries with |value| > prune_tol.
+  static SparseVector FromDense(const Vector& v, double prune_tol = 0.0);
+
+  /// From explicit pairs. `indices` must be strictly increasing and < dim.
+  SparseVector(size_t dim, std::vector<size_t> indices,
+               std::vector<double> values);
+
+  /// Dimension of the underlying dense vector (also spelled size() so
+  /// generic code can treat dense and sparse columns uniformly).
+  size_t dim() const { return dim_; }
+  size_t size() const { return dim_; }
+  size_t nnz() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  const std::vector<size_t>& indices() const { return indices_; }
+  const std::vector<double>& values() const { return values_; }
+
+  /// Σ value_k · dense[index_k]. Requires dense.size() == dim().
+  double Dot(const Vector& dense) const;
+  /// Same over a raw span of length dim().
+  double DotSpan(const double* x) const;
+
+  /// out[index_k] += alpha · value_k (off-support entries untouched).
+  void AxpyInto(double alpha, Vector& out) const;
+
+  /// Fused Hadamard producing a dense result: out ← this ∘ dense — support
+  /// entries are value_k · dense[index_k], everything else exactly zero.
+  /// `out` must not alias `dense`.
+  void HadamardInto(const Vector& dense, Vector& out) const;
+
+  /// In-place Hadamard on a raw span of length dim(): x ← this ∘ x. One
+  /// forward pass — gaps between support indices are zero-filled as they are
+  /// walked, so no scratch is needed. This is the emission kernel the lifted
+  /// event models call once per event-state block.
+  void HadamardSpanInPlace(double* x) const;
+
+  /// Largest |value| (0 when empty) — matches Vector::MaxAbs on the dense
+  /// form, since off-support entries contribute |0|.
+  double MaxAbs() const;
+
+  Vector ToDense() const;
+
+ private:
+  size_t dim_ = 0;
+  std::vector<size_t> indices_;
+  std::vector<double> values_;
+};
+
+}  // namespace priste::linalg
+
+#endif  // PRISTE_LINALG_SPARSE_VECTOR_H_

@@ -55,6 +55,62 @@ TEST(ProjectionTest, FixedPointForFeasibleInput) {
   EXPECT_LT(p.Minus(v).MaxAbs(), 1e-6);
 }
 
+// Regression for the old final step, which rescaled the clipped mass by
+// 1/total: that could push a capped coordinate above 1 and returned the
+// all-zero vector when the bisection landed on total == 0. The projection
+// must now deliver max ≤ 1 and Σ = 1 ± 1e-12 on every input — including
+// adversarial magnitudes the bisection cannot resolve.
+TEST(ProjectionTest, AdversarialInputsStayFeasible) {
+  const std::vector<linalg::Vector> adversarial = {
+      {2.0, 0.0},                         // one coordinate pinned at its cap
+      {5.0, 5.0, 5.0},                    // all above cap, exact ties
+      {-3.0, -3.0, -3.0, -3.0},           // all negative
+      {1e300, -1e300, 0.5},               // range beyond bisection resolution
+      {1e-300, 2e-300, 3e-300},           // subnormal-scale spread
+      {1.0},                              // n = 1: the only feasible point
+      {1.0 + 1e-15, 1.0 - 1e-15},         // caps within one ulp
+      {0.25, 0.25, 0.25, 0.25},           // already feasible
+  };
+  for (const linalg::Vector& v : adversarial) {
+    const linalg::Vector p = ProjectOntoCappedSimplex(v);
+    ASSERT_EQ(p.size(), v.size());
+    EXPECT_LE(p.Max(), 1.0) << v.ToString();
+    EXPECT_GE(p.Min(), 0.0) << v.ToString();
+    EXPECT_NEAR(p.Sum(), 1.0, 1e-12) << v.ToString();
+  }
+  Rng rng(77);
+  for (int trial = 0; trial < 200; ++trial) {
+    linalg::Vector v(5);
+    const double scale = std::pow(10.0, rng.Uniform(-5.0, 5.0));
+    for (size_t i = 0; i < v.size(); ++i) v[i] = scale * rng.Uniform(-2.0, 2.0);
+    const linalg::Vector p = ProjectOntoCappedSimplex(v);
+    EXPECT_LE(p.Max(), 1.0);
+    EXPECT_GE(p.Min(), 0.0);
+    EXPECT_NEAR(p.Sum(), 1.0, 1e-12);
+  }
+}
+
+TEST(ProjectionTest, PerCoordinateCapsAreRespected) {
+  const linalg::Vector caps{1.0, 1.0, 3.0};
+  const linalg::Vector p = ProjectOntoCappedSimplex({5.0, 5.0, 5.0}, caps);
+  EXPECT_NEAR(p.Sum(), 1.0, 1e-12);
+  for (size_t i = 0; i < p.size(); ++i) {
+    EXPECT_GE(p[i], 0.0);
+    EXPECT_LE(p[i], caps[i]);
+  }
+  // A slack-style cap can absorb more than 1 unit of mass.
+  const linalg::Vector slack_caps{1.0, 9.0};
+  const linalg::Vector q =
+      ProjectOntoCappedSimplex({-10.0, 10.0}, slack_caps);
+  EXPECT_NEAR(q.Sum(), 1.0, 1e-12);
+  EXPECT_NEAR(q[1], 1.0, 1e-9);  // all mass lands on the high coordinate
+  // Σ caps == 1: the unique feasible point is the cap vector itself.
+  const linalg::Vector tight =
+      ProjectOntoCappedSimplex({42.0, -42.0}, {0.25, 0.75});
+  EXPECT_NEAR(tight[0], 0.25, 1e-300);
+  EXPECT_NEAR(tight[1], 0.75, 1e-300);
+}
+
 TEST(QpSolverTest, LinearObjectiveExactOnSimplex) {
   // With a = 0 the objective is linear; the simplex max is the best entry.
   QpSolver::Objective obj;
@@ -131,6 +187,173 @@ TEST(QpSolverTest, ExpiredDeadlineReportsTimeout) {
   QpSolver solver;
   const auto result = solver.Maximize(obj, Deadline::After(-1.0));
   EXPECT_TRUE(result.timed_out);
+}
+
+// A result must be a usable feasible lower bound no matter when the deadline
+// fires: finite max_value, a feasible argmax of the right size, and the two
+// consistent with each other. Never -inf, never an empty vector.
+void ExpectFeasibleResult(const QpSolver::Objective& obj,
+                          const QpSolver::Result& result) {
+  ASSERT_EQ(result.argmax.size(), obj.a.size());
+  EXPECT_TRUE(std::isfinite(result.max_value));
+  EXPECT_NEAR(result.argmax.Sum(), 1.0, 1e-9);
+  EXPECT_TRUE(result.argmax.AllInRange(0.0, 1.0, 1e-9));
+  EXPECT_NEAR(obj.Evaluate(result.argmax), result.max_value, 1e-9);
+}
+
+TEST(QpSolverTest, ZeroDeadlineStillReturnsFeasibleBestSoFar) {
+  Rng rng(51);
+  QpSolver::Objective obj;
+  obj.a = RandomVec(12, rng, 0.0, 1.0);
+  obj.d = RandomVec(12, rng);
+  obj.l = RandomVec(12, rng);
+  const auto result = QpSolver().Maximize(obj, Deadline::After(-1.0));
+  EXPECT_TRUE(result.timed_out);
+  ExpectFeasibleResult(obj, result);
+}
+
+TEST(QpSolverTest, MidSweepDeadlineStillReturnsFeasibleBestSoFar) {
+  // A deadline short enough to fire somewhere inside the sweep of a large
+  // dense problem. Whether it fires before the first slice or between two
+  // slices depends on wall clock — the invariants must hold either way.
+  Rng rng(53);
+  const size_t n = 96;
+  QpSolver::Objective obj;
+  obj.a = RandomVec(n, rng, 0.0, 1.0);
+  obj.d = RandomVec(n, rng);
+  obj.l = RandomVec(n, rng);
+  QpSolver::Options options;
+  options.grid_points = 257;  // enough slices that expiry lands mid-sweep
+  const QpSolver solver(options);
+  for (const double seconds : {1e-7, 1e-4, 2e-3}) {
+    const auto result = solver.Maximize(obj, Deadline::After(seconds));
+    ExpectFeasibleResult(obj, result);
+    if (result.timed_out) {
+      // The incumbent is at least the seeded uniform prior.
+      const linalg::Vector uniform =
+          linalg::Vector::UniformProbability(n);
+      EXPECT_GE(result.max_value, obj.Evaluate(uniform) - 1e-12);
+    }
+  }
+}
+
+// --- Support-aware reduction. ---
+
+// Builds an objective supported on `support` of the n coordinates.
+QpSolver::Objective SparseObjective(size_t n, const std::vector<size_t>& support,
+                                    Rng& rng) {
+  QpSolver::Objective obj;
+  obj.a = linalg::Vector(n);
+  obj.d = linalg::Vector(n);
+  obj.l = linalg::Vector(n);
+  for (const size_t i : support) {
+    obj.a[i] = rng.Uniform(0.0, 1.0);
+    obj.d[i] = rng.Uniform(-1.0, 1.0);
+    obj.l[i] = rng.Uniform(-1.0, 1.0);
+  }
+  return obj;
+}
+
+class SupportAwareTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SupportAwareTest, ReducedMatchesFullSweep) {
+  Rng rng(4000 + GetParam());
+  const size_t n = 40;
+  std::vector<size_t> support;
+  for (size_t i = 3; i < n; i += 7) support.push_back(i);
+  const QpSolver::Objective obj = SparseObjective(n, support, rng);
+
+  // PGA off isolates the deterministic slice sweep, which must agree to
+  // solver tolerance between the full and the reduced path.
+  QpSolver::Options options;
+  options.pga_restarts = 0;
+  for (const auto constraint :
+       {QpSolver::ConstraintSet::kSimplex, QpSolver::ConstraintSet::kBox}) {
+    options.constraint = constraint;
+    options.exploit_support = true;
+    QpSolver::Options dense_options = options;
+    dense_options.exploit_support = false;
+
+    const auto reduced = QpSolver(options).Maximize(obj, Deadline::Infinite());
+    const auto full =
+        QpSolver(dense_options).Maximize(obj, Deadline::Infinite());
+    EXPECT_FALSE(reduced.timed_out);
+    EXPECT_FALSE(full.timed_out);
+    EXPECT_NEAR(reduced.max_value, full.max_value, 1e-7)
+        << "constraint=" << static_cast<int>(constraint);
+
+    // Reduced dimension: |support| (+ slack on the simplex); the full path
+    // reports n.
+    const bool simplex = constraint == QpSolver::ConstraintSet::kSimplex;
+    EXPECT_EQ(reduced.reduced_dim, support.size() + (simplex ? 1 : 0));
+    EXPECT_EQ(full.reduced_dim, n);
+
+    // The scattered argmax is feasible in the FULL space and consistent.
+    ASSERT_EQ(reduced.argmax.size(), n);
+    EXPECT_TRUE(reduced.argmax.AllInRange(0.0, 1.0, 1e-9));
+    if (simplex) {
+      EXPECT_NEAR(reduced.argmax.Sum(), 1.0, 1e-9);
+    }
+    EXPECT_NEAR(obj.Evaluate(reduced.argmax), reduced.max_value, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Trials, SupportAwareTest, ::testing::Range(0, 8));
+
+TEST(SupportAwareTest, DefaultOptionsBeatRandomSearchOnSparseObjective) {
+  Rng rng(61);
+  const size_t n = 30;
+  std::vector<size_t> support = {2, 7, 11, 19, 23};
+  const QpSolver::Objective obj = SparseObjective(n, support, rng);
+  const auto result = QpSolver().Maximize(obj, Deadline::Infinite());
+  EXPECT_FALSE(result.timed_out);
+  Rng search_rng(62);
+  const double baseline = RandomSearchMax(obj, 20000, search_rng);
+  EXPECT_GE(result.max_value, baseline - 1e-4);
+  EXPECT_NEAR(result.argmax.Sum(), 1.0, 1e-6);
+  EXPECT_TRUE(result.argmax.AllInRange(0.0, 1.0, 1e-6));
+}
+
+TEST(SupportAwareTest, LargeGridSmallSupportSolvesTinyLps) {
+  // The ISSUE-3 acceptance scenario: a 1024-cell grid whose Theorem vectors
+  // are supported on a 9-cell δ-location set — every slice LP runs in
+  // dimension 10 (support + slack), ~100× smaller than the dense 1024.
+  Rng rng(63);
+  const size_t n = 1024;
+  std::vector<size_t> support;
+  for (size_t i = 0; i < 9; ++i) support.push_back(100 + 3 * i);
+  const QpSolver::Objective obj = SparseObjective(n, support, rng);
+  QpSolver::Options options;
+  options.grid_points = 17;
+  options.refine_iters = 4;
+  options.pga_restarts = 1;
+  options.pga_iters = 30;
+  const auto result = QpSolver(options).Maximize(obj, Deadline::Infinite());
+  EXPECT_FALSE(result.timed_out);
+  EXPECT_EQ(result.reduced_dim, 10u);
+  ASSERT_EQ(result.argmax.size(), n);
+  EXPECT_NEAR(result.argmax.Sum(), 1.0, 1e-9);
+  EXPECT_TRUE(result.argmax.AllInRange(0.0, 1.0, 1e-9));
+  EXPECT_NEAR(obj.Evaluate(result.argmax), result.max_value, 1e-9);
+}
+
+TEST(SupportAwareTest, AllZeroObjectiveIsHandledInClosedForm) {
+  QpSolver::Objective obj;
+  obj.a = linalg::Vector(6);
+  obj.d = linalg::Vector(6);
+  obj.l = linalg::Vector(6);
+  const auto simplex = QpSolver().Maximize(obj, Deadline::Infinite());
+  EXPECT_FALSE(simplex.timed_out);
+  EXPECT_NEAR(simplex.max_value, 0.0, 1e-12);
+  EXPECT_NEAR(simplex.argmax.Sum(), 1.0, 1e-9);
+  EXPECT_TRUE(simplex.argmax.AllInRange(0.0, 1.0, 1e-9));
+
+  QpSolver::Options box_options;
+  box_options.constraint = QpSolver::ConstraintSet::kBox;
+  const auto box = QpSolver(box_options).Maximize(obj, Deadline::Infinite());
+  EXPECT_FALSE(box.timed_out);
+  EXPECT_NEAR(box.max_value, 0.0, 1e-12);
+  EXPECT_EQ(box.reduced_dim, 0u);
 }
 
 TEST(QpSolverTest, SlicesSolvedIsPositive) {

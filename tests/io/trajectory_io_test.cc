@@ -43,6 +43,67 @@ TEST(TrajectoryIoTest, RejectsBadInput) {
   EXPECT_FALSE(ParseTrajectoryCsv("t,cell\n1\n", kGrid).ok());       // field count
 }
 
+TEST(TrajectoryIoTest, RejectsFractionalTimestamps) {
+  // t=1.9 used to be silently truncated to t=1 and accepted.
+  const auto fractional = ParseTrajectoryCsv("t,cell\n1.9,0\n", kGrid);
+  EXPECT_FALSE(fractional.ok());
+  EXPECT_NE(fractional.status().message().find("timestamp"), std::string::npos)
+      << fractional.status();
+  EXPECT_FALSE(ParseTrajectoryCsv("t,cell\n1,0\n2.5,1\n", kGrid).ok());
+  // Integral-valued forms such as "2.0" remain accepted.
+  const auto integral = ParseTrajectoryCsv("t,cell\n1,0\n2.0,1\n", kGrid);
+  ASSERT_TRUE(integral.ok()) << integral.status();
+  EXPECT_EQ(integral->length(), 2);
+}
+
+TEST(TrajectoryIoTest, RejectsFractionalCells) {
+  const auto fractional = ParseTrajectoryCsv("t,cell\n1,3.7\n", kGrid);
+  EXPECT_FALSE(fractional.ok());
+  EXPECT_NE(fractional.status().message().find("cell"), std::string::npos)
+      << fractional.status();
+}
+
+TEST(TrajectoryIoTest, RejectsOutOfRangeTimestamps) {
+  // Integral but beyond the int range (e.g. an epoch timestamp): reported as
+  // out of range, not "not an integer".
+  const auto epoch = ParseTrajectoryCsv("t,cell\n1753516800,0\n", kGrid);
+  EXPECT_FALSE(epoch.ok());
+  EXPECT_NE(epoch.status().message().find("out of range"), std::string::npos)
+      << epoch.status();
+}
+
+TEST(TrajectoryIoTest, ErrorsReportPhysicalLineNumbers) {
+  // Blank lines used to be dropped before numbering, shifting every reported
+  // row. The bad cell below sits on physical line 5 of the file.
+  const auto bad = ParseTrajectoryCsv("t,cell\n1,0\n\n\n2,99\n", kGrid);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("line 5"), std::string::npos)
+      << bad.status();
+  // Blank lines themselves stay harmless.
+  const auto blank_ok = ParseTrajectoryCsv("t,cell\n\n1,0\n\n2,1\n", kGrid);
+  ASSERT_TRUE(blank_ok.ok()) << blank_ok.status();
+  EXPECT_EQ(blank_ok->length(), 2);
+  // Continuous-format coordinate errors carry line numbers too.
+  const auto bad_xy =
+      ParseTrajectoryCsv("t,x_km,y_km\n1,0.5,0.5\n\n2,abc,0.5\n", kGrid);
+  EXPECT_FALSE(bad_xy.ok());
+  EXPECT_NE(bad_xy.status().message().find("line 4"), std::string::npos)
+      << bad_xy.status();
+}
+
+TEST(TrajectoryIoTest, WhitespaceInsideFieldIsMalformed) {
+  // "1 2" used to collapse to cell 12; interior whitespace must now fail.
+  const auto bad = ParseTrajectoryCsv("t,cell\n1,1 2\n", kGrid);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("1 2"), std::string::npos)
+      << bad.status();
+  EXPECT_FALSE(ParseTrajectoryCsv("t,cell\n1 1,2\n", kGrid).ok());
+  // Leading/trailing whitespace is still trimmed.
+  const auto ok = ParseTrajectoryCsv("t,cell\n 1 ,\t3 \n", kGrid);
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  EXPECT_EQ(ok->At(1), 3);
+}
+
 TEST(TrajectoryIoTest, RoundTrip) {
   const geo::Trajectory original({3, 7, 11, 2});
   const auto parsed = ParseTrajectoryCsv(TrajectoryToCsv(original), kGrid);

@@ -1,0 +1,160 @@
+#include "priste/linalg/sparse_vector.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "priste/common/random.h"
+#include "priste/linalg/sparse.h"
+
+namespace priste::linalg {
+namespace {
+
+Vector RandomDense(size_t n, Rng& rng) {
+  Vector v(n);
+  for (size_t i = 0; i < n; ++i) v[i] = rng.Uniform(-2.0, 2.0);
+  return v;
+}
+
+Vector RandomSparseDense(size_t n, size_t support, Rng& rng) {
+  Vector v(n);
+  size_t placed = 0;
+  while (placed < support) {
+    const size_t i = rng.NextBelow(n);
+    if (v[i] == 0.0) {
+      v[i] = rng.Uniform(0.1, 1.0);
+      ++placed;
+    }
+  }
+  return v;
+}
+
+TEST(SparseVectorTest, FromDenseRoundTrip) {
+  Rng rng(11);
+  const Vector dense = RandomSparseDense(37, 5, rng);
+  const SparseVector sparse = SparseVector::FromDense(dense);
+  EXPECT_EQ(sparse.dim(), 37u);
+  EXPECT_EQ(sparse.size(), 37u);
+  EXPECT_EQ(sparse.nnz(), 5u);
+  EXPECT_LT(sparse.ToDense().Minus(dense).MaxAbs(), 1e-300);
+  // Indices come out strictly increasing.
+  for (size_t k = 1; k < sparse.nnz(); ++k) {
+    EXPECT_LT(sparse.indices()[k - 1], sparse.indices()[k]);
+  }
+}
+
+TEST(SparseVectorTest, FromDensePrunesBelowTolerance) {
+  const Vector dense{0.5, 1e-12, 0.0, -0.25};
+  const SparseVector pruned = SparseVector::FromDense(dense, 1e-9);
+  EXPECT_EQ(pruned.nnz(), 2u);
+  EXPECT_EQ(pruned.indices()[0], 0u);
+  EXPECT_EQ(pruned.indices()[1], 3u);
+}
+
+TEST(SparseVectorTest, ExplicitConstructorValidates) {
+  const SparseVector v(6, {1, 4}, {0.5, 0.25});
+  EXPECT_EQ(v.dim(), 6u);
+  EXPECT_EQ(v.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(v.ToDense()[4], 0.25);
+}
+
+TEST(SparseVectorTest, DotMatchesDense) {
+  Rng rng(13);
+  const Vector dense = RandomSparseDense(50, 7, rng);
+  const SparseVector sparse = SparseVector::FromDense(dense);
+  const Vector x = RandomDense(50, rng);
+  EXPECT_NEAR(sparse.Dot(x), dense.Dot(x), 1e-12);
+  EXPECT_NEAR(sparse.DotSpan(x.data()), dense.Dot(x), 1e-12);
+}
+
+TEST(SparseVectorTest, AxpyIntoTouchesOnlySupport) {
+  const SparseVector v(4, {1, 3}, {2.0, -1.0});
+  Vector out{10.0, 10.0, 10.0, 10.0};
+  v.AxpyInto(0.5, out);
+  EXPECT_DOUBLE_EQ(out[0], 10.0);
+  EXPECT_DOUBLE_EQ(out[1], 11.0);
+  EXPECT_DOUBLE_EQ(out[2], 10.0);
+  EXPECT_DOUBLE_EQ(out[3], 9.5);
+}
+
+TEST(SparseVectorTest, HadamardIntoMatchesDense) {
+  Rng rng(17);
+  const Vector column = RandomSparseDense(40, 6, rng);
+  const SparseVector sparse = SparseVector::FromDense(column);
+  const Vector x = RandomDense(40, rng);
+  Vector out(40);
+  sparse.HadamardInto(x, out);
+  EXPECT_LT(out.Minus(column.Hadamard(x)).MaxAbs(), 1e-15);
+}
+
+TEST(SparseVectorTest, HadamardSpanInPlaceZeroesGaps) {
+  // Support at both ends and the middle: the gap walk must zero-fill before,
+  // between, and after the support.
+  const SparseVector v(7, {0, 3, 6}, {2.0, 3.0, 4.0});
+  Vector x{1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+  v.HadamardSpanInPlace(x.data());
+  const Vector expected{2.0, 0.0, 0.0, 3.0, 0.0, 0.0, 4.0};
+  EXPECT_LT(x.Minus(expected).MaxAbs(), 1e-300);
+
+  // Empty support zeroes everything.
+  const SparseVector empty(4, {}, {});
+  Vector y{1.0, 2.0, 3.0, 4.0};
+  empty.HadamardSpanInPlace(y.data());
+  EXPECT_DOUBLE_EQ(y.MaxAbs(), 0.0);
+}
+
+TEST(SparseVectorTest, MaxAbsMatchesDense) {
+  Rng rng(19);
+  const Vector dense = RandomSparseDense(30, 4, rng);
+  EXPECT_DOUBLE_EQ(SparseVector::FromDense(dense).MaxAbs(), dense.MaxAbs());
+  EXPECT_DOUBLE_EQ(SparseVector(5, {}, {}).MaxAbs(), 0.0);
+}
+
+// --- Fused SparseMatrix kernels against sparse emission columns. ---
+
+Matrix RandomSparseMatrix(size_t n, Rng& rng) {
+  Matrix m(n, n);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < n; ++c) {
+      if (rng.NextDouble() < 0.2) m(r, c) = rng.Uniform(0.1, 1.0);
+    }
+  }
+  return m;
+}
+
+TEST(SparseMatrixSparseEmissionTest, VecMatHadamardMatchesDenseOracle) {
+  Rng rng(23);
+  const Matrix dense = RandomSparseMatrix(24, rng);
+  const SparseMatrix csr = SparseMatrix::FromDense(dense);
+  const Vector x = RandomDense(24, rng);
+  const Vector h = RandomSparseDense(24, 5, rng);
+  const SparseVector hs = SparseVector::FromDense(h);
+
+  Vector expected(24), got(24);
+  csr.VecMatHadamardInto(x, h, expected);
+  csr.VecMatHadamardInto(x, hs, got);
+  EXPECT_LT(got.Minus(expected).MaxAbs(), 1e-14);
+}
+
+TEST(SparseMatrixSparseEmissionTest, MatVecHadamardMatchesDenseOracle) {
+  Rng rng(29);
+  const Matrix dense = RandomSparseMatrix(24, rng);
+  const SparseMatrix csr = SparseMatrix::FromDense(dense);
+  const Vector x = RandomDense(24, rng);
+  const Vector h = RandomSparseDense(24, 5, rng);
+  const SparseVector hs = SparseVector::FromDense(h);
+
+  Vector expected(24), got(24);
+  csr.MatVecHadamardInto(h, x, expected);
+  csr.MatVecHadamardInto(hs, x, got);
+  EXPECT_LT(got.Minus(expected).MaxAbs(), 1e-14);
+
+  // Repeated calls must not be polluted by the thread-local scratch: the
+  // second run is bit-identical to the first.
+  Vector again(24);
+  csr.MatVecHadamardInto(hs, x, again);
+  EXPECT_LT(again.Minus(got).MaxAbs(), 1e-300);
+}
+
+}  // namespace
+}  // namespace priste::linalg

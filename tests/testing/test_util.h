@@ -59,6 +59,24 @@ inline linalg::Vector RandomEmissionColumn(size_t m, Rng& rng) {
   return e;
 }
 
+/// A δ-location-set-style emission column: zero outside a random support of
+/// `support` cells, values in (0, 1] on it. Dense form; convert with
+/// SparseVector::FromDense to exercise the sparse kernels.
+inline linalg::Vector RandomSparseEmissionColumn(size_t m, size_t support,
+                                                 Rng& rng) {
+  PRISTE_CHECK(support >= 1 && support <= m);
+  linalg::Vector e(m);
+  size_t placed = 0;
+  while (placed < support) {
+    const size_t i = rng.NextBelow(m);
+    if (e[i] == 0.0) {
+      e[i] = 0.05 + 0.95 * rng.NextDouble();
+      ++placed;
+    }
+  }
+  return e;
+}
+
 }  // namespace priste::testing
 
 #include "priste/event/boolean_expr.h"
