@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "priste/core/qp_solver.h"
+#include "priste/core/release_step.h"
 #include "priste/geo/trajectory.h"
 
 namespace priste::core {
@@ -36,6 +37,9 @@ struct PristeOptions {
   bool normalize_emissions = true;
 
   QpSolver::Options qp;
+
+  /// Release-step evaluation engine knobs (prefix cache, QP warm starts).
+  ReleaseStepOptions release;
 };
 
 /// Per-timestamp outcome of a PriSTE run.
@@ -59,6 +63,8 @@ struct RunResult {
   int total_conservative = 0;
   /// Wall-clock of the whole run, seconds.
   double total_seconds = 0.0;
+  /// Release-step engine counters (cache hits, warm-start accepts/rejects).
+  ReleaseStepDiagnostics release_diagnostics;
 };
 
 }  // namespace priste::core

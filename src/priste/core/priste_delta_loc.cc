@@ -2,6 +2,7 @@
 
 #include "priste/common/strings.h"
 #include "priste/common/timer.h"
+#include "priste/core/release_step.h"
 #include "priste/hmm/forward_backward.h"
 #include "priste/lppm/delta_location_set.h"
 
@@ -43,8 +44,15 @@ StatusOr<RunResult> PristeDeltaLoc::Run(const geo::Trajectory& true_trajectory,
   Timer run_timer;
   RunResult result;
   result.steps.reserve(static_cast<size_t>(T));
-  std::vector<linalg::Vector> history;
   linalg::Vector posterior = initial_;  // p⁺_0 = π
+
+  // The release-step engine owns the per-model quantifiers, the incremental
+  // Theorem-vector state, and the QP warm-start bundles for this run.
+  std::vector<const LiftedEventModel*> raw_models;
+  raw_models.reserve(models_.size());
+  for (const auto& model : models_) raw_models.push_back(model.get());
+  ReleaseStepContext context(std::move(raw_models), &solver_,
+                             options_.normalize_emissions, options_.release);
 
   for (int t = 1; t <= T; ++t) {
     const int true_cell = true_trajectory.At(t);
@@ -68,44 +76,28 @@ StatusOr<RunResult> PristeDeltaLoc::Run(const geo::Trajectory& true_trajectory,
                                                     location_set);
       const int o = mech.Perturb(true_cell, rng);
       released_column = mech.emission().EmissionColumn(o);
-      history.push_back(released_column);
 
       if (effective_alpha == 0.0) {
         // Uniform-over-ΔX release; accept (the α → 0 anchor). Unlike the
         // unrestricted mechanism this is only uniform within ΔX_t, so we
         // still run the check when a finite threshold allows it, but never
         // loop further.
+        context.Commit(released_column);
         step.released_cell = o;
         step.released_alpha = 0.0;
         break;
       }
 
-      bool all_ok = true;
-      bool timed_out = false;
-      for (const auto& model : models_) {
-        const PrivacyQuantifier quantifier(model.get(),
-                                           options_.normalize_emissions);
-        const TheoremVectors vectors = quantifier.ComputeVectors(history);
-        const Deadline deadline =
-            options_.qp_threshold_seconds > 0.0
-                ? Deadline::After(options_.qp_threshold_seconds)
-                : Deadline::Infinite();
-        const PrivacyCheckResult check = quantifier.CheckArbitraryPrior(
-            vectors, options_.epsilon, solver_, deadline);
-        if (!check.satisfied) {
-          all_ok = false;
-          timed_out = timed_out || check.timed_out;
-          break;
-        }
-      }
+      const ReleaseCheckOutcome outcome = context.CheckCandidate(
+          released_column, options_.epsilon, options_.qp_threshold_seconds);
 
-      if (all_ok) {
+      if (outcome.all_satisfied) {
+        context.Commit(released_column);
         step.released_cell = o;
         step.released_alpha = alpha;
         break;
       }
-      history.pop_back();
-      if (timed_out) {
+      if (outcome.timed_out) {
         // total_conservative counts affected timestamps (the paper's "# of
         // Conservative Release"), not individual retries.
         if (step.conservative_timeouts == 0) ++result.total_conservative;
@@ -123,6 +115,7 @@ StatusOr<RunResult> PristeDeltaLoc::Run(const geo::Trajectory& true_trajectory,
     result.steps.push_back(step);
   }
 
+  result.release_diagnostics = context.diagnostics();
   result.total_seconds = run_timer.ElapsedSeconds();
   return result;
 }

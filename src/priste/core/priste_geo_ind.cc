@@ -2,6 +2,7 @@
 
 #include "priste/common/strings.h"
 #include "priste/common/timer.h"
+#include "priste/core/release_step.h"
 
 namespace priste::core {
 
@@ -72,8 +73,14 @@ StatusOr<RunResult> PristeGeoInd::Run(const geo::Trajectory& true_trajectory,
   Timer run_timer;
   RunResult result;
   result.steps.reserve(static_cast<size_t>(T));
-  std::vector<linalg::Vector> history;  // released emission columns p̃_{o_i}
-  history.reserve(static_cast<size_t>(T));
+
+  // The release-step engine owns the per-model quantifiers, the incremental
+  // Theorem-vector state, and the QP warm-start bundles for this run.
+  std::vector<const LiftedEventModel*> raw_models;
+  raw_models.reserve(models_.size());
+  for (const auto& model : models_) raw_models.push_back(model.get());
+  ReleaseStepContext context(std::move(raw_models), &solver_,
+                             options_.normalize_emissions, options_.release);
 
   for (int t = 1; t <= T; ++t) {
     const int true_cell = true_trajectory.At(t);
@@ -90,7 +97,7 @@ StatusOr<RunResult> PristeGeoInd::Run(const geo::Trajectory& true_trajectory,
         // 1/m preserves the previously-certified condition signs.
         const auto& mech = MechanismFor(0.0);
         const int o = mech.Perturb(true_cell, rng);
-        history.push_back(mech.emission().EmissionColumn(o));
+        context.Commit(mech.emission().EmissionColumn(o));
         step.released_cell = o;
         step.released_alpha = 0.0;
         break;
@@ -98,35 +105,17 @@ StatusOr<RunResult> PristeGeoInd::Run(const geo::Trajectory& true_trajectory,
 
       const auto& mech = MechanismFor(alpha);
       const int o = mech.Perturb(true_cell, rng);
-      history.push_back(mech.emission().EmissionColumn(o));
+      const linalg::Vector column = mech.emission().EmissionColumn(o);
+      const ReleaseCheckOutcome outcome = context.CheckCandidate(
+          column, options_.epsilon, options_.qp_threshold_seconds);
 
-      bool all_ok = true;
-      bool timed_out = false;
-      for (const auto& model : models_) {
-        const PrivacyQuantifier quantifier(model.get(),
-                                           options_.normalize_emissions);
-        const TheoremVectors vectors = quantifier.ComputeVectors(history);
-        const Deadline deadline =
-            options_.qp_threshold_seconds > 0.0
-                ? Deadline::After(options_.qp_threshold_seconds)
-                : Deadline::Infinite();
-        const PrivacyCheckResult check =
-            quantifier.CheckArbitraryPrior(vectors, options_.epsilon, solver_,
-                                           deadline);
-        if (!check.satisfied) {
-          all_ok = false;
-          timed_out = timed_out || check.timed_out;
-          break;
-        }
-      }
-
-      if (all_ok) {
+      if (outcome.all_satisfied) {
+        context.Commit(column);
         step.released_cell = o;
         step.released_alpha = alpha;
         break;
       }
-      history.pop_back();  // candidate rejected
-      if (timed_out) {
+      if (outcome.timed_out) {
         // total_conservative counts affected timestamps (the paper's "# of
         // Conservative Release"), not individual retries.
         if (step.conservative_timeouts == 0) ++result.total_conservative;
@@ -140,6 +129,7 @@ StatusOr<RunResult> PristeGeoInd::Run(const geo::Trajectory& true_trajectory,
     result.steps.push_back(step);
   }
 
+  result.release_diagnostics = context.diagnostics();
   result.total_seconds = run_timer.ElapsedSeconds();
   return result;
 }

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 #include <limits>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "priste/common/check.h"
@@ -36,30 +39,60 @@ void SliceRange(const linalg::Vector& a, const linalg::Vector& upper,
   }
 }
 
+// Warm-start plumbing shared by the sweep and the cross-call state: the
+// slice family keeps the LP arrays and the slice-to-slice basis alive for a
+// whole sweep, and the seed carries the previous call's optimum.
+struct WarmIo {
+  // Extra feasible incumbent evaluated before the sweep (the previous call's
+  // optimum, in the same reduced coordinates as the current problem).
+  const linalg::Vector* seed_pi = nullptr;
+  // Reusable slice-LP solver with basis chaining; null = cold slices.
+  SliceLpSolver* family = nullptr;
+  // Per-sweep b/c scratch for the family path (avoids two allocations per
+  // slice).
+  linalg::Vector slice_b;
+  linalg::Vector slice_c;
+};
+
 // Solves one slice: maximize (x·d + l)ᵀπ subject to π·a = x (+ simplex row),
-// 0 ≤ π ≤ upper. Returns −inf when the slice is infeasible.
+// 0 ≤ π ≤ upper. Returns −inf when the slice is infeasible. With a warm
+// family the solve reuses its arrays and chained basis; otherwise it is a
+// cold two-phase solve.
 double SolveSlice(const QpSolver::Objective& objective,
                   const linalg::Vector& upper,
                   QpSolver::ConstraintSet constraint, double x,
-                  linalg::Vector* argmax) {
+                  linalg::Vector* argmax, WarmIo* warm) {
   const size_t n = objective.a.size();
   const bool simplex = constraint == QpSolver::ConstraintSet::kSimplex;
   const size_t rows = simplex ? 2 : 1;
 
-  LpProblem lp;
-  lp.a = linalg::Matrix(rows, n);
-  for (size_t j = 0; j < n; ++j) lp.a(0, j) = objective.a[j];
-  lp.b = linalg::Vector(rows);
-  lp.b[0] = x;
-  if (simplex) {
-    for (size_t j = 0; j < n; ++j) lp.a(1, j) = 1.0;
-    lp.b[1] = 1.0;
+  LpSolution sol;
+  if (warm != nullptr && warm->family != nullptr) {
+    if (warm->slice_b.size() != rows) warm->slice_b = linalg::Vector(rows);
+    if (warm->slice_c.size() != n) warm->slice_c = linalg::Vector(n);
+    warm->slice_b[0] = x;
+    if (simplex) warm->slice_b[1] = 1.0;
+    for (size_t j = 0; j < n; ++j) {
+      warm->slice_c[j] = x * objective.d[j] + objective.l[j];
+    }
+    sol = warm->family->Solve(warm->slice_b, warm->slice_c);
+  } else {
+    LpProblem lp;
+    lp.a = linalg::Matrix(rows, n);
+    for (size_t j = 0; j < n; ++j) lp.a(0, j) = objective.a[j];
+    lp.b = linalg::Vector(rows);
+    lp.b[0] = x;
+    if (simplex) {
+      for (size_t j = 0; j < n; ++j) lp.a(1, j) = 1.0;
+      lp.b[1] = 1.0;
+    }
+    lp.c = linalg::Vector(n);
+    for (size_t j = 0; j < n; ++j) {
+      lp.c[j] = x * objective.d[j] + objective.l[j];
+    }
+    lp.upper = upper;
+    sol = SolveBoundedLp(lp);
   }
-  lp.c = linalg::Vector(n);
-  for (size_t j = 0; j < n; ++j) lp.c[j] = x * objective.d[j] + objective.l[j];
-  lp.upper = upper;
-
-  const LpSolution sol = SolveBoundedLp(lp);
   if (sol.outcome != LpSolution::Outcome::kOptimal) return -kInf;
   if (argmax != nullptr) *argmax = sol.x;
   // The LP objective is the linearized form; the true bilinear value uses
@@ -81,7 +114,7 @@ void ClipToBox(const linalg::Vector& upper, linalg::Vector* v) {
 QpSolver::Result MaximizeCore(const QpSolver::Objective& objective,
                               const linalg::Vector& upper,
                               const QpSolver::Options& options,
-                              const Deadline& deadline) {
+                              const Deadline& deadline, WarmIo* warm) {
   const size_t n = objective.a.size();
   PRISTE_CHECK(n > 0);
   PRISTE_CHECK(objective.d.size() == n && objective.l.size() == n);
@@ -111,28 +144,59 @@ QpSolver::Result MaximizeCore(const QpSolver::Objective& objective,
     }  // box: the all-zeros vector is feasible
     consider(objective.Evaluate(seed), seed);
   }
-
   double x_lo = 0.0, x_hi = 0.0;
   SliceRange(objective.a, upper, options.constraint, &x_lo, &x_hi);
 
+  // Cross-call seed (previous optimum, same reduced frame): take it as a
+  // second incumbent — the first PGA restart polishes it — and solve its
+  // slice x = π·a up front, so the sweep starts from a near-final incumbent.
+  // Both are pure additions to the cold path's candidate set.
+  if (warm != nullptr && warm->seed_pi != nullptr &&
+      warm->seed_pi->size() == n) {
+    consider(objective.Evaluate(*warm->seed_pi), *warm->seed_pi);
+    if (!deadline.Expired()) {
+      const double x_seed =
+          std::clamp(warm->seed_pi->Dot(objective.a), x_lo, x_hi);
+      linalg::Vector arg;
+      const double v =
+          SolveSlice(objective, upper, options.constraint, x_seed, &arg, warm);
+      ++result.slices_solved;
+      if (v > -kInf) consider(v, arg);
+    }
+  }
+
   // --- Slice sweep: grid + local shrink refinement. ---
+  // The refinement trajectory (best_x / center moves) is driven ONLY by the
+  // slice values themselves, never by the global incumbent: an incumbent
+  // that beats every slice (a warm seed, or the uniform-prior seed) must not
+  // stop the refinement from homing in on the best slice region — otherwise
+  // a warm-started search could explore less than the cold one and return a
+  // smaller (under-certifying) maximum.
   const auto sweep = [&](double lo, double hi, int points) -> bool {
     if (points < 2 || hi <= lo) {
       linalg::Vector arg;
-      const double v = SolveSlice(objective, upper, options.constraint, lo, &arg);
+      const double v =
+          SolveSlice(objective, upper, options.constraint, lo, &arg, warm);
       ++result.slices_solved;
       if (v > -kInf) consider(v, arg);
       return true;
     }
     double best_x = lo;
+    double best_slice = -kInf;
     for (int g = 0; g < points; ++g) {
       if (deadline.Expired()) return false;
       const double x = lo + (hi - lo) * g / (points - 1);
       linalg::Vector arg;
-      const double v = SolveSlice(objective, upper, options.constraint, x, &arg);
+      const double v =
+          SolveSlice(objective, upper, options.constraint, x, &arg, warm);
       ++result.slices_solved;
-      if (v > -kInf && v >= result.max_value) best_x = x;
-      if (v > -kInf) consider(v, arg);
+      if (v > -kInf) {
+        if (v >= best_slice) {
+          best_slice = v;
+          best_x = x;
+        }
+        consider(v, arg);
+      }
     }
     // Shrinking local refinement around the best slice.
     double span = (hi - lo) / (points - 1);
@@ -144,9 +208,11 @@ QpSolver::Result MaximizeCore(const QpSolver::Objective& objective,
            {center - span, center - 0.5 * span, center + 0.5 * span, center + span}) {
         if (x < lo || x > hi) continue;
         linalg::Vector arg;
-        const double v = SolveSlice(objective, upper, options.constraint, x, &arg);
+        const double v =
+            SolveSlice(objective, upper, options.constraint, x, &arg, warm);
         ++result.slices_solved;
-        if (v > -kInf && v > result.max_value) {
+        if (v > -kInf && v > best_slice) {
+          best_slice = v;
           consider(v, arg);
           center = x;
           improved = true;
@@ -221,7 +287,26 @@ QpSolver::Result MaximizeCore(const QpSolver::Objective& objective,
   }
 
   result.timed_out = !finished;
+  if (warm != nullptr && warm->family != nullptr) {
+    result.warm_accepted_slices = warm->family->warm_accepted();
+    result.warm_rejected_slices = warm->family->warm_rejected();
+  }
   return result;
+}
+
+// True when every index of sorted `sub` appears in sorted `super`.
+bool IsSortedSubset(const std::vector<size_t>& sub,
+                    const std::vector<size_t>& super) {
+  return std::includes(super.begin(), super.end(), sub.begin(), sub.end());
+}
+
+std::vector<size_t> SortedUnion(const std::vector<size_t>& a,
+                                const std::vector<size_t>& b) {
+  std::vector<size_t> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
 }
 
 }  // namespace
@@ -243,28 +328,63 @@ linalg::Vector ProjectOntoCappedSimplex(const linalg::Vector& v,
                    "caps cannot carry unit mass — feasible set is empty");
   if (total_cap <= 1.0) return upper;  // the unique feasible point
 
-  // Find τ with Σ clamp(v_i − τ, 0, u_i) = 1 by bisection. The bracket is
-  // exact: mass(v.Max()) = 0 ≤ 1, and at τ = v.Min() − 1 every term is
-  // min(u_i, v_i − τ) ≥ min(u_i, 1), whose sum is ≥ 1 whenever Σu ≥ 1.
-  const auto mass = [&](double tau) {
-    double total = 0.0;
-    for (size_t i = 0; i < n; ++i) {
-      total += std::clamp(v[i] - tau, 0.0, upper[i]);
-    }
-    return total;
+  // Find τ with Σ clamp(v_i − τ, 0, u_i) = 1 exactly: mass(τ) is
+  // non-increasing piecewise linear with breakpoints at v_i (coordinate i
+  // activates) and v_i − u_i (coordinate i saturates at its cap). Sweep the
+  // breakpoints in descending τ order, tracking the interval's closed form
+  // mass(τ) = V − a·τ + S (V = Σ v over active, a = #active, S = Σ u over
+  // saturated), and solve the crossing interval linearly. O(n log n) — this
+  // projection runs inside every PGA backtrack, so the old 60-plus-pass
+  // bisection was the hot constant of the whole QP search.
+  struct Breakpoint {
+    double tau;
+    bool activates;  // true: τ = v_i; false: τ = v_i − u_i
+    size_t i;
   };
-  double lo = v.Min() - 1.0;
-  double hi = v.Max();
-  for (int iter = 0; iter < 200; ++iter) {
-    const double mid = 0.5 * (lo + hi);
-    if (mass(mid) > 1.0) {
-      lo = mid;
-    } else {
-      hi = mid;
-    }
-    if (hi - lo <= 1e-15 * std::max(1.0, std::fabs(lo) + std::fabs(hi))) break;
+  std::vector<Breakpoint> breaks;
+  breaks.reserve(2 * n);
+  for (size_t i = 0; i < n; ++i) {
+    if (upper[i] == 0.0) continue;  // never contributes
+    breaks.push_back({v[i], true, i});
+    breaks.push_back({v[i] - upper[i], false, i});
   }
-  const double tau = 0.5 * (lo + hi);
+  std::sort(breaks.begin(), breaks.end(),
+            [](const Breakpoint& a, const Breakpoint& b) { return a.tau > b.tau; });
+  double active_vsum = 0.0;
+  double saturated = 0.0;
+  size_t active = 0;
+  double tau = breaks.front().tau;  // mass(tau) = 0 there
+  bool solved = false;
+  for (size_t e = 0; e < breaks.size() && !solved; ++e) {
+    const double tau_cur = breaks[e].tau;
+    // Process every event at this τ before examining the interval below it.
+    while (e < breaks.size() && breaks[e].tau == tau_cur) {
+      if (breaks[e].activates) {
+        active_vsum += v[breaks[e].i];
+        ++active;
+      } else {
+        active_vsum -= v[breaks[e].i];
+        --active;
+        saturated += upper[breaks[e].i];
+      }
+      ++e;
+    }
+    --e;
+    const bool last = e + 1 == breaks.size();
+    // Mass at the interval's lower end; below the final breakpoint it is
+    // total_cap > 1, so a crossing interval always exists.
+    const double mass_next =
+        last ? total_cap
+             : active_vsum - static_cast<double>(active) * breaks[e + 1].tau +
+                   saturated;
+    if (mass_next >= 1.0) {
+      tau = active > 0 ? (active_vsum + saturated - 1.0) /
+                             static_cast<double>(active)
+                       : (last ? tau_cur : breaks[e + 1].tau);
+      solved = true;
+    }
+  }
+  PRISTE_CHECK_MSG(solved, "capped-simplex projection found no crossing");
   linalg::Vector out(n);
   for (size_t i = 0; i < n; ++i) out[i] = std::clamp(v[i] - tau, 0.0, upper[i]);
 
@@ -292,74 +412,140 @@ linalg::Vector ProjectOntoCappedSimplex(const linalg::Vector& v,
 }
 
 QpSolver::Result QpSolver::Maximize(const Objective& objective,
-                                    const Deadline& deadline) const {
+                                    const Deadline& deadline,
+                                    WarmState* warm) const {
   const size_t n = objective.a.size();
   PRISTE_CHECK(n > 0);
   PRISTE_CHECK(objective.d.size() == n && objective.l.size() == n);
   const bool simplex = options_.constraint == ConstraintSet::kSimplex;
+  const bool use_warm = options_.warm_start && warm != nullptr;
 
   // Joint support of (a, d, l): a coordinate outside it has zero coefficient
   // in every term of f(π) = (π·a)(π·d) + π·l, so its only role is carrying
   // probability mass — which one aggregate slack coordinate (capped at the
   // off-support count) models exactly on the simplex, and which is simply
   // irrelevant on the box.
-  std::vector<size_t> support;
+  std::vector<size_t> scan;
   if (options_.exploit_support) {
-    support.reserve(n);
+    scan.reserve(n);
     for (size_t i = 0; i < n; ++i) {
       if (objective.a[i] != 0.0 || objective.d[i] != 0.0 ||
           objective.l[i] != 0.0) {
-        support.push_back(i);
+        scan.push_back(i);
       }
     }
   }
-  const bool reduce = options_.exploit_support && support.size() < n;
+  // With warm state the calls of one release step share a *stable* support
+  // frame — the union of every joint support seen — so reduced coordinates,
+  // the cached argmax, and the slice bases all stay aligned across calls. A
+  // frame extension (rare: candidate emissions mostly share support)
+  // invalidates the cached argmax/basis but keeps the frame monotone.
+  bool frame_reused = false;
+  const std::vector<size_t>* support = &scan;
+  if (options_.exploit_support && use_warm) {
+    if (!warm->has_support) {
+      warm->support = scan;
+      warm->has_support = true;
+    } else if (IsSortedSubset(scan, warm->support)) {
+      frame_reused = true;
+      ++warm->support_hits;
+    } else {
+      warm->support = SortedUnion(warm->support, scan);
+      warm->has_argmax = false;
+      warm->lp.valid = false;
+    }
+    support = &warm->support;
+  }
+  const bool reduce = options_.exploit_support && support->size() < n;
+
+  // Within-call slice chaining (the reusable slice family) runs even without
+  // caller state; cross-call chaining and incumbent seeding need the
+  // WarmState.
+  WarmIo io;
+  std::unique_ptr<SliceLpSolver> family;
+  const auto make_family = [&](const Objective& core,
+                               const linalg::Vector& caps) {
+    if (!options_.warm_start) return;
+    const size_t nc = core.a.size();
+    const size_t rows = simplex ? 2 : 1;
+    linalg::Matrix lp_a(rows, nc);
+    for (size_t j = 0; j < nc; ++j) {
+      lp_a(0, j) = core.a[j];
+      if (simplex) lp_a(1, j) = 1.0;
+    }
+    family = std::make_unique<SliceLpSolver>(std::move(lp_a), caps);
+    if (use_warm && warm->lp.valid) family->ImportWarm(warm->lp);
+    io.family = family.get();
+  };
+  if (use_warm && warm->has_argmax) io.seed_pi = &warm->argmax;
+  WarmIo* warm_io = options_.warm_start ? &io : nullptr;
+
+  const auto finalize = [&](Result result, const linalg::Vector& core_argmax) {
+    result.support_frame_reused = frame_reused;
+    if (use_warm) {
+      warm->argmax = core_argmax;
+      warm->has_argmax = true;
+      if (family != nullptr) {
+        family->ExportWarm(&warm->lp);
+        warm->warm_accepts += family->warm_accepted();
+        warm->warm_rejects += family->warm_rejected();
+      }
+    }
+    return result;
+  };
 
   if (!reduce) {
-    return MaximizeCore(objective, linalg::Vector::Ones(n), options_, deadline);
+    const linalg::Vector caps = linalg::Vector::Ones(n);
+    make_family(objective, caps);
+    Result result = MaximizeCore(objective, caps, options_, deadline, warm_io);
+    const linalg::Vector core_argmax = result.argmax;
+    return finalize(std::move(result), core_argmax);
   }
 
-  const size_t off = n - support.size();
-  if (support.empty() && !simplex) {
+  const size_t off = n - support->size();
+  if (support->empty() && !simplex) {
     // Identically-zero objective on the box: 0 at the zero vector is the
     // exact maximum; there is nothing to search.
     Result result;
     result.argmax = linalg::Vector(n);
     result.max_value = 0.0;
     result.reduced_dim = 0;
+    result.support_frame_reused = frame_reused;
     return result;
   }
 
   // Reduced problem: gathered support coordinates, plus (simplex only) the
   // slack with zero objective coefficients and cap `off`.
-  const size_t ns = support.size() + (simplex ? 1 : 0);
+  const size_t ns = support->size() + (simplex ? 1 : 0);
   Objective reduced;
   reduced.a = linalg::Vector(ns);
   reduced.d = linalg::Vector(ns);
   reduced.l = linalg::Vector(ns);
   linalg::Vector upper = linalg::Vector::Ones(ns);
-  for (size_t j = 0; j < support.size(); ++j) {
-    reduced.a[j] = objective.a[support[j]];
-    reduced.d[j] = objective.d[support[j]];
-    reduced.l[j] = objective.l[support[j]];
+  for (size_t j = 0; j < support->size(); ++j) {
+    reduced.a[j] = objective.a[(*support)[j]];
+    reduced.d[j] = objective.d[(*support)[j]];
+    reduced.l[j] = objective.l[(*support)[j]];
   }
   if (simplex) upper[ns - 1] = static_cast<double>(off);
 
-  Result result = MaximizeCore(reduced, upper, options_, deadline);
+  make_family(reduced, upper);
+  Result result = MaximizeCore(reduced, upper, options_, deadline, warm_io);
+  const linalg::Vector core_argmax = result.argmax;
 
   // Scatter the reduced argmax back to n dimensions, resolving off-support
   // coordinates in closed form: spread the slack mass uniformly (each share
   // is ≤ 1 because the slack is capped at `off`). The objective value is
   // unchanged — off-support coefficients are all zero.
   linalg::Vector full(n);
-  for (size_t j = 0; j < support.size(); ++j) {
-    full[support[j]] = result.argmax[j];
+  for (size_t j = 0; j < support->size(); ++j) {
+    full[(*support)[j]] = result.argmax[j];
   }
   if (simplex && off > 0) {
     const double share = result.argmax[ns - 1] / static_cast<double>(off);
     size_t next_support = 0;
     for (size_t i = 0; i < n; ++i) {
-      if (next_support < support.size() && support[next_support] == i) {
+      if (next_support < support->size() && (*support)[next_support] == i) {
         ++next_support;
       } else {
         full[i] = share;
@@ -367,7 +553,7 @@ QpSolver::Result QpSolver::Maximize(const Objective& objective,
     }
   }
   result.argmax = std::move(full);
-  return result;
+  return finalize(std::move(result), core_argmax);
 }
 
 }  // namespace priste::core

@@ -2,8 +2,10 @@
 #define PRISTE_CORE_QP_SOLVER_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "priste/common/timer.h"
+#include "priste/core/simplex_lp.h"
 #include "priste/linalg/vector.h"
 
 namespace priste::core {
@@ -61,6 +63,16 @@ class QpSolver {
     /// δ-location-set emissions the Theorem vectors are supported on a
     /// handful of cells, shrinking each LP by ~m/|support|.
     bool exploit_support = true;
+    /// When set (default), Maximize() (a) chains the optimal basis of each
+    /// slice LP into the next slice of the sweep (adjacent slices differ only
+    /// in one RHS entry, so the basis usually stays feasible — Phase 1 and
+    /// most Phase-2 pivots are skipped, with a cold fallback when it does
+    /// not), and (b) honours a caller-held WarmState across calls: the
+    /// memoized support frame, the previous optimum as a PGA/incumbent seed,
+    /// and the previous call's final slice basis. Off = cold two-phase
+    /// solves for every slice and no cross-call state (the sweep itself is
+    /// identical either way).
+    bool warm_start = true;
     uint64_t seed = 0xC0FFEE;
   };
 
@@ -90,6 +102,51 @@ class QpSolver {
     /// Dimension the slice LPs / PGA iterates ran in (n when no support
     /// reduction applied; |support|+1 on the simplex, |support| on the box).
     size_t reduced_dim = 0;
+    /// Warm-start diagnostics: slice LPs solved from a reinstated basis vs
+    /// slices whose warm basis was rejected (cold fallback). Both stay 0 when
+    /// Options.warm_start is off.
+    int warm_accepted_slices = 0;
+    int warm_rejected_slices = 0;
+    /// True when a caller-held WarmState's memoized support frame covered
+    /// this objective (no per-call union extension was needed).
+    bool support_frame_reused = false;
+  };
+
+  /// Caller-held state threading warm starts through a *sequence* of related
+  /// maximizations — PriSTE's release step solves near-identical QPs for
+  /// every candidate budget α, and adjacent timestamps share the observation
+  /// prefix. The state memoizes the joint-support frame (unioned across
+  /// calls, so all reduced problems live in one stable coordinate frame),
+  /// the previous optimum (seeds the incumbent and the first PGA restart),
+  /// and the previous call's final slice basis. One state per objective
+  /// stream; safe to use from one thread at a time.
+  struct WarmState {
+    bool has_support = false;
+    /// Sorted union of the joint supports seen so far (the frame).
+    std::vector<size_t> support;
+    /// Previous optimum in frame coordinates (support + simplex slack), with
+    /// has_argmax false until the first successful call or after a frame
+    /// extension invalidates it.
+    bool has_argmax = false;
+    linalg::Vector argmax;
+    /// Final slice basis of the previous call, in frame coordinates.
+    LpWarmStart lp;
+    /// Cumulative diagnostics across the state's lifetime.
+    long support_hits = 0;
+    long warm_accepts = 0;
+    long warm_rejects = 0;
+
+    /// Drops the memoized frame (and the frame-coordinate argmax/basis that
+    /// depend on it) while keeping the cumulative diagnostics. The release
+    /// engine calls this at every commit: the next release step's emission
+    /// support starts a fresh union instead of inheriting the whole
+    /// trajectory's drift.
+    void ResetFrame() {
+      has_support = false;
+      support.clear();
+      has_argmax = false;
+      lp.valid = false;
+    }
   };
 
   QpSolver() = default;
@@ -98,8 +155,17 @@ class QpSolver {
   const Options& options() const { return options_; }
 
   /// Approximately maximizes `objective` over the constraint set, stopping
-  /// at `deadline`.
-  Result Maximize(const Objective& objective, const Deadline& deadline) const;
+  /// at `deadline`. With a non-null `warm` (and Options.warm_start on), the
+  /// call reads and updates the caller's warm state. Warm starts only *add*
+  /// to the cold search — the seed is an extra incumbent/slice, the sweep's
+  /// refinement trajectory is driven by the slice values alone (shared with
+  /// the cold path), and each slice LP reaches its unique optimal value from
+  /// a warm basis or cold two-phase fallback — so the returned maximum is
+  /// never below the cold path's, and matches it to floating-point noise in
+  /// practice. A lower bound can only get tighter: warm starts can flip a
+  /// check toward detecting a violation, never toward certifying one away.
+  Result Maximize(const Objective& objective, const Deadline& deadline,
+                  WarmState* warm = nullptr) const;
 
  private:
   Options options_;

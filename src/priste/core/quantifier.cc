@@ -133,7 +133,7 @@ bool PrivacyQuantifier::CheckFixedPrior(const TheoremVectors& v,
 
 PrivacyCheckResult PrivacyQuantifier::CheckArbitraryPrior(
     const TheoremVectors& raw, double epsilon, const QpSolver& solver,
-    const Deadline& deadline) const {
+    const Deadline& deadline, QpWarmPair* warm) const {
   // Joint (b̄, c̄) rescaling is sign-preserving (see the quantifier tests);
   // normalizing to O(1) keeps the QP objectives well-scaled on long
   // observation prefixes.
@@ -168,9 +168,11 @@ PrivacyCheckResult PrivacyQuantifier::CheckArbitraryPrior(
   // Each Maximize is internally deterministic, so the result is identical
   // at any thread count.
   const QpSolver::Objective* objectives[2] = {&f15, &f16};
+  QpSolver::WarmState* warm_states[2] = {warm != nullptr ? &warm->f15 : nullptr,
+                                         warm != nullptr ? &warm->f16 : nullptr};
   QpSolver::Result results[2];
   ParallelFor(2, [&](size_t i) {
-    results[i] = solver.Maximize(*objectives[i], deadline);
+    results[i] = solver.Maximize(*objectives[i], deadline, warm_states[i]);
   });
   const QpSolver::Result& r15 = results[0];
   const QpSolver::Result& r16 = results[1];
@@ -178,6 +180,10 @@ PrivacyCheckResult PrivacyQuantifier::CheckArbitraryPrior(
   PrivacyCheckResult out;
   out.max_condition15 = r15.max_value;
   out.max_condition16 = r16.max_value;
+  out.warm_accepted_slices = r15.warm_accepted_slices + r16.warm_accepted_slices;
+  out.warm_rejected_slices = r15.warm_rejected_slices + r16.warm_rejected_slices;
+  out.support_frame_reused =
+      r15.support_frame_reused && r16.support_frame_reused;
   out.timed_out = r15.timed_out || r16.timed_out;
   out.worst_pi = r15.max_value >= r16.max_value ? r15.argmax : r16.argmax;
   out.satisfied = !out.timed_out && r15.max_value <= 0.0 && r16.max_value <= 0.0;

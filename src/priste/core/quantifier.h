@@ -42,6 +42,12 @@ struct PrivacyCheckResult {
   double max_condition16 = 0.0;
   /// The prior achieving the larger violation (diagnostics).
   linalg::Vector worst_pi;
+  /// Warm-start diagnostics summed over the two condition maximizations
+  /// (zero without a warm bundle / with warm_start off).
+  int warm_accepted_slices = 0;
+  int warm_rejected_slices = 0;
+  /// True when both maximizations reused their memoized support frame.
+  bool support_frame_reused = false;
 };
 
 /// Computes Theorem IV.1 quantities for a two-world event model and checks
@@ -82,11 +88,23 @@ class PrivacyQuantifier {
   static bool CheckFixedPrior(const TheoremVectors& v, const linalg::Vector& pi,
                               double epsilon, double tol = 1e-12);
 
+  /// Per-check warm-start bundle: one QpSolver::WarmState per Theorem
+  /// condition, owned by the caller and threaded through consecutive
+  /// CheckArbitraryPrior calls of one release step (the two conditions are
+  /// maximized concurrently, so they need separate states).
+  struct QpWarmPair {
+    QpSolver::WarmState f15;
+    QpSolver::WarmState f16;
+  };
+
   /// The arbitrary-prior check of Section IV-A: maximizes both conditions
-  /// over the QP solver's constraint set under `deadline`.
+  /// over the QP solver's constraint set under `deadline`. A non-null `warm`
+  /// (with the solver's Options.warm_start on) seeds each maximization from
+  /// the previous call's state — same certified answers, fewer pivots.
   PrivacyCheckResult CheckArbitraryPrior(const TheoremVectors& v, double epsilon,
                                          const QpSolver& solver,
-                                         const Deadline& deadline) const;
+                                         const Deadline& deadline,
+                                         QpWarmPair* warm = nullptr) const;
 
  private:
   const LiftedEventModel* model_;

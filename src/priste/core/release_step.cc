@@ -1,0 +1,398 @@
+#include "priste/core/release_step.h"
+
+#include <utility>
+
+#include "priste/common/check.h"
+#include "priste/common/timer.h"
+
+namespace priste::core {
+
+ReleaseStepContext::ReleaseStepContext(
+    std::vector<const LiftedEventModel*> models, const QpSolver* solver,
+    bool normalize_emissions, ReleaseStepOptions options)
+    : solver_(solver),
+      normalize_emissions_(normalize_emissions),
+      options_(options) {
+  PRISTE_CHECK(solver_ != nullptr);
+  PRISTE_CHECK_MSG(!models.empty(), "release-step context needs >= 1 model");
+  engines_.reserve(models.size());
+  const size_t m = models.front()->num_states();
+  for (const LiftedEventModel* model : models) {
+    PRISTE_CHECK(model != nullptr);
+    PRISTE_CHECK(model->num_states() == m);
+    engines_.emplace_back(model, normalize_emissions);
+  }
+}
+
+double ReleaseStepContext::CandidateScale(const ColumnView& column) const {
+  if (!normalize_emissions_) return 1.0;
+  const double scale = column.MaxAbs();
+  PRISTE_CHECK_MSG(scale > 0.0, "emission column is all-zero");
+  return 1.0 / scale;
+}
+
+namespace {
+
+linalg::Vector DensifyColumn(const linalg::Vector* dense,
+                             const linalg::SparseVector* sparse) {
+  return dense != nullptr ? *dense : sparse->ToDense();
+}
+
+// Σ_blocks Σ_j column[j] · row[block·m + j] · seed[block·m + j], with an
+// implicit all-ones seed when `seed` is null. O(k·nnz) for sparse columns —
+// the per-candidate cost of a cached check.
+double BlockHadamardDot(const linalg::Vector& row, size_t m,
+                        const linalg::Vector* dense,
+                        const linalg::SparseVector* sparse,
+                        const linalg::Vector* seed) {
+  const size_t k = row.size() / m;
+  double total = 0.0;
+  if (sparse != nullptr) {
+    const std::vector<size_t>& idx = sparse->indices();
+    const std::vector<double>& vals = sparse->values();
+    for (size_t q = 0; q < k; ++q) {
+      const size_t base = q * m;
+      if (seed != nullptr) {
+        for (size_t p = 0; p < idx.size(); ++p) {
+          const size_t j = base + idx[p];
+          total += vals[p] * row[j] * (*seed)[j];
+        }
+      } else {
+        for (size_t p = 0; p < idx.size(); ++p) {
+          total += vals[p] * row[base + idx[p]];
+        }
+      }
+    }
+    return total;
+  }
+  for (size_t q = 0; q < k; ++q) {
+    const size_t base = q * m;
+    if (seed != nullptr) {
+      for (size_t j = 0; j < m; ++j) {
+        total += (*dense)[j] * row[base + j] * (*seed)[base + j];
+      }
+    } else {
+      for (size_t j = 0; j < m; ++j) {
+        total += (*dense)[j] * row[base + j];
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+void ReleaseStepContext::EnsureStepRows(ModelEngine& engine, bool need_masked) {
+  PRISTE_CHECK(t_ >= 1);
+  const size_t lifted = engine.model->lifted_size();
+  if (!engine.step_rows_ready) {
+    engine.step_rows.resize(support_.size());
+    for (size_t i = 0; i < support_.size(); ++i) {
+      if (engine.step_rows[i].size() != lifted) {
+        engine.step_rows[i] = linalg::Vector(lifted);
+      }
+      engine.model->StepRowInto(engine.rows[i], t_, engine.step_rows[i]);
+    }
+    engine.step_rows_ready = true;
+  }
+  if (need_masked && !engine.step_rows_masked_ready) {
+    PRISTE_CHECK_MSG(!engine.rows_masked.empty(),
+                     "masked prefix rows requested before the event ended");
+    engine.step_rows_masked.resize(support_.size());
+    for (size_t i = 0; i < support_.size(); ++i) {
+      if (engine.step_rows_masked[i].size() != lifted) {
+        engine.step_rows_masked[i] = linalg::Vector(lifted);
+      }
+      engine.model->StepRowInto(engine.rows_masked[i], t_,
+                                engine.step_rows_masked[i]);
+    }
+    engine.step_rows_masked_ready = true;
+  }
+}
+
+TheoremVectors ReleaseStepContext::CachedVectors(ModelEngine& engine,
+                                                 const ColumnView& column) {
+  const LiftedEventModel& model = *engine.model;
+  const size_t m = model.num_states();
+  const int t = t_ + 1;
+  const int end = model.event_end();
+  const bool during = t <= end;
+  EnsureStepRows(engine, !during);
+  const double s_c = CandidateScale(column);
+
+  TheoremVectors out;
+  out.t = t;
+  out.a_bar = model.PriorContraction();
+  out.b_bar = linalg::Vector(m);
+  out.c_bar = linalg::Vector(m);
+  const linalg::Vector* seed = during ? &model.SuffixTrue(t) : nullptr;
+  for (size_t i = 0; i < support_.size(); ++i) {
+    double bsum;
+    double csum;
+    if (during) {
+      // Eq. (18): b seeds with the event suffix, c with all-ones.
+      bsum = BlockHadamardDot(engine.step_rows[i], m, column.dense,
+                              column.sparse, seed);
+      csum = BlockHadamardDot(engine.step_rows[i], m, column.dense,
+                              column.sparse, nullptr);
+    } else {
+      // Eqs. (19)/(20): the accepting-masked family carries b, the unmasked
+      // family c; both seed with all-ones.
+      bsum = BlockHadamardDot(engine.step_rows_masked[i], m, column.dense,
+                              column.sparse, nullptr);
+      csum = BlockHadamardDot(engine.step_rows[i], m, column.dense,
+                              column.sparse, nullptr);
+    }
+    const double w = support_scale_[i] * s_c;
+    out.b_bar[support_[i]] = w * bsum;
+    out.c_bar[support_[i]] = w * csum;
+  }
+  return out;
+}
+
+TheoremVectors ReleaseStepContext::VectorsImpl(size_t model_index,
+                                               const ColumnView& column,
+                                               bool candidate_in_history) {
+  PRISTE_CHECK(model_index < engines_.size());
+  ModelEngine& engine = engines_[model_index];
+  const LiftedEventModel& model = *engine.model;
+  const size_t m = model.num_states();
+  PRISTE_CHECK(column.size() == m);
+
+  if (UsesCachePath()) {
+    ++diagnostics_.cached_checks;
+    if (t_ >= 1) return CachedVectors(engine, column);
+    // t = 1 direct form: the contraction commutes with the candidate's
+    // emission product, so b̄ = s_c·p̃ ∘ ā and c̄ = s_c·p̃ ∘ C(1) — no chain.
+    if (!engine.ones_contract_ready) {
+      engine.ones_contract =
+          model.ContractColumn(linalg::Vector::Ones(model.lifted_size()));
+      engine.ones_contract_ready = true;
+    }
+    const double s_c = CandidateScale(column);
+    TheoremVectors out;
+    out.t = 1;
+    out.a_bar = model.PriorContraction();
+    out.b_bar = linalg::Vector(m);
+    out.c_bar = linalg::Vector(m);
+    if (column.sparse != nullptr) {
+      const std::vector<size_t>& idx = column.sparse->indices();
+      const std::vector<double>& vals = column.sparse->values();
+      for (size_t p = 0; p < idx.size(); ++p) {
+        const double v = s_c * vals[p];
+        out.b_bar[idx[p]] = v * out.a_bar[idx[p]];
+        out.c_bar[idx[p]] = v * engine.ones_contract[idx[p]];
+      }
+    } else {
+      for (size_t j = 0; j < m; ++j) {
+        const double v = s_c * (*column.dense)[j];
+        out.b_bar[j] = v * out.a_bar[j];
+        out.c_bar[j] = v * engine.ones_contract[j];
+      }
+    }
+    return out;
+  }
+
+  ++diagnostics_.cold_checks;
+  if (candidate_in_history) {
+    return engine.quantifier.ComputeVectors(history_);
+  }
+  history_.push_back(DensifyColumn(column.dense, column.sparse));
+  TheoremVectors out = engine.quantifier.ComputeVectors(history_);
+  history_.pop_back();
+  return out;
+}
+
+ReleaseCheckOutcome ReleaseStepContext::CheckImpl(const ColumnView& column,
+                                                  double epsilon,
+                                                  double qp_threshold_seconds) {
+  ReleaseCheckOutcome out;
+  out.all_satisfied = true;
+  out.per_model.reserve(engines_.size());
+  // Cold path: densify the candidate once for all models, like the old
+  // driver loops did.
+  const bool push_once = !UsesCachePath();
+  if (push_once) {
+    history_.push_back(DensifyColumn(column.dense, column.sparse));
+  }
+  for (size_t i = 0; i < engines_.size(); ++i) {
+    ModelEngine& engine = engines_[i];
+    const TheoremVectors vectors = VectorsImpl(i, column, push_once);
+    const Deadline deadline = qp_threshold_seconds > 0.0
+                                  ? Deadline::After(qp_threshold_seconds)
+                                  : Deadline::Infinite();
+    PrivacyQuantifier::QpWarmPair* warm =
+        options_.warm_start ? &engine.warm : nullptr;
+    const PrivacyCheckResult check = engine.quantifier.CheckArbitraryPrior(
+        vectors, epsilon, *solver_, deadline, warm);
+    if (check.support_frame_reused) ++diagnostics_.qp_support_hits;
+    diagnostics_.warm_accepted_slices += check.warm_accepted_slices;
+    diagnostics_.warm_rejected_slices += check.warm_rejected_slices;
+    out.per_model.push_back(check);
+    if (!check.satisfied) {
+      out.all_satisfied = false;
+      out.timed_out = check.timed_out;
+      break;
+    }
+  }
+  if (push_once) history_.pop_back();
+  return out;
+}
+
+void ReleaseStepContext::DecideMode(const ColumnView& first_column) {
+  const size_t m = engines_.front().model->num_states();
+  std::vector<size_t> support;
+  std::vector<double> values;
+  if (first_column.sparse != nullptr) {
+    const std::vector<size_t>& idx = first_column.sparse->indices();
+    const std::vector<double>& vals = first_column.sparse->values();
+    for (size_t p = 0; p < idx.size(); ++p) {
+      if (vals[p] != 0.0) {
+        support.push_back(idx[p]);
+        values.push_back(vals[p]);
+      }
+    }
+  } else {
+    for (size_t j = 0; j < m; ++j) {
+      const double v = (*first_column.dense)[j];
+      if (v != 0.0) {
+        support.push_back(j);
+        values.push_back(v);
+      }
+    }
+  }
+
+  const bool cached = options_.prefix_cache && !support.empty() &&
+                      support.size() <= options_.max_cache_support &&
+                      support.size() < m;
+  if (!cached) {
+    mode_ = Mode::kCold;
+    history_.push_back(DensifyColumn(first_column.dense, first_column.sparse));
+    t_ = 1;
+    return;
+  }
+
+  mode_ = Mode::kCached;
+  const double s_c = CandidateScale(first_column);
+  support_ = std::move(support);
+  support_scale_.resize(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    support_scale_[i] = s_c * values[i];
+  }
+  for (ModelEngine& engine : engines_) {
+    // r_s^{(1)} = Cᵀ e_s — the contraction adjoint of the support basis
+    // vector, which is exactly LiftInitial (the documented adjoint pair).
+    engine.rows.resize(support_.size());
+    for (size_t i = 0; i < support_.size(); ++i) {
+      engine.rows[i] = engine.model->LiftInitial(
+          linalg::Vector::Unit(engine.model->num_states(), support_[i]));
+    }
+  }
+  t_ = 1;
+  for (ModelEngine& engine : engines_) {
+    if (t_ == engine.model->event_end()) BuildMaskedRows(engine);
+  }
+}
+
+void ReleaseStepContext::BuildMaskedRows(ModelEngine& engine) {
+  const linalg::Vector& mask = engine.model->AcceptingMask();
+  engine.rows_masked.resize(support_.size());
+  for (size_t i = 0; i < support_.size(); ++i) {
+    engine.rows_masked[i] = engine.rows[i].Hadamard(mask);
+  }
+  engine.step_rows_masked_ready = false;
+}
+
+void ReleaseStepContext::CommitImpl(const ColumnView& column) {
+  PRISTE_CHECK(column.size() == engines_.front().model->num_states());
+  // The support frame is memoized across the QP checks of ONE release step;
+  // the next step's δ-location set moves, so carrying the union across steps
+  // would only grow the reduced dimension without bound.
+  for (ModelEngine& engine : engines_) {
+    engine.warm.f15.ResetFrame();
+    engine.warm.f16.ResetFrame();
+  }
+  if (mode_ == Mode::kUndecided) {
+    DecideMode(column);
+    return;
+  }
+  if (mode_ == Mode::kCold) {
+    history_.push_back(DensifyColumn(column.dense, column.sparse));
+    ++t_;
+    return;
+  }
+
+  const double s_c = CandidateScale(column);
+  const auto extend = [&](ModelEngine& engine, linalg::Vector& step_row,
+                          linalg::Vector& row) {
+    if (column.sparse != nullptr) {
+      engine.model->ApplyEmissionInPlace(*column.sparse, step_row);
+    } else {
+      engine.model->ApplyEmissionInPlace(*column.dense, step_row);
+    }
+    if (s_c != 1.0) step_row.ScaleInPlace(s_c);
+    std::swap(row, step_row);
+    ++diagnostics_.prefix_extensions;
+  };
+  for (ModelEngine& engine : engines_) {
+    const bool has_masked = !engine.rows_masked.empty();
+    EnsureStepRows(engine, has_masked);
+    for (size_t i = 0; i < support_.size(); ++i) {
+      extend(engine, engine.step_rows[i], engine.rows[i]);
+      if (has_masked) {
+        extend(engine, engine.step_rows_masked[i], engine.rows_masked[i]);
+      }
+    }
+    engine.step_rows_ready = false;
+    engine.step_rows_masked_ready = false;
+  }
+  ++t_;
+  for (ModelEngine& engine : engines_) {
+    if (engine.rows_masked.empty() && t_ == engine.model->event_end()) {
+      BuildMaskedRows(engine);
+    }
+  }
+}
+
+ReleaseCheckOutcome ReleaseStepContext::CheckCandidate(
+    const linalg::Vector& column, double epsilon, double qp_threshold_seconds) {
+  ColumnView view;
+  view.dense = &column;
+  return CheckImpl(view, epsilon, qp_threshold_seconds);
+}
+
+ReleaseCheckOutcome ReleaseStepContext::CheckCandidate(
+    const linalg::SparseVector& column, double epsilon,
+    double qp_threshold_seconds) {
+  ColumnView view;
+  view.sparse = &column;
+  return CheckImpl(view, epsilon, qp_threshold_seconds);
+}
+
+void ReleaseStepContext::Commit(const linalg::Vector& column) {
+  ColumnView view;
+  view.dense = &column;
+  CommitImpl(view);
+}
+
+void ReleaseStepContext::Commit(const linalg::SparseVector& column) {
+  ColumnView view;
+  view.sparse = &column;
+  CommitImpl(view);
+}
+
+TheoremVectors ReleaseStepContext::CandidateVectors(
+    size_t model_index, const linalg::Vector& column) {
+  ColumnView view;
+  view.dense = &column;
+  return VectorsImpl(model_index, view);
+}
+
+TheoremVectors ReleaseStepContext::CandidateVectors(
+    size_t model_index, const linalg::SparseVector& column) {
+  ColumnView view;
+  view.sparse = &column;
+  return VectorsImpl(model_index, view);
+}
+
+}  // namespace priste::core

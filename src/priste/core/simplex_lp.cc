@@ -66,25 +66,34 @@ bool SolveSquare(linalg::Matrix b, linalg::Vector rhs, linalg::Vector* out) {
 }
 
 // Internal simplex state over the extended problem (originals + artificials).
+// The shared part (A, caps) is loaded once; SetRhs/ColdInit re-arm the state
+// per solve, so a family of slice LPs reuses every array.
 class BoundedSimplex {
  public:
-  BoundedSimplex(const LpProblem& problem)
-      : k_(problem.a.rows()), n_(problem.a.cols()) {
-    PRISTE_CHECK(problem.b.size() == k_);
-    PRISTE_CHECK(problem.c.size() == n_);
-    PRISTE_CHECK(problem.upper.size() == n_);
+  BoundedSimplex(const linalg::Matrix& a, const linalg::Vector& upper)
+      : k_(a.rows()), n_(a.cols()) {
+    PRISTE_CHECK(upper.size() == n_);
     total_ = n_ + k_;
-
     a_ = linalg::Matrix(k_, total_);
-    a_.SetBlock(0, 0, problem.a);
-    b_ = problem.b;
+    a_.SetBlock(0, 0, a);
+    b_ = linalg::Vector(k_);
     upper_.assign(total_, 0.0);
-    for (size_t j = 0; j < n_; ++j) upper_[j] = problem.upper[j];
-
-    // Artificial columns: ±e_i so the artificial starts at |b_i| >= 0.
+    for (size_t j = 0; j < n_; ++j) upper_[j] = upper[j];
     x_.assign(total_, 0.0);
     at_upper_.assign(total_, false);
     basis_.resize(k_);
+  }
+
+  void SetRhs(const linalg::Vector& b) {
+    PRISTE_CHECK(b.size() == k_);
+    b_ = b;
+  }
+
+  // Cold start: everything at its lower bound, artificial columns ±e_i so
+  // each artificial starts at |b_i| ≥ 0 and Phase 1 can drive them out.
+  void ColdInit() {
+    std::fill(x_.begin(), x_.end(), 0.0);
+    std::fill(at_upper_.begin(), at_upper_.end(), false);
     for (size_t i = 0; i < k_; ++i) {
       const double sign = b_[i] >= 0.0 ? 1.0 : -1.0;
       a_(i, n_ + i) = sign;
@@ -94,11 +103,93 @@ class BoundedSimplex {
     }
   }
 
+  // Reinstates a previously exported basis: artificials are fixed at 0,
+  // nonbasics go to their recorded bounds, and the basic values come from one
+  // linear solve. A basis left primal-infeasible by the RHS change (the QP
+  // sweep moves one b entry between slices) is repaired with dual-simplex
+  // pivots — usually one or two — before handing over to Phase 2. Returns
+  // false (state unusable — caller must ColdInit and run the two-phase path)
+  // when the basis is malformed, singular, or unrepairable.
+  bool TryWarmStart(const LpWarmStart& warm,
+                    const linalg::Vector& true_objective) {
+    if (warm.basis.size() != k_ || warm.at_upper.size() != n_) return false;
+    for (size_t i = 0; i < k_; ++i) {
+      if (warm.basis[i] >= n_) return false;
+      for (size_t j = i + 1; j < k_; ++j) {
+        if (warm.basis[i] == warm.basis[j]) return false;
+      }
+    }
+    for (size_t i = 0; i < k_; ++i) {
+      upper_[n_ + i] = 0.0;
+      x_[n_ + i] = 0.0;
+      at_upper_[n_ + i] = false;
+    }
+    basis_ = warm.basis;
+    for (size_t j = 0; j < n_; ++j) {
+      at_upper_[j] = warm.at_upper[j] != 0;
+      if (IsBasic(j)) continue;
+      if (at_upper_[j] && upper_[j] == kInf) return false;
+      x_[j] = at_upper_[j] ? upper_[j] : 0.0;
+    }
+    if (!RefreshBasicValues()) return false;
+    if (PrimalFeasible()) return true;
+    return DualRepair(true_objective);
+  }
+
+  /// Phase 2 directly from a warm-started (already feasible) basis. The
+  /// basic values were just refreshed by TryWarmStart/DualRepair, so the
+  /// first simplex iteration skips its refresh.
+  LpSolution SolveWarm(const linalg::Vector& true_objective) {
+    phase_scratch_.assign(total_, 0.0);
+    for (size_t j = 0; j < n_; ++j) phase_scratch_[j] = true_objective[j];
+    return Finish(RunSimplex(phase_scratch_, /*skip_first_refresh=*/true),
+                  true_objective);
+  }
+
+  /// Fastest path for a slice family: only b (and c) changed since the last
+  /// optimal solve and the internal state still holds that optimal basis —
+  /// skip reinstatement entirely: refresh, dual-repair if the RHS step broke
+  /// feasibility, Phase 2. Returns false when the state is unusable (caller
+  /// must ColdInit + Solve).
+  bool ResolveFromCurrentBasis(const linalg::Vector& true_objective,
+                               LpSolution* sol) {
+    if (!RefreshBasicValues()) return false;
+    if (!PrimalFeasible() && !DualRepair(true_objective)) return false;
+    *sol = SolveWarm(true_objective);
+    return sol->outcome == LpSolution::Outcome::kOptimal ||
+           sol->outcome == LpSolution::Outcome::kUnbounded;
+  }
+
+  /// True when the current basis is artificial-free (safe to chain).
+  bool BasisExportable() const {
+    for (size_t i = 0; i < k_; ++i) {
+      if (basis_[i] >= n_) return false;
+    }
+    return true;
+  }
+
+  /// Saves the final basis for the next adjacent solve. Bases still holding
+  /// an artificial column (degenerate Phase-1 exits) are not exportable.
+  void ExportBasis(LpWarmStart* warm) const {
+    for (size_t i = 0; i < k_; ++i) {
+      if (basis_[i] >= n_) {
+        warm->valid = false;
+        return;
+      }
+    }
+    warm->valid = true;
+    warm->basis = basis_;
+    warm->at_upper.assign(n_, 0);
+    for (size_t j = 0; j < n_; ++j) {
+      warm->at_upper[j] = at_upper_[j] ? 1 : 0;
+    }
+  }
+
   LpSolution Solve(const linalg::Vector& true_objective) {
     // Phase 1: maximize −Σ artificials.
-    std::vector<double> phase1(total_, 0.0);
-    for (size_t i = 0; i < k_; ++i) phase1[n_ + i] = -1.0;
-    LpSolution::Outcome outcome = RunSimplex(phase1);
+    phase_scratch_.assign(total_, 0.0);
+    for (size_t i = 0; i < k_; ++i) phase_scratch_[n_ + i] = -1.0;
+    LpSolution::Outcome outcome = RunSimplex(phase_scratch_);
     if (outcome == LpSolution::Outcome::kIterationLimit) {
       return Finish(outcome, true_objective);
     }
@@ -109,13 +200,9 @@ class BoundedSimplex {
     }
     // Phase 2: clamp artificials to 0 and optimize the real objective.
     for (size_t i = 0; i < k_; ++i) upper_[n_ + i] = 0.0;
-    std::vector<double> phase2(total_, 0.0);
-    for (size_t j = 0; j < n_; ++j) phase2[j] = true_objective[j];
-    outcome = RunSimplex(phase2);
-    if (outcome == LpSolution::Outcome::kIterationLimit) {
-      // The incumbent is feasible; report it with the honest outcome flag.
-      return Finish(outcome, true_objective);
-    }
+    phase_scratch_.assign(total_, 0.0);
+    for (size_t j = 0; j < n_; ++j) phase_scratch_[j] = true_objective[j];
+    outcome = RunSimplex(phase_scratch_);
     return Finish(outcome, true_objective);
   }
 
@@ -133,6 +220,89 @@ class BoundedSimplex {
   bool IsBasic(size_t j) const {
     for (size_t i = 0; i < k_; ++i) {
       if (basis_[i] == j) return true;
+    }
+    return false;
+  }
+
+  bool PrimalFeasible() const {
+    for (size_t i = 0; i < k_; ++i) {
+      const size_t bj = basis_[i];
+      if (x_[bj] < -kTol || x_[bj] > upper_[bj] + kTol) return false;
+    }
+    return true;
+  }
+
+  // Dual-simplex repair: while some basic variable violates a bound, pivot
+  // it out toward the violated bound and bring in the nonbasic with the
+  // tightest reduced-cost ratio (keeps near-dual-feasibility, so the primal
+  // Phase 2 that follows needs few pivots). The basis stays artificial-free.
+  bool DualRepair(const linalg::Vector& true_objective) {
+    std::vector<double> c(total_, 0.0);
+    for (size_t j = 0; j < n_; ++j) c[j] = true_objective[j];
+    for (int iter = 0; iter < 24; ++iter) {
+      // Most-violated basic row.
+      size_t row = k_;
+      bool above = false;
+      double violation = kTol;
+      for (size_t i = 0; i < k_; ++i) {
+        const size_t bj = basis_[i];
+        if (x_[bj] < -violation) {
+          violation = -x_[bj];
+          row = i;
+          above = false;
+        } else if (upper_[bj] < kInf && x_[bj] - upper_[bj] > violation) {
+          violation = x_[bj] - upper_[bj];
+          row = i;
+          above = true;
+        }
+      }
+      if (row == k_) return true;  // primal feasible
+
+      linalg::Matrix bt(k_, k_);
+      linalg::Vector cb(k_);
+      linalg::Vector er(k_);
+      for (size_t i = 0; i < k_; ++i) {
+        cb[i] = c[basis_[i]];
+        er[i] = i == row ? 1.0 : 0.0;
+        for (size_t r = 0; r < k_; ++r) bt(i, r) = a_(r, basis_[i]);
+      }
+      linalg::Vector w;  // Bᵀw = e_row: the leaving row of B⁻¹N
+      linalg::Vector y;  // Bᵀy = c_B: simplex multipliers for reduced costs
+      if (!SolveSquare(bt, er, &w) || !SolveSquare(bt, cb, &y)) return false;
+
+      // The leaving basic must move back toward its violated bound:
+      // below-lower needs x_B[row] to increase, above-upper to decrease.
+      size_t entering = total_;
+      double best_ratio = kInf;
+      for (size_t j = 0; j < total_; ++j) {
+        if (IsBasic(j) || upper_[j] == 0.0) continue;
+        double alpha = 0.0;
+        double dj = c[j];
+        for (size_t i = 0; i < k_; ++i) {
+          alpha += w[i] * a_(i, j);
+          dj -= y[i] * a_(i, j);
+        }
+        if (std::fabs(alpha) < kTol) continue;
+        // ∂x_B[row]/∂x_j = −alpha; at-lower j can only increase, at-upper
+        // only decrease. Keep candidates whose move helps the leaving basic.
+        const bool from_lower = !at_upper_[j];
+        const bool helps = above ? (from_lower ? alpha > 0.0 : alpha < 0.0)
+                                 : (from_lower ? alpha < 0.0 : alpha > 0.0);
+        if (!helps) continue;
+        const double ratio = std::fabs(dj) / std::fabs(alpha);
+        if (ratio < best_ratio) {
+          best_ratio = ratio;
+          entering = j;
+        }
+      }
+      if (entering == total_) return false;  // no repairing pivot exists
+
+      const size_t leaving = basis_[row];
+      at_upper_[leaving] = above;
+      x_[leaving] = above ? upper_[leaving] : 0.0;
+      basis_[row] = entering;
+      at_upper_[entering] = false;
+      if (!RefreshBasicValues()) return false;
     }
     return false;
   }
@@ -155,11 +325,14 @@ class BoundedSimplex {
     return true;
   }
 
-  LpSolution::Outcome RunSimplex(const std::vector<double>& c) {
+  LpSolution::Outcome RunSimplex(const std::vector<double>& c,
+                                 bool skip_first_refresh = false) {
     const size_t max_iters = 50 * (total_ + k_) + 200;
     for (size_t iter = 0; iter < max_iters; ++iter) {
       const bool bland = iter > 20 * (total_ + k_);
-      if (!RefreshBasicValues()) return LpSolution::Outcome::kIterationLimit;
+      if ((iter > 0 || !skip_first_refresh) && !RefreshBasicValues()) {
+        return LpSolution::Outcome::kIterationLimit;
+      }
 
       // Dual vector y: Bᵀ y = c_B.
       linalg::Matrix bt(k_, k_);
@@ -269,13 +442,128 @@ class BoundedSimplex {
   std::vector<double> x_;
   std::vector<bool> at_upper_;
   std::vector<size_t> basis_;
+  std::vector<double> phase_scratch_;
 };
+
+// The shared warm/cold solve ladder: try the chained basis (with dual
+// repair), fall back to the cold two-phase path, and export the final basis.
+// `accepted` reports whether the warm basis carried the solve.
+LpSolution SolveWithChain(BoundedSimplex& simplex, const linalg::Vector& c,
+                          LpWarmStart* chain, bool* accepted) {
+  *accepted = false;
+  if (chain != nullptr && chain->valid) {
+    if (simplex.TryWarmStart(*chain, c)) {
+      LpSolution sol = simplex.SolveWarm(c);
+      if (sol.outcome == LpSolution::Outcome::kOptimal) {
+        *accepted = true;
+        simplex.ExportBasis(chain);
+        return sol;
+      }
+      if (sol.outcome == LpSolution::Outcome::kUnbounded) {
+        // A warm-feasible basis certifying unboundedness is a genuine
+        // answer; there is no basis worth keeping.
+        *accepted = true;
+        chain->valid = false;
+        return sol;
+      }
+    }
+    // Malformed/unrepairable basis or an iteration-limited warm run: retry
+    // cold so warm starts can never change an outcome.
+    chain->valid = false;
+  }
+  simplex.ColdInit();
+  LpSolution sol = simplex.Solve(c);
+  if (chain != nullptr) {
+    if (sol.outcome == LpSolution::Outcome::kOptimal) {
+      simplex.ExportBasis(chain);
+    } else {
+      chain->valid = false;
+    }
+  }
+  return sol;
+}
 
 }  // namespace
 
-LpSolution SolveBoundedLp(const LpProblem& problem) {
-  BoundedSimplex simplex(problem);
-  return simplex.Solve(problem.c);
+LpSolution SolveBoundedLp(const LpProblem& problem, LpWarmStart* warm) {
+  PRISTE_CHECK(problem.b.size() == problem.a.rows());
+  PRISTE_CHECK(problem.c.size() == problem.a.cols());
+  BoundedSimplex simplex(problem.a, problem.upper);
+  simplex.SetRhs(problem.b);
+  if (warm == nullptr) {
+    simplex.ColdInit();
+    return simplex.Solve(problem.c);
+  }
+  LpSolution sol = SolveWithChain(simplex, problem.c, warm, &warm->last_accepted);
+  return sol;
+}
+
+struct SliceLpSolver::Impl {
+  Impl(const linalg::Matrix& a, const linalg::Vector& upper)
+      : simplex(a, upper) {}
+  BoundedSimplex simplex;
+};
+
+SliceLpSolver::SliceLpSolver(linalg::Matrix a, linalg::Vector upper)
+    : impl_(std::make_unique<Impl>(a, upper)) {}
+
+SliceLpSolver::~SliceLpSolver() = default;
+
+LpSolution SliceLpSolver::Solve(const linalg::Vector& b,
+                                const linalg::Vector& c) {
+  impl_->simplex.SetRhs(b);
+  const bool had_warm = synced_ || chain_.valid;
+  if (synced_) {
+    // Between consecutive slices the internal state IS the previous optimal
+    // basis — no reinstatement needed: refresh, dual-repair if the RHS step
+    // broke feasibility, Phase 2.
+    LpSolution sol;
+    if (impl_->simplex.ResolveFromCurrentBasis(c, &sol)) {
+      ++warm_accepted_;
+      chain_.last_accepted = true;
+      if (sol.outcome == LpSolution::Outcome::kOptimal &&
+          impl_->simplex.BasisExportable()) {
+        chain_dirty_ = true;  // exported lazily by ExportWarm
+      } else {
+        synced_ = false;
+        chain_.valid = false;
+        chain_dirty_ = false;
+      }
+      return sol;
+    }
+    // In-place basis unusable (singular / unrepairable): it is the same
+    // basis the chain describes, so drop both and go cold below.
+    synced_ = false;
+    chain_.valid = false;
+    chain_dirty_ = false;
+  }
+  bool accepted = false;
+  LpSolution sol = SolveWithChain(impl_->simplex, c, &chain_, &accepted);
+  chain_.last_accepted = accepted;
+  chain_dirty_ = false;
+  synced_ = sol.outcome == LpSolution::Outcome::kOptimal && chain_.valid;
+  if (had_warm) {
+    if (accepted) {
+      ++warm_accepted_;
+    } else {
+      ++warm_rejected_;
+    }
+  }
+  return sol;
+}
+
+void SliceLpSolver::ImportWarm(const LpWarmStart& warm) {
+  chain_ = warm;
+  synced_ = false;
+  chain_dirty_ = false;
+}
+
+void SliceLpSolver::ExportWarm(LpWarmStart* warm) {
+  if (chain_dirty_) {
+    impl_->simplex.ExportBasis(&chain_);
+    chain_dirty_ = false;
+  }
+  *warm = chain_;
 }
 
 }  // namespace priste::core

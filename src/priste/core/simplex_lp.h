@@ -1,6 +1,10 @@
 #ifndef PRISTE_CORE_SIMPLEX_LP_H_
 #define PRISTE_CORE_SIMPLEX_LP_H_
 
+#include <cstdint>
+#include <memory>
+#include <vector>
+
 #include "priste/linalg/matrix.h"
 #include "priste/linalg/vector.h"
 
@@ -25,11 +29,80 @@ struct LpSolution {
   linalg::Vector x;
 };
 
+/// A reusable basis snapshot for warm-starting adjacent LPs. The QP solver's
+/// slice sweep solves a sequence of LPs that differ only in one right-hand
+/// side entry and the objective, so the optimal basis of one slice is usually
+/// primal-feasible (often optimal) for the next: seeding it skips Phase 1 and
+/// most Phase-2 pivots.
+struct LpWarmStart {
+  /// False until a solve exports a basis; a rejected warm attempt resets it.
+  bool valid = false;
+  /// Basic column indices (k entries, all < n — artificial-free bases only).
+  std::vector<size_t> basis;
+  /// Nonbasic bound assignment for all n original columns.
+  std::vector<uint8_t> at_upper;
+  /// Diagnostics for the caller: what the last SolveBoundedLp did with this
+  /// state.
+  bool last_accepted = false;
+};
+
 /// Two-phase primal simplex with bounded variables and a Bland's-rule
 /// anti-cycling fallback. Exact (up to floating point) for the few-row LPs
 /// the QP solver generates; this is the "LP slice" half of the CPLEX
 /// substitution documented in DESIGN.md §1.
-LpSolution SolveBoundedLp(const LpProblem& problem);
+///
+/// When `warm` is non-null and holds a valid basis of matching shape, the
+/// solve first tries to reinstate it: nonbasics go to their recorded bounds,
+/// the basic values come from one linear solve, and a basis left primal
+/// infeasible by the RHS change is repaired with dual-simplex pivots before
+/// Phase 2 — Phase 1 is skipped entirely. An unusable warm basis falls back
+/// to the cold two-phase path; results are identical either way, only the
+/// pivot count differs. On an optimal exit the final basis is exported back
+/// into `warm` for the next call.
+LpSolution SolveBoundedLp(const LpProblem& problem, LpWarmStart* warm = nullptr);
+
+/// Reusable solver for a *family* of LPs sharing A and the variable bounds
+/// and differing only in b and c — the QP solver's slice sweep, where
+/// consecutive slices move one RHS entry and tilt the objective. All internal
+/// arrays are allocated once, and the optimal basis of each solve chains into
+/// the next (with the same dual-repair/cold-fallback ladder as the warm
+/// SolveBoundedLp). Import/ExportWarm bridge the chain across sweeps.
+class SliceLpSolver {
+ public:
+  /// `a` is k×n with k small (1–2); `upper` the per-variable caps.
+  SliceLpSolver(linalg::Matrix a, linalg::Vector upper);
+  ~SliceLpSolver();
+
+  SliceLpSolver(const SliceLpSolver&) = delete;
+  SliceLpSolver& operator=(const SliceLpSolver&) = delete;
+
+  /// maximize cᵀx  s.t.  A x = b, 0 ≤ x ≤ upper.
+  LpSolution Solve(const linalg::Vector& b, const linalg::Vector& c);
+
+  /// Seeds the internal chain from a caller-held basis (e.g. the previous
+  /// sweep's final basis, persisted in QpSolver::WarmState).
+  void ImportWarm(const LpWarmStart& warm);
+  /// Saves the current chain state back into `warm` (flushes the lazily
+  /// tracked in-place basis first).
+  void ExportWarm(LpWarmStart* warm);
+
+  /// Solves performed from a carried-over (possibly dual-repaired) basis vs
+  /// cold two-phase fallbacks, since construction/ImportWarm.
+  int warm_accepted() const { return warm_accepted_; }
+  int warm_rejected() const { return warm_rejected_; }
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  LpWarmStart chain_;
+  // True when the internal simplex state still holds the previous solve's
+  // optimal basis (the common case between adjacent slices) — Solve() then
+  // skips basis reinstatement entirely.
+  bool synced_ = false;
+  bool chain_dirty_ = false;
+  int warm_accepted_ = 0;
+  int warm_rejected_ = 0;
+};
 
 }  // namespace priste::core
 

@@ -22,7 +22,10 @@ void RunningStats::Add(double x) {
 
 double RunningStats::stddev() const {
   if (count_ < 2) return 0.0;
-  return std::sqrt(m2_ / static_cast<double>(count_ - 1));
+  // Floating-point cancellation can drive m2_ infinitesimally negative on
+  // near-constant series (even Welford's update only guarantees m2_ >= 0 in
+  // exact arithmetic); sqrt of that would be NaN.
+  return std::sqrt(std::max(m2_, 0.0) / static_cast<double>(count_ - 1));
 }
 
 void SeriesStats::AddSeries(const std::vector<double>& series) {

@@ -16,6 +16,14 @@ struct PointKm {
 /// Euclidean distance between two points, in km.
 double Distance(const PointKm& a, const PointKm& b);
 
+/// An axis-aligned rectangle in km, [x0, x1] × [y0, y1].
+struct RectKm {
+  double x0 = 0.0;
+  double x1 = 0.0;
+  double y0 = 0.0;
+  double y1 = 0.0;
+};
+
 /// A w×h grid map S = {s_1, …, s_m} with m = w·h cells, each cell a square of
 /// `cell_size_km` kilometres. Cell indices are row-major, 0-based; the paper's
 /// state s_i corresponds to cell index i-1. Cell centers anchor the continuous
@@ -50,6 +58,12 @@ class Grid {
 
   /// Center of `cell` in km.
   PointKm CenterOf(int cell) const;
+
+  /// The square of km-space that `cell` covers. Together with CellContaining's
+  /// border clamping, the *preimage* of a border cell under "sample a point,
+  /// then clamp into the grid" extends these bounds to infinity on the border
+  /// sides — the geometry the planar-Laplace discretization integrates over.
+  RectKm CellBoundsKm(int cell) const;
 
   /// The cell containing point `p`, clamped to the grid boundary (the planar
   /// Laplace mechanism uses this remapping when a continuous sample falls

@@ -14,17 +14,19 @@ namespace priste::lppm {
 /// the paper's Case Study 1. The continuous mechanism adds 2D noise with
 /// density (α²/2π)·e^{−α·d}; this class provides both:
 ///
-///  * the grid-discretized emission matrix, Pr(o | s_i) ∝ e^{−α·d(c_i, c_o)}
-///    over cell centers (rows normalized). The kernel ratio alone is bounded
-///    by e^{α·d(s_i,s_j)} (triangle inequality); truncating to the finite map
-///    and normalizing rows adds a normalizer ratio Z_j/Z_i that is itself
-///    bounded by e^{α·d}, so the discretized mechanism is guaranteed
-///    2α-geo-indistinguishable on the cell metric (≈1.6α in practice on a
-///    20×20 map — verified by the geo_ind_audit tests). This is the standard
-///    truncation cost of restricting planar Laplace to a bounded domain;
 ///  * continuous planar-Laplace sampling (angle uniform, radius
-///    Gamma(2, 1/α)) with boundary remapping onto the grid, for callers that
-///    want the unquantized mechanism.
+///    Gamma(2, 1/α)) with boundary clamping onto the grid, for callers that
+///    want the unquantized mechanism (SampleContinuous);
+///  * the emission matrix E(i, o) = Pr(clamp(c_i + noise) ∈ cell o) — the
+///    *exact* discretization of that sampler. Interior cells integrate the
+///    density over the cell square; border cells additionally absorb the
+///    clamped off-grid mass (their preimage under "sample, then clamp"
+///    extends past the border to infinity). Because discretization is pure
+///    post-processing of the α-geo-indistinguishable continuous mechanism,
+///    the emission is α-geo-indistinguishable on the cell-center metric:
+///    every audited ratio is bounded by e^{α·d(c_i, c_j)} pointwise under the
+///    integral (verified by the geo_ind_audit tests and a chi-squared
+///    sampler-vs-emission agreement test).
 ///
 /// α is the paper's PLM privacy budget; smaller α = stronger location
 /// privacy. The degenerate α = 0 is the uniform mechanism that releases no
@@ -48,11 +50,15 @@ class PlanarLaplaceMechanism : public Lppm {
   }
 
   /// One draw of the continuous mechanism: true cell center + planar Laplace
-  /// noise, remapped to the nearest grid cell. Distributed close to, but not
-  /// identically to, Perturb(); exposed for end-to-end demos and tests.
+  /// noise, clamped to the grid boundary. Its cell distribution IS the
+  /// emission row (emission() is the exact discretization), so Perturb() and
+  /// SampleContinuous() are identically distributed over cells.
   int SampleContinuous(int true_cell, Rng& rng) const;
 
  private:
+  /// Checks alpha >= 0 and finite before any emission work; returns it.
+  static double ValidateAlpha(double alpha);
+
   geo::Grid grid_;
   double alpha_;
   hmm::EmissionMatrix emission_;

@@ -366,5 +366,141 @@ TEST(QpSolverTest, SlicesSolvedIsPositive) {
   EXPECT_GT(result.slices_solved, 0);
 }
 
+// A sequence of adjacent objectives (the budget-halving shape: d and l
+// rescale, a stays put) threaded through one WarmState must reproduce the
+// cold maxima while actually accepting warm bases.
+TEST(QpSolverWarmStartTest, AdjacentObjectiveSequenceMatchesColdMaxima) {
+  Rng rng(5150);
+  const size_t n = 64;
+  QpSolver::Objective obj;
+  obj.a = linalg::Vector(n);
+  obj.d = linalg::Vector(n);
+  obj.l = linalg::Vector(n);
+  for (size_t j = 0; j < 9; ++j) {
+    const size_t i = 3 + 6 * j;
+    obj.a[i] = rng.NextDouble();
+    obj.d[i] = rng.Uniform(-1.0, 1.0);
+    obj.l[i] = rng.Uniform(-1.0, 1.0);
+  }
+  QpSolver::Options warm_options;
+  warm_options.grid_points = 9;
+  warm_options.refine_iters = 4;
+  warm_options.pga_restarts = 1;
+  QpSolver::Options cold_options = warm_options;
+  cold_options.warm_start = false;
+  const QpSolver warm_solver(warm_options);
+  const QpSolver cold_solver(cold_options);
+
+  QpSolver::WarmState state;
+  long total_accepts = 0;
+  for (int step = 0; step < 6; ++step) {
+    QpSolver::Objective scaled = obj;
+    const double f = std::pow(0.5, step);
+    scaled.d.ScaleInPlace(f);
+    scaled.l.ScaleInPlace(0.5 + 0.5 * f);
+    const auto warm = warm_solver.Maximize(scaled, Deadline::Infinite(), &state);
+    const auto cold = cold_solver.Maximize(scaled, Deadline::Infinite());
+    EXPECT_NEAR(warm.max_value, cold.max_value, 1e-9) << "step=" << step;
+    EXPECT_EQ(warm.reduced_dim, cold.reduced_dim);
+    if (step > 0) {
+      EXPECT_TRUE(warm.support_frame_reused) << "step=" << step;
+    }
+    total_accepts += warm.warm_accepted_slices;
+  }
+  EXPECT_TRUE(state.has_support);
+  EXPECT_EQ(state.support.size(), 9u);
+  EXPECT_GT(total_accepts, 0);
+  EXPECT_EQ(state.warm_accepts, total_accepts);
+}
+
+TEST(QpSolverWarmStartTest, SupportFrameUnionsAcrossObjectives) {
+  const size_t n = 32;
+  QpSolver::Objective first;
+  first.a = linalg::Vector(n);
+  first.d = linalg::Vector(n);
+  first.l = linalg::Vector(n);
+  first.a[4] = 0.8;
+  first.l[4] = 0.5;
+  QpSolver::Objective second = first;
+  second.a[9] = 0.3;
+  second.l[9] = -0.2;
+
+  QpSolver::WarmState state;
+  const QpSolver solver;
+  const auto r1 = solver.Maximize(first, Deadline::Infinite(), &state);
+  EXPECT_EQ(state.support.size(), 1u);
+  const auto r2 = solver.Maximize(second, Deadline::Infinite(), &state);
+  // The frame grew to the union; the widened first objective still solves in
+  // the union frame and reports a reuse.
+  EXPECT_EQ(state.support.size(), 2u);
+  EXPECT_FALSE(r2.support_frame_reused);
+  const auto r3 = solver.Maximize(first, Deadline::Infinite(), &state);
+  EXPECT_TRUE(r3.support_frame_reused);
+  // A frame that is a superset of the true joint support never changes the
+  // answer — the extra coordinates have zero objective coefficients.
+  const QpSolver fresh;
+  const auto ref1 = fresh.Maximize(first, Deadline::Infinite());
+  const auto ref2 = fresh.Maximize(second, Deadline::Infinite());
+  EXPECT_NEAR(r1.max_value, ref1.max_value, 1e-9);
+  EXPECT_NEAR(r2.max_value, ref2.max_value, 1e-9);
+  EXPECT_NEAR(r3.max_value, ref1.max_value, 1e-9);
+}
+
+TEST(QpSolverWarmStartTest, WarmMaximumNeverBelowCold) {
+  // Safety direction of warm starts: the seed is an extra incumbent/slice
+  // and the refinement trajectory is slice-value-driven (shared with cold),
+  // so a warm search must never return a smaller maximum than the cold
+  // search — an under-certified maximum could flip an unsatisfied privacy
+  // check to satisfied. Regression for the incumbent-driven best_x bug:
+  // randomized sequences with *shifting* supports, where the carried-over
+  // incumbent used to beat every slice and strand the refinement at x_lo.
+  Rng rng(20260726);
+  QpSolver::Options warm_options;
+  warm_options.grid_points = 9;
+  warm_options.refine_iters = 6;
+  warm_options.pga_restarts = 1;
+  warm_options.pga_iters = 20;
+  QpSolver::Options cold_options = warm_options;
+  cold_options.warm_start = false;
+  const QpSolver warm_solver(warm_options);
+  const QpSolver cold_solver(cold_options);
+  const size_t n = 64;
+  for (int sequence = 0; sequence < 40; ++sequence) {
+    QpSolver::WarmState state;
+    for (int step = 0; step < 5; ++step) {
+      QpSolver::Objective obj;
+      obj.a = linalg::Vector(n);
+      obj.d = linalg::Vector(n);
+      obj.l = linalg::Vector(n);
+      const size_t base = rng.NextBelow(n - 12);
+      for (size_t j = 0; j < 8; ++j) {
+        obj.a[base + j] = rng.NextDouble();
+        obj.d[base + j] = rng.Uniform(-1.0, 1.0);
+        obj.l[base + j] = rng.Uniform(-1.0, 1.0);
+      }
+      const auto warm = warm_solver.Maximize(obj, Deadline::Infinite(), &state);
+      const auto cold = cold_solver.Maximize(obj, Deadline::Infinite());
+      EXPECT_GE(warm.max_value, cold.max_value - 1e-9)
+          << "sequence=" << sequence << " step=" << step;
+    }
+  }
+}
+
+TEST(QpSolverWarmStartTest, WarmStartOffIgnoresState) {
+  QpSolver::Options options;
+  options.warm_start = false;
+  const QpSolver solver(options);
+  QpSolver::Objective obj;
+  obj.a = linalg::Vector{0.2, 0.7, 0.1};
+  obj.d = linalg::Vector{0.5, -0.3, 0.2};
+  obj.l = linalg::Vector{0.0, 0.1, -0.1};
+  QpSolver::WarmState state;
+  const auto result = solver.Maximize(obj, Deadline::Infinite(), &state);
+  EXPECT_FALSE(state.has_support);
+  EXPECT_FALSE(state.has_argmax);
+  EXPECT_EQ(result.warm_accepted_slices, 0);
+  EXPECT_EQ(result.warm_rejected_slices, 0);
+}
+
 }  // namespace
 }  // namespace priste::core

@@ -1,0 +1,269 @@
+#include "priste/core/release_step.h"
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "priste/core/automaton_world.h"
+#include "priste/core/priste_delta_loc.h"
+#include "priste/core/priste_geo_ind.h"
+#include "priste/core/two_world.h"
+#include "priste/event/boolean_expr.h"
+#include "priste/event/presence.h"
+#include "priste/geo/gaussian_grid_model.h"
+#include "priste/markov/markov_chain.h"
+#include "testing/test_util.h"
+
+namespace priste::core {
+namespace {
+
+using event::PresenceEvent;
+
+QpSolver::Options SmallQpOptions(bool warm) {
+  QpSolver::Options options;
+  options.grid_points = 9;
+  options.refine_iters = 4;
+  options.pga_restarts = 1;
+  options.pga_iters = 30;
+  options.warm_start = warm;
+  return options;
+}
+
+void ExpectVectorsNear(const TheoremVectors& cached, const TheoremVectors& cold,
+                       double tol) {
+  ASSERT_EQ(cached.t, cold.t);
+  ASSERT_EQ(cached.a_bar.size(), cold.a_bar.size());
+  for (size_t i = 0; i < cold.a_bar.size(); ++i) {
+    EXPECT_NEAR(cached.a_bar[i], cold.a_bar[i], tol) << "a_bar[" << i << "]";
+    EXPECT_NEAR(cached.b_bar[i], cold.b_bar[i], tol)
+        << "b_bar[" << i << "] at t=" << cold.t;
+    EXPECT_NEAR(cached.c_bar[i], cold.c_bar[i], tol)
+        << "c_bar[" << i << "] at t=" << cold.t;
+  }
+}
+
+// Drives a full release-step schedule — several candidates per timestamp,
+// the last one committed — over sparse δ-location-set-style columns, and
+// requires the cached/warm-started engine to agree with the cold
+// recompute-from-t=1 path at every prefix: Theorem vectors to ≤ 1e-9, QP
+// condition maxima to ≤ 1e-9, and the certified decision exactly.
+void RunEquivalenceSchedule(const LiftedEventModel* model, size_t m,
+                            uint64_t seed) {
+  Rng rng(seed);
+  const QpSolver warm_solver(SmallQpOptions(/*warm=*/true));
+  const QpSolver cold_solver(SmallQpOptions(/*warm=*/false));
+  ReleaseStepContext context({model}, &warm_solver);
+  const PrivacyQuantifier cold(model, /*normalize_emissions=*/true);
+  const double epsilon = 0.4;
+
+  std::vector<linalg::Vector> history;
+  const int horizon = model->event_end() + 4;
+  for (int t = 1; t <= horizon; ++t) {
+    for (int cand = 0; cand < 2; ++cand) {
+      const linalg::Vector column =
+          testing::RandomSparseEmissionColumn(m, 4, rng);
+      const linalg::SparseVector sparse = linalg::SparseVector::FromDense(column);
+
+      const TheoremVectors cached = context.CandidateVectors(0, sparse);
+      history.push_back(column);
+      const TheoremVectors reference = cold.ComputeVectors(history);
+      ExpectVectorsNear(cached, reference, 1e-9);
+
+      const ReleaseCheckOutcome outcome =
+          context.CheckCandidate(sparse, epsilon, /*qp_threshold_seconds=*/-1.0);
+      const PrivacyCheckResult cold_check = cold.CheckArbitraryPrior(
+          reference, epsilon, cold_solver, Deadline::Infinite());
+      ASSERT_EQ(outcome.per_model.size(), 1u);
+      EXPECT_EQ(outcome.per_model[0].satisfied, cold_check.satisfied)
+          << "t=" << t << " cand=" << cand;
+      EXPECT_NEAR(outcome.per_model[0].max_condition15,
+                  cold_check.max_condition15, 1e-9);
+      EXPECT_NEAR(outcome.per_model[0].max_condition16,
+                  cold_check.max_condition16, 1e-9);
+      history.pop_back();
+
+      if (cand == 1) {
+        context.Commit(sparse);
+        history.push_back(column);
+      }
+    }
+  }
+  EXPECT_EQ(context.committed_steps(), horizon);
+  // The schedule must actually exercise the incremental engine.
+  const ReleaseStepDiagnostics& d = context.diagnostics();
+  EXPECT_GT(d.cached_checks, 0);
+  EXPECT_EQ(d.cold_checks, 0);
+  EXPECT_GT(d.prefix_extensions, 0);
+}
+
+TEST(ReleaseStepContextTest, CachedMatchesColdTwoWorldPresence) {
+  Rng rng(101);
+  const size_t m = 24;
+  std::vector<geo::Region> regions;
+  for (int i = 0; i < 3; ++i) regions.push_back(testing::RandomRegion(m, rng));
+  const auto ev = std::make_shared<PresenceEvent>(regions, 2);  // window [2, 4]
+  const TwoWorldModel model(testing::RandomTransition(m, rng), ev);
+  RunEquivalenceSchedule(&model, m, 1234);
+}
+
+TEST(ReleaseStepContextTest, CachedMatchesColdTwoWorldWindowAtStart) {
+  // Window starting at t = 1 exercises the split LiftInitial/ContractColumn
+  // weights in the cached contraction rows.
+  Rng rng(77);
+  const size_t m = 12;
+  std::vector<geo::Region> regions;
+  for (int i = 0; i < 2; ++i) regions.push_back(testing::RandomRegion(m, rng));
+  const auto ev = std::make_shared<PresenceEvent>(regions, 1);  // window [1, 2]
+  const TwoWorldModel model(testing::RandomTransition(m, rng), ev);
+  RunEquivalenceSchedule(&model, m, 4321);
+}
+
+TEST(ReleaseStepContextTest, CachedMatchesColdAutomatonWorld) {
+  Rng rng(55);
+  const size_t m = 9;
+  const markov::TransitionMatrix chain = testing::RandomTransition(m, rng);
+  const auto expr = event::BoolExpr::Or(
+      event::BoolExpr::Pred(2, 3),
+      event::BoolExpr::And(event::BoolExpr::Pred(3, 4),
+                           event::BoolExpr::Pred(4, 7)));
+  auto model = AutomatonWorldModel::Create(
+      markov::TransitionSchedule::Homogeneous(chain), *expr);
+  ASSERT_TRUE(model.ok()) << model.status();
+  RunEquivalenceSchedule(model.value().get(), m, 999);
+}
+
+TEST(ReleaseStepContextTest, DenseFirstColumnFallsBackToColdChain) {
+  Rng rng(202);
+  const size_t m = 10;
+  std::vector<geo::Region> regions{testing::RandomRegion(m, rng),
+                                   testing::RandomRegion(m, rng)};
+  const auto ev = std::make_shared<PresenceEvent>(regions, 2);
+  const TwoWorldModel model(testing::RandomTransition(m, rng), ev);
+  const QpSolver solver(SmallQpOptions(true));
+  ReleaseStepContext context({&model}, &solver);
+  const PrivacyQuantifier cold(&model, true);
+
+  std::vector<linalg::Vector> history;
+  for (int t = 1; t <= 5; ++t) {
+    const linalg::Vector column = testing::RandomEmissionColumn(m, rng);
+    const TheoremVectors cached = context.CandidateVectors(0, column);
+    history.push_back(column);
+    const TheoremVectors reference = cold.ComputeVectors(history);
+    // After the first (dense) commit this is the identical cold code path;
+    // at t = 1 the direct contraction form differs only by rounding.
+    ExpectVectorsNear(cached, reference, 1e-12);
+    context.Commit(column);
+  }
+  EXPECT_GT(context.diagnostics().cold_checks, 0);
+}
+
+TEST(ReleaseStepContextTest, PrefixCacheOptOutMatchesCachedResults) {
+  Rng rng(303);
+  const size_t m = 16;
+  std::vector<geo::Region> regions{testing::RandomRegion(m, rng),
+                                   testing::RandomRegion(m, rng),
+                                   testing::RandomRegion(m, rng)};
+  const auto ev = std::make_shared<PresenceEvent>(regions, 2);
+  const TwoWorldModel model(testing::RandomTransition(m, rng), ev);
+  const QpSolver solver(SmallQpOptions(true));
+  ReleaseStepOptions off;
+  off.prefix_cache = false;
+  off.warm_start = false;
+  ReleaseStepContext cached_ctx({&model}, &solver);
+  ReleaseStepContext cold_ctx({&model}, &solver, true, off);
+
+  Rng col_rng(404);
+  for (int t = 1; t <= 6; ++t) {
+    const linalg::Vector column =
+        testing::RandomSparseEmissionColumn(m, 5, col_rng);
+    const linalg::SparseVector sparse = linalg::SparseVector::FromDense(column);
+    ExpectVectorsNear(cached_ctx.CandidateVectors(0, sparse),
+                      cold_ctx.CandidateVectors(0, column), 1e-9);
+    cached_ctx.Commit(sparse);
+    cold_ctx.Commit(column);
+  }
+  EXPECT_GT(cached_ctx.diagnostics().cached_checks, 0);
+  EXPECT_GT(cold_ctx.diagnostics().cold_checks, 0);
+}
+
+PristeOptions DeltaLocOptions(bool accelerated) {
+  PristeOptions options;
+  options.epsilon = 0.6;
+  options.initial_alpha = 0.3;
+  options.qp_threshold_seconds = 5.0;
+  options.qp.grid_points = 9;
+  options.qp.refine_iters = 4;
+  options.qp.pga_restarts = 1;
+  options.qp.pga_iters = 30;
+  options.qp.warm_start = accelerated;
+  options.release.prefix_cache = accelerated;
+  options.release.warm_start = accelerated;
+  return options;
+}
+
+TEST(ReleaseStepContextTest, FullDeltaLocHalvingRunMatchesColdConfiguration) {
+  // End-to-end acceptance: a full PristeDeltaLoc run (halvings, posterior
+  // updates, conservative-release bookkeeping) must release the identical
+  // trajectory with the engine accelerated vs fully cold.
+  const geo::Grid grid(4, 4, 1.0);
+  const geo::GaussianGridModel mobility(grid, 1.0);
+  const auto ev =
+      std::make_shared<PresenceEvent>(geo::Region(16, {0, 1, 4, 5}), 3, 4);
+  const linalg::Vector pi = linalg::Vector::UniformProbability(16);
+  const markov::MarkovChain chain(mobility.transition(), pi);
+  Rng truth_rng(11);
+  const geo::Trajectory truth(chain.Sample(6, truth_rng));
+
+  const PristeDeltaLoc accelerated(grid, mobility.transition(), {ev}, 0.2, pi,
+                                   DeltaLocOptions(true));
+  const PristeDeltaLoc cold(grid, mobility.transition(), {ev}, 0.2, pi,
+                            DeltaLocOptions(false));
+  Rng rng_a(17);
+  Rng rng_b(17);
+  const auto result_a = accelerated.Run(truth, rng_a);
+  const auto result_b = cold.Run(truth, rng_b);
+  ASSERT_TRUE(result_a.ok()) << result_a.status();
+  ASSERT_TRUE(result_b.ok()) << result_b.status();
+  ASSERT_EQ(result_a->steps.size(), result_b->steps.size());
+  for (size_t i = 0; i < result_a->steps.size(); ++i) {
+    EXPECT_EQ(result_a->steps[i].released_cell, result_b->steps[i].released_cell)
+        << "t=" << result_a->steps[i].t;
+    EXPECT_DOUBLE_EQ(result_a->steps[i].released_alpha,
+                     result_b->steps[i].released_alpha);
+    EXPECT_EQ(result_a->steps[i].halvings, result_b->steps[i].halvings);
+  }
+}
+
+TEST(ReleaseStepContextTest, FullGeoIndRunMatchesColdConfiguration) {
+  const geo::Grid grid(4, 4, 1.0);
+  const geo::GaussianGridModel mobility(grid, 1.0);
+  const auto ev =
+      std::make_shared<PresenceEvent>(geo::Region(16, {5, 6}), 2, 3);
+  const PristeGeoInd accelerated(grid, mobility.transition(), {ev},
+                                 DeltaLocOptions(true));
+  const PristeGeoInd cold(grid, mobility.transition(), {ev},
+                          DeltaLocOptions(false));
+  const geo::Trajectory truth({1, 2, 6, 10});
+  Rng rng_a(29);
+  Rng rng_b(29);
+  const auto result_a = accelerated.Run(truth, rng_a);
+  const auto result_b = cold.Run(truth, rng_b);
+  ASSERT_TRUE(result_a.ok()) << result_a.status();
+  ASSERT_TRUE(result_b.ok()) << result_b.status();
+  ASSERT_EQ(result_a->steps.size(), result_b->steps.size());
+  for (size_t i = 0; i < result_a->steps.size(); ++i) {
+    EXPECT_EQ(result_a->steps[i].released_cell,
+              result_b->steps[i].released_cell);
+    EXPECT_DOUBLE_EQ(result_a->steps[i].released_alpha,
+                     result_b->steps[i].released_alpha);
+  }
+  // GeoInd columns are dense, so from t = 2 on the engine must have chosen
+  // the cold chain — the QP warm starts are the acceleration there.
+  EXPECT_GT(result_a->release_diagnostics.cold_checks, 0);
+  EXPECT_EQ(result_a->release_diagnostics.prefix_extensions, 0);
+}
+
+}  // namespace
+}  // namespace priste::core

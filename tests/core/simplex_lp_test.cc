@@ -136,5 +136,100 @@ TEST_P(SimplexLpRandomTest, MatchesLatticeSearchOneConstraint) {
 
 INSTANTIATE_TEST_SUITE_P(Trials, SimplexLpRandomTest, ::testing::Range(0, 12));
 
+// Adjacent-slice warm start: solving a sequence of LPs that differ only in
+// one RHS entry and the objective (the QP sweep's shape) from the previous
+// basis must yield the same optima as cold solves.
+TEST(SimplexLpWarmStartTest, AdjacentRhsSequenceMatchesColdOptima) {
+  Rng rng(808);
+  const size_t n = 20;
+  LpProblem lp;
+  lp.a = linalg::Matrix(2, n);
+  for (size_t j = 0; j < n; ++j) {
+    lp.a(0, j) = 0.1 + rng.NextDouble();
+    lp.a(1, j) = 1.0;
+  }
+  lp.b = linalg::Vector(2);
+  lp.b[1] = 1.0;
+  lp.c = linalg::Vector(n);
+  lp.upper = linalg::Vector::Ones(n);
+
+  LpWarmStart warm;
+  int accepted = 0;
+  for (int step = 0; step < 12; ++step) {
+    lp.b[0] = 0.15 + 0.05 * step;  // slide x = π·a
+    for (size_t j = 0; j < n; ++j) {
+      lp.c[j] = lp.b[0] * (rng.NextDouble() - 0.3) + rng.NextDouble();
+    }
+    const LpSolution warm_sol = SolveBoundedLp(lp, &warm);
+    const LpSolution cold_sol = SolveBoundedLp(lp);
+    ASSERT_EQ(warm_sol.outcome, LpSolution::Outcome::kOptimal);
+    ASSERT_EQ(cold_sol.outcome, LpSolution::Outcome::kOptimal);
+    EXPECT_NEAR(warm_sol.objective, cold_sol.objective, 1e-9) << step;
+    if (warm.last_accepted) ++accepted;
+  }
+  // The sequence is adjacent by construction: most bases must carry over.
+  EXPECT_GE(accepted, 8);
+}
+
+TEST(SimplexLpWarmStartTest, GarbageBasisFallsBackToColdPath) {
+  LpProblem lp;
+  lp.a = linalg::Matrix(1, 3);
+  lp.a(0, 0) = 1.0;
+  lp.a(0, 1) = 2.0;
+  lp.a(0, 2) = 3.0;
+  lp.b = linalg::Vector{1.5};
+  lp.c = linalg::Vector{1.0, 2.0, 1.0};
+  lp.upper = linalg::Vector::Ones(3);
+  const LpSolution reference = SolveBoundedLp(lp);
+  ASSERT_EQ(reference.outcome, LpSolution::Outcome::kOptimal);
+
+  // Out-of-range basis index.
+  LpWarmStart bogus;
+  bogus.valid = true;
+  bogus.basis = {7};
+  bogus.at_upper.assign(3, 0);
+  LpSolution sol = SolveBoundedLp(lp, &bogus);
+  EXPECT_EQ(sol.outcome, LpSolution::Outcome::kOptimal);
+  EXPECT_NEAR(sol.objective, reference.objective, 1e-12);
+  EXPECT_FALSE(bogus.last_accepted);
+  EXPECT_TRUE(bogus.valid);  // re-exported from the cold solve
+
+  // Primal-infeasible bound assignment (every nonbasic at upper overshoots
+  // b): the dual-simplex repair must pivot back to feasibility and still
+  // land on the cold optimum.
+  LpWarmStart infeasible;
+  infeasible.valid = true;
+  infeasible.basis = {0};
+  infeasible.at_upper.assign(3, 1);
+  sol = SolveBoundedLp(lp, &infeasible);
+  EXPECT_EQ(sol.outcome, LpSolution::Outcome::kOptimal);
+  EXPECT_NEAR(sol.objective, reference.objective, 1e-9);
+}
+
+TEST(SimplexLpWarmStartTest, ExportedBasisReproducesOptimumInstantly) {
+  LpProblem lp;
+  lp.a = linalg::Matrix(2, 4);
+  lp.a(0, 0) = 0.5;
+  lp.a(0, 1) = 1.0;
+  lp.a(0, 2) = 0.25;
+  lp.a(0, 3) = 0.75;
+  for (size_t j = 0; j < 4; ++j) lp.a(1, j) = 1.0;
+  lp.b = linalg::Vector{0.6, 1.0};
+  lp.c = linalg::Vector{0.3, 1.0, -0.2, 0.4};
+  lp.upper = linalg::Vector::Ones(4);
+
+  LpWarmStart warm;
+  const LpSolution first = SolveBoundedLp(lp, &warm);
+  ASSERT_EQ(first.outcome, LpSolution::Outcome::kOptimal);
+  ASSERT_TRUE(warm.valid);
+  const LpSolution second = SolveBoundedLp(lp, &warm);
+  ASSERT_EQ(second.outcome, LpSolution::Outcome::kOptimal);
+  EXPECT_TRUE(warm.last_accepted);
+  EXPECT_NEAR(first.objective, second.objective, 1e-12);
+  for (size_t j = 0; j < 4; ++j) {
+    EXPECT_NEAR(first.x[j], second.x[j], 1e-9);
+  }
+}
+
 }  // namespace
 }  // namespace priste::core

@@ -1,6 +1,7 @@
 #include "priste/eval/aggregate.h"
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -29,6 +30,28 @@ TEST(RunningStatsTest, SingleSampleHasZeroStddev) {
   s.Add(3.0);
   EXPECT_DOUBLE_EQ(s.mean(), 3.0);
   EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStatsTest, ConstantSeriesAtHugeScaleHasZeroStddev) {
+  // Welford's m2_ can be driven infinitesimally negative by cancellation;
+  // stddev must clamp instead of returning sqrt(negative) = NaN.
+  RunningStats s;
+  for (int i = 0; i < 64; ++i) s.Add(1e300);
+  EXPECT_DOUBLE_EQ(s.mean(), 1e300);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStatsTest, NearConstantSeriesNeverYieldsNanStddev) {
+  const double eps = std::numeric_limits<double>::epsilon();
+  for (const double scale : {1.0, 1e-300, 1e300}) {
+    RunningStats s;
+    for (int i = 0; i < 1000; ++i) {
+      s.Add(scale * (1.0 + (i % 3 == 0 ? eps : 0.0)));
+    }
+    const double sd = s.stddev();
+    EXPECT_FALSE(std::isnan(sd)) << "scale=" << scale;
+    EXPECT_GE(sd, 0.0) << "scale=" << scale;
+  }
 }
 
 TEST(SeriesStatsTest, PerIndexAggregation) {

@@ -59,6 +59,26 @@ TEST(GridTest, Square20Factory) {
   EXPECT_EQ(grid.num_cells(), 400u);
 }
 
+TEST(GridTest, CellBoundsContainCenterAndTile) {
+  const Grid grid(4, 3, 0.5);
+  for (size_t cell = 0; cell < grid.num_cells(); ++cell) {
+    const RectKm bounds = grid.CellBoundsKm(static_cast<int>(cell));
+    EXPECT_DOUBLE_EQ(bounds.x1 - bounds.x0, 0.5);
+    EXPECT_DOUBLE_EQ(bounds.y1 - bounds.y0, 0.5);
+    const PointKm center = grid.CenterOf(static_cast<int>(cell));
+    EXPECT_GT(center.x, bounds.x0);
+    EXPECT_LT(center.x, bounds.x1);
+    EXPECT_GT(center.y, bounds.y0);
+    EXPECT_LT(center.y, bounds.y1);
+    EXPECT_EQ(grid.CellContaining(center), static_cast<int>(cell));
+  }
+  // Adjacent cells share an edge exactly (the bounds tile the grid).
+  EXPECT_DOUBLE_EQ(grid.CellBoundsKm(grid.CellOf(0, 0)).x1,
+                   grid.CellBoundsKm(grid.CellOf(1, 0)).x0);
+  EXPECT_DOUBLE_EQ(grid.CellBoundsKm(grid.CellOf(0, 0)).y1,
+                   grid.CellBoundsKm(grid.CellOf(0, 1)).y0);
+}
+
 TEST(PointTest, Distance) {
   EXPECT_DOUBLE_EQ(Distance(PointKm{0.0, 0.0}, PointKm{3.0, 4.0}), 5.0);
   EXPECT_DOUBLE_EQ(Distance(PointKm{1.0, 1.0}, PointKm{1.0, 1.0}), 0.0);
