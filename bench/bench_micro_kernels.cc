@@ -417,11 +417,80 @@ void BM_ReleaseStepCached(benchmark::State& state) {
 BENCHMARK(BM_ReleaseStepCached)->Arg(0)->Arg(1)->ArgName("cached")
     ->Unit(benchmark::kMillisecond);
 
+// The dense-first-column scheme (ISSUE-5 tentpole, ≥3× acceptance): a
+// geo-ind-style schedule whose emission columns are DENSE, so the sparse
+// prefix rows never engage. The cold arm recomputes every Theorem-vector
+// chain from t = 1 (O(t) per candidate check); the dense-prefix arm keeps m
+// lifted row chains extended once per accepted timestamp and evaluates each
+// candidate with fused replicate-and-dot kernels (O(m·nnz) per check). The
+// workload isolates the Theorem-vector side (CandidateVectors) — the QP is
+// measured by BM_QpCheck/BM_QpWarmStart — and its horizon (300 ≈ 4.7·m)
+// sits in the amortized regime the scheme targets (DensePrefix::kAuto
+// engages at T ≥ 2m).
+void BM_ReleaseStepDensePrefix(benchmark::State& state) {
+  const bool accelerated = state.range(0) != 0;
+  const int side = 8;  // m = 64
+  const markov::TransitionMatrix chain = MooreGridWalk(side, /*allow_sparse=*/true);
+  const size_t m = chain.num_states();
+  const auto ev = event::PresenceEvent::Make(m, 1, 8, 2, 3);
+  const core::TwoWorldModel model(chain, ev);
+  const core::QpSolver solver;  // unused by the vector path; context needs one
+
+  const int steps = 300;
+  const int candidates = 5;
+  Rng rng(5150);
+  std::vector<std::vector<linalg::Vector>> columns(
+      static_cast<size_t>(steps));
+  for (int t = 0; t < steps; ++t) {
+    for (int cand = 0; cand < candidates; ++cand) {
+      linalg::Vector e(m);
+      for (size_t j = 0; j < m; ++j) e[j] = 0.05 + 0.95 * rng.NextDouble();
+      columns[static_cast<size_t>(t)].push_back(std::move(e));
+    }
+  }
+
+  for (auto _ : state) {
+    double acc = 0.0;
+    if (accelerated) {
+      core::ReleaseStepOptions options;
+      options.dense_prefix = core::ReleaseStepOptions::DensePrefix::kAlways;
+      core::ReleaseStepContext context({&model}, &solver, true, options);
+      for (int t = 0; t < steps; ++t) {
+        for (int cand = 0; cand < candidates; ++cand) {
+          acc += context
+                     .CandidateVectors(
+                         0, columns[static_cast<size_t>(t)][static_cast<size_t>(cand)])
+                     .b_bar.Sum();
+        }
+        context.Commit(columns[static_cast<size_t>(t)].back());
+      }
+    } else {
+      const core::PrivacyQuantifier quantifier(&model);
+      std::vector<linalg::Vector> history;
+      for (int t = 0; t < steps; ++t) {
+        for (int cand = 0; cand < candidates; ++cand) {
+          history.push_back(
+              columns[static_cast<size_t>(t)][static_cast<size_t>(cand)]);
+          acc += quantifier.ComputeVectors(history).b_bar.Sum();
+          history.pop_back();
+        }
+        history.push_back(columns[static_cast<size_t>(t)].back());
+      }
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_ReleaseStepDensePrefix)->Arg(0)->Arg(1)->ArgName("dense_rows")
+    ->Unit(benchmark::kMillisecond);
+
 // The QP side in isolation: two release steps' worth of adjacent
 // maximizations (each halving rescales d and l; a stays put) on a 1024-cell
-// objective, with and without the threaded WarmState. Only the very first
-// solve of the sequence runs cold in the warm arm — exactly the release
-// loop's shape.
+// objective, with and without the threaded WarmState. The warm arm runs the
+// NEW release-loop shape — consecutive maximizations resolve as
+// condition-style *pairs* through MaximizePair, sharing one support frame
+// and one slice family per pair on top of the cross-call chain — while the
+// cold arm solves all 12 independently. Only the very first solve of the
+// warm sequence runs cold.
 void BM_QpWarmStart(benchmark::State& state) {
   const bool warm = state.range(0) != 0;
   const size_t n = 1024;
@@ -454,17 +523,28 @@ void BM_QpWarmStart(benchmark::State& state) {
   options.warm_start = warm;
   const core::QpSolver solver(options);
 
+  const auto scaled = [&](int halving) {
+    core::QpSolver::Objective obj = base;
+    const double f = 1.0 / static_cast<double>(1 << (halving % 6));
+    obj.d.ScaleInPlace(f);
+    obj.l.ScaleInPlace(0.5 + 0.5 * f);
+    return obj;
+  };
+
   for (auto _ : state) {
     core::QpSolver::WarmState ws;
     double acc = 0.0;
-    for (int halving = 0; halving < 12; ++halving) {
-      core::QpSolver::Objective obj = base;
-      const double f = 1.0 / static_cast<double>(1 << (halving % 6));
-      obj.d.ScaleInPlace(f);
-      obj.l.ScaleInPlace(0.5 + 0.5 * f);
-      const auto result =
-          solver.Maximize(obj, Deadline::Infinite(), warm ? &ws : nullptr);
-      acc += result.max_value;
+    for (int pair = 0; pair < 6; ++pair) {
+      const core::QpSolver::Objective f15 = scaled(2 * pair);
+      const core::QpSolver::Objective f16 = scaled(2 * pair + 1);
+      if (warm) {
+        core::QpSolver::Result r15, r16;
+        solver.MaximizePair(f15, f16, Deadline::Infinite(), &ws, &r15, &r16);
+        acc += r15.max_value + r16.max_value;
+      } else {
+        acc += solver.Maximize(f15, Deadline::Infinite()).max_value;
+        acc += solver.Maximize(f16, Deadline::Infinite()).max_value;
+      }
     }
     benchmark::DoNotOptimize(acc);
   }

@@ -48,7 +48,8 @@ PRISTE_THREADS="${PRISTE_THREADS:-4}" \
 # of the recorded perf trajectory — fail loudly if a refactor drops them from
 # the binary.
 for family in BM_SparseEmissionTheoremVectors BM_SparseEmissionForwardBackward \
-              BM_QpSupportAware BM_ReleaseStepCached BM_QpWarmStart; do
+              BM_QpSupportAware BM_ReleaseStepCached BM_ReleaseStepDensePrefix \
+              BM_QpWarmStart; do
   if ! grep -q "$family" "$OUT"; then
     echo "$OUT is missing benchmark family $family" >&2
     exit 1

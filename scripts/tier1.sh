@@ -1,8 +1,17 @@
 #!/usr/bin/env sh
 # Tier-1 verify — the canonical gate from ROADMAP.md, runnable as one command.
-# Usage: scripts/tier1.sh [build-dir] [extra cmake args...]   (default: build)
+# Usage: scripts/tier1.sh [--cold-cache] [build-dir] [extra cmake args...]
+#   --cold-cache  run the WHOLE suite with the release-step prefix cache
+#                 forced off (PRISTE_MAX_CACHE_SUPPORT=0), on top of the
+#                 always-on <suite>.coldcache ctest entries
+#   build-dir     defaults to build
 set -eu
 
+if [ "${1:-}" = "--cold-cache" ]; then
+  PRISTE_MAX_CACHE_SUPPORT=0
+  export PRISTE_MAX_CACHE_SUPPORT
+  shift
+fi
 BUILD_DIR="${1:-build}"
 [ "$#" -gt 0 ] && shift
 cmake -B "$BUILD_DIR" -S "$(dirname "$0")/.." "$@"

@@ -2,6 +2,8 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
+#include <limits>
 
 namespace priste {
 
@@ -34,6 +36,32 @@ std::string StrJoin(const std::vector<std::string>& parts, const std::string& se
 std::string FormatDouble(double value, int digits) {
   std::string s = StrFormat("%.*g", digits, value);
   return s;
+}
+
+bool ParseInt32(const std::string& s, int* out) {
+  if (s.empty()) return false;
+  long long value = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + (c - '0');
+    if (value > std::numeric_limits<int>::max()) return false;
+  }
+  *out = static_cast<int>(value);
+  return true;
+}
+
+int ReadIntEnv(const char* name, int fallback, int min_value) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  int parsed = 0;
+  if (!ParseInt32(value, &parsed) || parsed < min_value) {
+    std::fprintf(stderr,
+                 "priste: ignoring invalid %s=\"%s\" (want an integer >= %d); "
+                 "using %d\n",
+                 name, value, min_value, fallback);
+    return fallback;
+  }
+  return parsed;
 }
 
 }  // namespace priste

@@ -16,6 +16,20 @@ std::string StrJoin(const std::vector<std::string>& parts, const std::string& se
 /// zeros ("0.5", "1", "0.125").
 std::string FormatDouble(double value, int digits = 6);
 
+/// Strict full-string base-10 parser for non-negative ints: the string must
+/// be one or more digits and nothing else — no sign, whitespace, or trailing
+/// garbage ("4x", "abc", "-1", " 7", "") all fail — and the value must fit in
+/// int. Returns false (leaving *out untouched) on invalid input. This is the
+/// parser behind every environment knob; std::atoi's silent prefix parsing
+/// ("4x" → 4) and silent zero ("abc" → 0) are exactly what it replaces.
+bool ParseInt32(const std::string& s, int* out);
+
+/// Reads environment variable `name` through the strict parser. Unset or
+/// empty → `fallback` silently; set but invalid (garbage, negative, overflow,
+/// or parsed value < `min_value`) → one-line warning on stderr and
+/// `fallback`.
+int ReadIntEnv(const char* name, int fallback, int min_value = 0);
+
 }  // namespace priste
 
 #endif  // PRISTE_COMMON_STRINGS_H_

@@ -1,8 +1,9 @@
 #include "priste/common/thread_pool.h"
 
 #include <atomic>
-#include <cstdlib>
 #include <memory>
+
+#include "priste/common/strings.h"
 
 namespace priste {
 
@@ -45,13 +46,11 @@ void ThreadPool::WorkerLoop() {
 }
 
 int ThreadPool::DefaultThreadCount() {
-  if (const char* env = std::getenv("PRISTE_THREADS");
-      env != nullptr && *env != '\0') {
-    const int n = std::atoi(env);
-    if (n >= 1) return n;
-  }
   const unsigned hw = std::thread::hardware_concurrency();
-  return hw >= 1 ? static_cast<int>(hw) : 1;
+  const int fallback = hw >= 1 ? static_cast<int>(hw) : 1;
+  // Strict full-string parse: "4x" or "abc" used to slide through std::atoi
+  // as 4 / 0 — now they warn once and fall back to hardware concurrency.
+  return ReadIntEnv("PRISTE_THREADS", fallback, /*min_value=*/1);
 }
 
 ThreadPool& ThreadPool::Shared() {

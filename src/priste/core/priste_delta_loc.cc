@@ -53,6 +53,9 @@ StatusOr<RunResult> PristeDeltaLoc::Run(const geo::Trajectory& true_trajectory,
   for (const auto& model : models_) raw_models.push_back(model.get());
   ReleaseStepContext context(std::move(raw_models), &solver_,
                              options_.normalize_emissions, options_.release);
+  // δ-location-set columns are usually sparse, but a wide first ΔX still
+  // benefits from the dense-prefix family on long runs (DensePrefix::kAuto).
+  context.SetHorizonHint(T);
 
   for (int t = 1; t <= T; ++t) {
     const int true_cell = true_trajectory.At(t);

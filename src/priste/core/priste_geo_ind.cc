@@ -81,6 +81,9 @@ StatusOr<RunResult> PristeGeoInd::Run(const geo::Trajectory& true_trajectory,
   for (const auto& model : models_) raw_models.push_back(model.get());
   ReleaseStepContext context(std::move(raw_models), &solver_,
                              options_.normalize_emissions, options_.release);
+  // Geo-ind emission columns are dense; the horizon decides whether the
+  // dense-prefix row family amortizes (DensePrefix::kAuto).
+  context.SetHorizonHint(T);
 
   for (int t = 1; t <= T; ++t) {
     const int true_cell = true_trajectory.At(t);

@@ -94,10 +94,11 @@ double SolveSlice(const QpSolver::Objective& objective,
     sol = SolveBoundedLp(lp);
   }
   if (sol.outcome != LpSolution::Outcome::kOptimal) return -kInf;
-  if (argmax != nullptr) *argmax = sol.x;
   // The LP objective is the linearized form; the true bilinear value uses
   // the *achieved* π·a (equal to x up to solver tolerance).
-  return objective.Evaluate(sol.x);
+  const double value = objective.Evaluate(sol.x);
+  if (argmax != nullptr) *argmax = std::move(sol.x);
+  return value;
 }
 
 void ClipToBox(const linalg::Vector& upper, linalg::Vector* v) {
@@ -147,6 +148,12 @@ QpSolver::Result MaximizeCore(const QpSolver::Objective& objective,
   double x_lo = 0.0, x_hi = 0.0;
   SliceRange(objective.a, upper, options.constraint, &x_lo, &x_hi);
 
+  // One argmax scratch for every slice solve below — SolveSlice move-fills
+  // it, and `consider` copies only on an actual improvement. The sweep
+  // solves hundreds of slices whose optima rarely improve the incumbent, so
+  // per-slice argmax allocations were pure overhead.
+  linalg::Vector arg;
+
   // Cross-call seed (previous optimum, same reduced frame): take it as a
   // second incumbent — the first PGA restart polishes it — and solve its
   // slice x = π·a up front, so the sweep starts from a near-final incumbent.
@@ -157,7 +164,6 @@ QpSolver::Result MaximizeCore(const QpSolver::Objective& objective,
     if (!deadline.Expired()) {
       const double x_seed =
           std::clamp(warm->seed_pi->Dot(objective.a), x_lo, x_hi);
-      linalg::Vector arg;
       const double v =
           SolveSlice(objective, upper, options.constraint, x_seed, &arg, warm);
       ++result.slices_solved;
@@ -174,7 +180,6 @@ QpSolver::Result MaximizeCore(const QpSolver::Objective& objective,
   // smaller (under-certifying) maximum.
   const auto sweep = [&](double lo, double hi, int points) -> bool {
     if (points < 2 || hi <= lo) {
-      linalg::Vector arg;
       const double v =
           SolveSlice(objective, upper, options.constraint, lo, &arg, warm);
       ++result.slices_solved;
@@ -186,7 +191,6 @@ QpSolver::Result MaximizeCore(const QpSolver::Objective& objective,
     for (int g = 0; g < points; ++g) {
       if (deadline.Expired()) return false;
       const double x = lo + (hi - lo) * g / (points - 1);
-      linalg::Vector arg;
       const double v =
           SolveSlice(objective, upper, options.constraint, x, &arg, warm);
       ++result.slices_solved;
@@ -207,7 +211,6 @@ QpSolver::Result MaximizeCore(const QpSolver::Objective& objective,
       for (const double x :
            {center - span, center - 0.5 * span, center + 0.5 * span, center + span}) {
         if (x < lo || x > hi) continue;
-        linalg::Vector arg;
         const double v =
             SolveSlice(objective, upper, options.constraint, x, &arg, warm);
         ++result.slices_solved;
@@ -235,6 +238,8 @@ QpSolver::Result MaximizeCore(const QpSolver::Objective& objective,
       ClipToBox(upper, pi);
     }
   };
+  linalg::Vector grad(n);
+  linalg::Vector cand(n);
   for (int restart = 0; restart < options.pga_restarts && finished; ++restart) {
     if (deadline.Expired()) {
       finished = false;
@@ -252,7 +257,6 @@ QpSolver::Result MaximizeCore(const QpSolver::Objective& objective,
     for (int it = 0; it < options.pga_iters; ++it) {
       const double xa = pi.Dot(objective.a);
       const double xd = pi.Dot(objective.d);
-      linalg::Vector grad(n);
       for (size_t i = 0; i < n; ++i) {
         grad[i] = xd * objective.a[i] + xa * objective.d[i] + objective.l[i];
       }
@@ -260,12 +264,12 @@ QpSolver::Result MaximizeCore(const QpSolver::Objective& objective,
       if (gnorm < 1e-15) break;
       bool improved = false;
       for (int bt = 0; bt < 8; ++bt) {
-        linalg::Vector cand = pi;
+        cand = pi;
         for (size_t i = 0; i < n; ++i) cand[i] += step / gnorm * grad[i];
         project(&cand);
         const double cv = objective.Evaluate(cand);
         if (cv > value + 1e-15) {
-          pi = std::move(cand);
+          std::swap(pi, cand);  // adopt the improved iterate, keep the buffer
           value = cv;
           improved = true;
           break;
@@ -307,6 +311,95 @@ std::vector<size_t> SortedUnion(const std::vector<size_t>& a,
   std::set_union(a.begin(), a.end(), b.begin(), b.end(),
                  std::back_inserter(out));
   return out;
+}
+
+const std::vector<size_t>* UpdateWarmFrame(const std::vector<size_t>& scan,
+                                           QpSolver::WarmState* warm,
+                                           bool* frame_reused) {
+  warm->last_scan_support = scan.size();
+  if (!warm->has_support) {
+    warm->support = scan;
+    warm->has_support = true;
+  } else if (IsSortedSubset(scan, warm->support)) {
+    *frame_reused = true;
+    ++warm->support_hits;
+  } else {
+    warm->support = SortedUnion(warm->support, scan);
+    warm->has_argmax = false;
+    warm->has_argmax2 = false;
+    warm->lp.valid = false;
+  }
+  return &warm->support;
+}
+
+// Warm-frame maintenance shared by Maximize and MaximizePair: record the
+// pre-union scan size (the release engine's drift policy reads it), seed or
+// extend the union frame, and invalidate every piece of frame-coordinate
+// state (argmax seeds, slice basis) on an extension. Returns the frame to
+// solve in; sets *frame_reused when the scan fit the existing frame.
+const std::vector<size_t>* UpdateWarmFrame(const std::vector<size_t>& scan,
+                                           QpSolver::WarmState* warm,
+                                           bool* frame_reused);
+
+// Joint (a, d, l) support scan over one objective, or over a pair sharing
+// one size (the two Theorem conditions maximize over one frame).
+std::vector<size_t> JointSupport(const QpSolver::Objective& first,
+                                 const QpSolver::Objective* second) {
+  const size_t n = first.a.size();
+  std::vector<size_t> scan;
+  scan.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const bool hit =
+        first.a[i] != 0.0 || first.d[i] != 0.0 || first.l[i] != 0.0 ||
+        (second != nullptr && (second->a[i] != 0.0 || second->d[i] != 0.0 ||
+                               second->l[i] != 0.0));
+    if (hit) scan.push_back(i);
+  }
+  return scan;
+}
+
+// Gathers `full` into frame coordinates; the trailing simplex slack keeps
+// zero objective coefficients.
+QpSolver::Objective GatherReduced(const QpSolver::Objective& full,
+                                  const std::vector<size_t>& support,
+                                  bool simplex) {
+  const size_t ns = support.size() + (simplex ? 1 : 0);
+  QpSolver::Objective reduced;
+  reduced.a = linalg::Vector(ns);
+  reduced.d = linalg::Vector(ns);
+  reduced.l = linalg::Vector(ns);
+  for (size_t j = 0; j < support.size(); ++j) {
+    reduced.a[j] = full.a[support[j]];
+    reduced.d[j] = full.d[support[j]];
+    reduced.l[j] = full.l[support[j]];
+  }
+  return reduced;
+}
+
+// Scatters the reduced argmax back to n dimensions, resolving off-support
+// coordinates in closed form: the slack mass spreads uniformly (each share
+// is ≤ 1 because the slack is capped at the off-support count). The
+// objective value is unchanged — off-support coefficients are all zero.
+void ScatterArgmax(const std::vector<size_t>& support, size_t n, bool simplex,
+                   QpSolver::Result* result) {
+  const size_t off = n - support.size();
+  const size_t ns = support.size() + (simplex ? 1 : 0);
+  linalg::Vector full(n);
+  for (size_t j = 0; j < support.size(); ++j) {
+    full[support[j]] = result->argmax[j];
+  }
+  if (simplex && off > 0) {
+    const double share = result->argmax[ns - 1] / static_cast<double>(off);
+    size_t next_support = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (next_support < support.size() && support[next_support] == i) {
+        ++next_support;
+      } else {
+        full[i] = share;
+      }
+    }
+  }
+  result->argmax = std::move(full);
 }
 
 }  // namespace
@@ -426,15 +519,7 @@ QpSolver::Result QpSolver::Maximize(const Objective& objective,
   // off-support count) models exactly on the simplex, and which is simply
   // irrelevant on the box.
   std::vector<size_t> scan;
-  if (options_.exploit_support) {
-    scan.reserve(n);
-    for (size_t i = 0; i < n; ++i) {
-      if (objective.a[i] != 0.0 || objective.d[i] != 0.0 ||
-          objective.l[i] != 0.0) {
-        scan.push_back(i);
-      }
-    }
-  }
+  if (options_.exploit_support) scan = JointSupport(objective, nullptr);
   // With warm state the calls of one release step share a *stable* support
   // frame — the union of every joint support seen — so reduced coordinates,
   // the cached argmax, and the slice bases all stay aligned across calls. A
@@ -443,18 +528,7 @@ QpSolver::Result QpSolver::Maximize(const Objective& objective,
   bool frame_reused = false;
   const std::vector<size_t>* support = &scan;
   if (options_.exploit_support && use_warm) {
-    if (!warm->has_support) {
-      warm->support = scan;
-      warm->has_support = true;
-    } else if (IsSortedSubset(scan, warm->support)) {
-      frame_reused = true;
-      ++warm->support_hits;
-    } else {
-      warm->support = SortedUnion(warm->support, scan);
-      warm->has_argmax = false;
-      warm->lp.valid = false;
-    }
-    support = &warm->support;
+    support = UpdateWarmFrame(scan, warm, &frame_reused);
   }
   const bool reduce = options_.exploit_support && support->size() < n;
 
@@ -517,43 +591,115 @@ QpSolver::Result QpSolver::Maximize(const Objective& objective,
   // Reduced problem: gathered support coordinates, plus (simplex only) the
   // slack with zero objective coefficients and cap `off`.
   const size_t ns = support->size() + (simplex ? 1 : 0);
-  Objective reduced;
-  reduced.a = linalg::Vector(ns);
-  reduced.d = linalg::Vector(ns);
-  reduced.l = linalg::Vector(ns);
+  const Objective reduced = GatherReduced(objective, *support, simplex);
   linalg::Vector upper = linalg::Vector::Ones(ns);
-  for (size_t j = 0; j < support->size(); ++j) {
-    reduced.a[j] = objective.a[(*support)[j]];
-    reduced.d[j] = objective.d[(*support)[j]];
-    reduced.l[j] = objective.l[(*support)[j]];
-  }
   if (simplex) upper[ns - 1] = static_cast<double>(off);
 
   make_family(reduced, upper);
   Result result = MaximizeCore(reduced, upper, options_, deadline, warm_io);
   const linalg::Vector core_argmax = result.argmax;
-
-  // Scatter the reduced argmax back to n dimensions, resolving off-support
-  // coordinates in closed form: spread the slack mass uniformly (each share
-  // is ≤ 1 because the slack is capped at `off`). The objective value is
-  // unchanged — off-support coefficients are all zero.
-  linalg::Vector full(n);
-  for (size_t j = 0; j < support->size(); ++j) {
-    full[(*support)[j]] = result.argmax[j];
-  }
-  if (simplex && off > 0) {
-    const double share = result.argmax[ns - 1] / static_cast<double>(off);
-    size_t next_support = 0;
-    for (size_t i = 0; i < n; ++i) {
-      if (next_support < support->size() && (*support)[next_support] == i) {
-        ++next_support;
-      } else {
-        full[i] = share;
-      }
-    }
-  }
-  result.argmax = std::move(full);
+  ScatterArgmax(*support, n, simplex, &result);
   return finalize(std::move(result), core_argmax);
+}
+
+void QpSolver::MaximizePair(const Objective& first, const Objective& second,
+                            const Deadline& deadline, WarmState* warm,
+                            Result* first_result, Result* second_result) const {
+  const size_t n = first.a.size();
+  PRISTE_CHECK(n > 0);
+  PRISTE_CHECK(first.d.size() == n && first.l.size() == n);
+  PRISTE_CHECK(second.a.size() == n && second.d.size() == n &&
+               second.l.size() == n);
+  PRISTE_CHECK(first_result != nullptr && second_result != nullptr);
+  if (!options_.warm_start) {
+    // Nothing to share without warm-start machinery: two independent cold
+    // maximizations, identical to the caller doing them itself.
+    *first_result = Maximize(first, deadline, nullptr);
+    *second_result = Maximize(second, deadline, nullptr);
+    return;
+  }
+  const bool simplex = options_.constraint == ConstraintSet::kSimplex;
+  const bool use_warm = warm != nullptr;
+
+  // One support scan over the pair: both conditions share the bilinear
+  // factor a, so the union frame serves both reduced problems (a coordinate
+  // live in only one of them still has zero coefficients in the other —
+  // harmless, same as any frame superset).
+  std::vector<size_t> scan;
+  if (options_.exploit_support) scan = JointSupport(first, &second);
+  bool frame_reused = false;
+  const std::vector<size_t>* support = &scan;
+  if (options_.exploit_support && use_warm) {
+    support = UpdateWarmFrame(scan, warm, &frame_reused);
+  }
+  const bool reduce = options_.exploit_support && support->size() < n;
+
+  // One slice family for both sweeps: the slice constraint matrix [a; 1]
+  // is identical across the pair, so the second sweep continues from the
+  // first's final basis (its Phase-1 work disappears). Sequential by
+  // construction — the family is stateful.
+  WarmIo io;
+  std::unique_ptr<SliceLpSolver> family;
+  const auto run_pair = [&](const Objective& c1, const Objective& c2,
+                            const linalg::Vector& caps) {
+    const size_t nc = c1.a.size();
+    const size_t rows = simplex ? 2 : 1;
+    linalg::Matrix lp_a(rows, nc);
+    for (size_t j = 0; j < nc; ++j) {
+      lp_a(0, j) = c1.a[j];
+      if (simplex) lp_a(1, j) = 1.0;
+    }
+    family = std::make_unique<SliceLpSolver>(std::move(lp_a), caps);
+    if (use_warm && warm->lp.valid) family->ImportWarm(warm->lp);
+    io.family = family.get();
+
+    io.seed_pi = use_warm && warm->has_argmax ? &warm->argmax : nullptr;
+    *first_result = MaximizeCore(c1, caps, options_, deadline, &io);
+    const linalg::Vector core_argmax1 = first_result->argmax;
+    family->ResetCounters();  // per-sweep accept/reject accounting
+    io.seed_pi = use_warm && warm->has_argmax2 ? &warm->argmax2 : nullptr;
+    *second_result = MaximizeCore(c2, caps, options_, deadline, &io);
+    const linalg::Vector core_argmax2 = second_result->argmax;
+    first_result->support_frame_reused = frame_reused;
+    second_result->support_frame_reused = frame_reused;
+    if (use_warm) {
+      warm->argmax = core_argmax1;
+      warm->has_argmax = true;
+      warm->argmax2 = core_argmax2;
+      warm->has_argmax2 = true;
+      family->ExportWarm(&warm->lp);
+      warm->warm_accepts += first_result->warm_accepted_slices +
+                            second_result->warm_accepted_slices;
+      warm->warm_rejects += first_result->warm_rejected_slices +
+                            second_result->warm_rejected_slices;
+    }
+  };
+
+  if (!reduce) {
+    run_pair(first, second, linalg::Vector::Ones(n));
+    return;
+  }
+
+  const size_t off = n - support->size();
+  if (support->empty() && !simplex) {
+    // Identically-zero pair on the box: 0 at the zero vector is exact.
+    for (Result* r : {first_result, second_result}) {
+      *r = Result();
+      r->argmax = linalg::Vector(n);
+      r->max_value = 0.0;
+      r->reduced_dim = 0;
+      r->support_frame_reused = frame_reused;
+    }
+    return;
+  }
+
+  const size_t ns = support->size() + (simplex ? 1 : 0);
+  linalg::Vector upper = linalg::Vector::Ones(ns);
+  if (simplex) upper[ns - 1] = static_cast<double>(off);
+  run_pair(GatherReduced(first, *support, simplex),
+           GatherReduced(second, *support, simplex), upper);
+  ScatterArgmax(*support, n, simplex, first_result);
+  ScatterArgmax(*support, n, simplex, second_result);
 }
 
 }  // namespace priste::core

@@ -119,7 +119,10 @@ class QpSolver {
   /// calls, so all reduced problems live in one stable coordinate frame),
   /// the previous optimum (seeds the incumbent and the first PGA restart),
   /// and the previous call's final slice basis. One state per objective
-  /// stream; safe to use from one thread at a time.
+  /// stream — or per objective *pair* when threaded through MaximizePair,
+  /// which shares the frame and basis chain across the two Theorem
+  /// conditions and keeps one argmax seed per condition. Safe to use from
+  /// one thread at a time.
   struct WarmState {
     bool has_support = false;
     /// Sorted union of the joint supports seen so far (the frame).
@@ -129,22 +132,31 @@ class QpSolver {
     /// extension invalidates it.
     bool has_argmax = false;
     linalg::Vector argmax;
+    /// Second-objective optimum for the two-objective resolve (MaximizePair
+    /// seeds the first sweep from `argmax` and the second from `argmax2`;
+    /// single-objective Maximize never touches it).
+    bool has_argmax2 = false;
+    linalg::Vector argmax2;
     /// Final slice basis of the previous call, in frame coordinates.
     LpWarmStart lp;
+    /// Joint-support size of the most recent call's objective(s), recorded
+    /// BEFORE the frame union — the release engine's adaptive frame-reset
+    /// policy compares it against the frame size to measure support drift.
+    size_t last_scan_support = 0;
     /// Cumulative diagnostics across the state's lifetime.
     long support_hits = 0;
     long warm_accepts = 0;
     long warm_rejects = 0;
 
-    /// Drops the memoized frame (and the frame-coordinate argmax/basis that
-    /// depend on it) while keeping the cumulative diagnostics. The release
-    /// engine calls this at every commit: the next release step's emission
-    /// support starts a fresh union instead of inheriting the whole
-    /// trajectory's drift.
+    /// Drops the memoized frame (and the frame-coordinate argmaxes/basis
+    /// that depend on it) while keeping the cumulative diagnostics. The
+    /// release engine calls this at commits chosen by its frame-reset
+    /// policy: a fresh union instead of inheriting the trajectory's drift.
     void ResetFrame() {
       has_support = false;
       support.clear();
       has_argmax = false;
+      has_argmax2 = false;
       lp.valid = false;
     }
   };
@@ -166,6 +178,23 @@ class QpSolver {
   /// check toward detecting a violation, never toward certifying one away.
   Result Maximize(const Objective& objective, const Deadline& deadline,
                   WarmState* warm = nullptr) const;
+
+  /// Two-objective resolve for objectives sharing the same bilinear factor
+  /// `a` — the two Theorem IV.1 conditions, which differ only in (d, l).
+  /// Because the slice constraint matrix [a; 1] is identical for both, the
+  /// joint support is scanned once over the pair, the frame/reduced problem
+  /// is built once, and ONE SliceLpSolver family serves both sweeps — the
+  /// second maximization starts from the first's final basis, so its Phase-1
+  /// work disappears entirely. With a non-null `warm` (and
+  /// Options.warm_start), the shared frame, the per-objective argmax seeds
+  /// (`argmax`/`argmax2`), and the basis chain persist across calls. The
+  /// sweeps run sequentially (the family is stateful); each returns the same
+  /// certified maximum as an independent Maximize call up to floating-point
+  /// noise, by the same warm-only-adds argument. With Options.warm_start
+  /// off this degrades to two independent cold maximizations.
+  void MaximizePair(const Objective& first, const Objective& second,
+                    const Deadline& deadline, WarmState* warm,
+                    Result* first_result, Result* second_result) const;
 
  private:
   Options options_;

@@ -133,7 +133,7 @@ bool PrivacyQuantifier::CheckFixedPrior(const TheoremVectors& v,
 
 PrivacyCheckResult PrivacyQuantifier::CheckArbitraryPrior(
     const TheoremVectors& raw, double epsilon, const QpSolver& solver,
-    const Deadline& deadline, QpWarmPair* warm) const {
+    const Deadline& deadline, QpSolver::WarmState* warm) const {
   // Joint (b̄, c̄) rescaling is sign-preserving (see the quantifier tests);
   // normalizing to O(1) keeps the QP objectives well-scaled on long
   // observation prefixes.
@@ -164,16 +164,21 @@ PrivacyCheckResult PrivacyQuantifier::CheckArbitraryPrior(
   }
   f16.l = v.b_bar.Scaled(-e_eps);
 
-  // The two maximizations are independent; run them on the shared pool.
-  // Each Maximize is internally deterministic, so the result is identical
-  // at any thread count.
-  const QpSolver::Objective* objectives[2] = {&f15, &f16};
-  QpSolver::WarmState* warm_states[2] = {warm != nullptr ? &warm->f15 : nullptr,
-                                         warm != nullptr ? &warm->f16 : nullptr};
+  // With warm state the pair resolves sequentially through one shared
+  // support frame and slice family (the conditions differ only in (d, l));
+  // cold checks keep the concurrent independent maximizations. Either path
+  // is internally deterministic, so the result is identical at any thread
+  // count — and the shared family reaches the same unique slice optima, so
+  // warm-vs-cold agreement is unchanged.
   QpSolver::Result results[2];
-  ParallelFor(2, [&](size_t i) {
-    results[i] = solver.Maximize(*objectives[i], deadline, warm_states[i]);
-  });
+  if (warm != nullptr && solver.options().warm_start) {
+    solver.MaximizePair(f15, f16, deadline, warm, &results[0], &results[1]);
+  } else {
+    const QpSolver::Objective* objectives[2] = {&f15, &f16};
+    ParallelFor(2, [&](size_t i) {
+      results[i] = solver.Maximize(*objectives[i], deadline, nullptr);
+    });
+  }
   const QpSolver::Result& r15 = results[0];
   const QpSolver::Result& r16 = results[1];
 

@@ -88,23 +88,20 @@ class PrivacyQuantifier {
   static bool CheckFixedPrior(const TheoremVectors& v, const linalg::Vector& pi,
                               double epsilon, double tol = 1e-12);
 
-  /// Per-check warm-start bundle: one QpSolver::WarmState per Theorem
-  /// condition, owned by the caller and threaded through consecutive
-  /// CheckArbitraryPrior calls of one release step (the two conditions are
-  /// maximized concurrently, so they need separate states).
-  struct QpWarmPair {
-    QpSolver::WarmState f15;
-    QpSolver::WarmState f16;
-  };
-
   /// The arbitrary-prior check of Section IV-A: maximizes both conditions
-  /// over the QP solver's constraint set under `deadline`. A non-null `warm`
-  /// (with the solver's Options.warm_start on) seeds each maximization from
-  /// the previous call's state — same certified answers, fewer pivots.
+  /// over the QP solver's constraint set under `deadline`. The two
+  /// conditions differ only in the objective's (d, l) — they share the
+  /// bilinear factor ā — so a non-null `warm` (with the solver's
+  /// Options.warm_start on) resolves them through QpSolver::MaximizePair:
+  /// ONE support frame, ONE slice-LP family, and per-condition argmax seeds,
+  /// threaded across consecutive calls of one release step. Same certified
+  /// answers as two independent maximizations, roughly half the frame/basis
+  /// work. Without warm state (or with warm_start off) the two conditions
+  /// are maximized cold and concurrently, as before.
   PrivacyCheckResult CheckArbitraryPrior(const TheoremVectors& v, double epsilon,
                                          const QpSolver& solver,
                                          const Deadline& deadline,
-                                         QpWarmPair* warm = nullptr) const;
+                                         QpSolver::WarmState* warm = nullptr) const;
 
  private:
   const LiftedEventModel* model_;

@@ -1,8 +1,12 @@
 #include "priste/core/release_step.h"
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <utility>
 
 #include "priste/common/check.h"
+#include "priste/common/strings.h"
 #include "priste/common/timer.h"
 
 namespace priste::core {
@@ -15,6 +19,22 @@ ReleaseStepContext::ReleaseStepContext(
       options_(options) {
   PRISTE_CHECK(solver_ != nullptr);
   PRISTE_CHECK_MSG(!models.empty(), "release-step context needs >= 1 model");
+  // PRISTE_MAX_CACHE_SUPPORT overrides the sparse-row budget (0 = force the
+  // cold chain everywhere — the CI cold-path matrix). Strictly parsed;
+  // garbage warns and keeps the configured knob (not ReadIntEnv: its
+  // warning names the fallback value, which here is "keep", not a number).
+  if (const char* env = std::getenv("PRISTE_MAX_CACHE_SUPPORT");
+      env != nullptr && *env != '\0') {
+    int parsed = 0;
+    if (ParseInt32(env, &parsed)) {
+      options_.max_cache_support = static_cast<size_t>(parsed);
+    } else {
+      std::fprintf(stderr,
+                   "priste: ignoring invalid PRISTE_MAX_CACHE_SUPPORT=\"%s\" "
+                   "(want an integer >= 0); keeping max_cache_support=%zu\n",
+                   env, options_.max_cache_support);
+    }
+  }
   engines_.reserve(models.size());
   const size_t m = models.front()->num_states();
   for (const LiftedEventModel* model : models) {
@@ -126,6 +146,40 @@ TheoremVectors ReleaseStepContext::CachedVectors(ModelEngine& engine,
   out.b_bar = linalg::Vector(m);
   out.c_bar = linalg::Vector(m);
   const linalg::Vector* seed = during ? &model.SuffixTrue(t) : nullptr;
+
+  if (mode_ == Mode::kDense && column.dense != nullptr) {
+    // Dense-prefix fused path: replicate the candidate across the k event
+    // blocks once (∘ the event suffix for the b̄ seed during the window),
+    // then one contiguous dot per row — the inner loops vectorize, and the
+    // per-row candidate/seed products are not recomputed m times.
+    const size_t lifted = model.lifted_size();
+    const size_t k = lifted / m;
+    if (engine.fused_c.size() != lifted) engine.fused_c = linalg::Vector(lifted);
+    for (size_t q = 0; q < k; ++q) {
+      const size_t base = q * m;
+      for (size_t j = 0; j < m; ++j) {
+        engine.fused_c[base + j] = (*column.dense)[j];
+      }
+    }
+    if (during) {
+      if (engine.fused_b.size() != lifted) {
+        engine.fused_b = linalg::Vector(lifted);
+      }
+      for (size_t i = 0; i < lifted; ++i) {
+        engine.fused_b[i] = engine.fused_c[i] * (*seed)[i];
+      }
+    }
+    for (size_t i = 0; i < support_.size(); ++i) {
+      const double bsum = during ? engine.step_rows[i].Dot(engine.fused_b)
+                                 : engine.step_rows_masked[i].Dot(engine.fused_c);
+      const double csum = engine.step_rows[i].Dot(engine.fused_c);
+      const double w = support_scale_[i] * s_c;
+      out.b_bar[support_[i]] = w * bsum;
+      out.c_bar[support_[i]] = w * csum;
+    }
+    return out;
+  }
+
   for (size_t i = 0; i < support_.size(); ++i) {
     double bsum;
     double csum;
@@ -160,7 +214,11 @@ TheoremVectors ReleaseStepContext::VectorsImpl(size_t model_index,
   PRISTE_CHECK(column.size() == m);
 
   if (UsesCachePath()) {
-    ++diagnostics_.cached_checks;
+    if (mode_ == Mode::kDense) {
+      ++diagnostics_.dense_prefix_checks;
+    } else {
+      ++diagnostics_.cached_checks;
+    }
     if (t_ >= 1) return CachedVectors(engine, column);
     // t = 1 direct form: the contraction commutes with the candidate's
     // emission product, so b̄ = s_c·p̃ ∘ ā and c̄ = s_c·p̃ ∘ C(1) — no chain.
@@ -214,6 +272,11 @@ ReleaseCheckOutcome ReleaseStepContext::CheckImpl(const ColumnView& column,
   const bool push_once = !UsesCachePath();
   if (push_once) {
     history_.push_back(DensifyColumn(column.dense, column.sparse));
+    // Once per fallen-back *check* (not per model): cold because the first
+    // column was dense and the dense-prefix scheme declined.
+    if (mode_ == Mode::kCold && cold_is_dense_fallback_) {
+      ++diagnostics_.dense_fallbacks;
+    }
   }
   for (size_t i = 0; i < engines_.size(); ++i) {
     ModelEngine& engine = engines_[i];
@@ -221,13 +284,22 @@ ReleaseCheckOutcome ReleaseStepContext::CheckImpl(const ColumnView& column,
     const Deadline deadline = qp_threshold_seconds > 0.0
                                   ? Deadline::After(qp_threshold_seconds)
                                   : Deadline::Infinite();
-    PrivacyQuantifier::QpWarmPair* warm =
-        options_.warm_start ? &engine.warm : nullptr;
+    QpSolver::WarmState* warm = options_.warm_start ? &engine.warm : nullptr;
     const PrivacyCheckResult check = engine.quantifier.CheckArbitraryPrior(
         vectors, epsilon, *solver_, deadline, warm);
     if (check.support_frame_reused) ++diagnostics_.qp_support_hits;
     diagnostics_.warm_accepted_slices += check.warm_accepted_slices;
     diagnostics_.warm_rejected_slices += check.warm_rejected_slices;
+    if (warm != nullptr) {
+      // The adaptive frame-reset policy's streak trigger: a check whose
+      // slice LPs rejected more warm bases than they accepted.
+      if (check.warm_rejected_slices > check.warm_accepted_slices &&
+          check.warm_rejected_slices > 0) {
+        ++engine.warm_reject_streak;
+      } else {
+        engine.warm_reject_streak = 0;
+      }
+    }
     out.per_model.push_back(check);
     if (!check.satisfied) {
       out.all_satisfied = false;
@@ -262,17 +334,44 @@ void ReleaseStepContext::DecideMode(const ColumnView& first_column) {
     }
   }
 
-  const bool cached = options_.prefix_cache && !support.empty() &&
-                      support.size() <= options_.max_cache_support &&
-                      support.size() < m;
-  if (!cached) {
+  // Pinned boundary (inclusive): sparse rows iff
+  // 1 ≤ |support| ≤ min(max_cache_support, m − 1); wider supports are
+  // "dense" and go to the dense-prefix scheme when its policy engages.
+  const bool cache_on = options_.prefix_cache &&
+                        options_.max_cache_support > 0 && !support.empty();
+  const bool sparse_fit = support.size() <= options_.max_cache_support &&
+                          support.size() < m;
+  Mode mode = Mode::kCold;
+  if (cache_on && sparse_fit) {
+    mode = Mode::kCached;
+  } else if (cache_on) {
+    switch (options_.dense_prefix) {
+      case ReleaseStepOptions::DensePrefix::kAlways:
+        mode = Mode::kDense;
+        break;
+      case ReleaseStepOptions::DensePrefix::kAuto:
+        // Break-even T ≥ 2m: the m-row extension costs ~2 family sweeps of
+        // m rows per commit, the cold chain ~C·t per step with C ≥ 2
+        // candidates and average t = T/2.
+        if (horizon_hint_ > 0 &&
+            static_cast<size_t>(horizon_hint_) >= 2 * m) {
+          mode = Mode::kDense;
+        }
+        break;
+      case ReleaseStepOptions::DensePrefix::kOff:
+        break;
+    }
+    if (mode == Mode::kCold) cold_is_dense_fallback_ = true;
+  }
+
+  if (mode == Mode::kCold) {
     mode_ = Mode::kCold;
     history_.push_back(DensifyColumn(first_column.dense, first_column.sparse));
     t_ = 1;
     return;
   }
 
-  mode_ = Mode::kCached;
+  mode_ = mode;
   const double s_c = CandidateScale(first_column);
   support_ = std::move(support);
   support_scale_.resize(values.size());
@@ -303,15 +402,43 @@ void ReleaseStepContext::BuildMaskedRows(ModelEngine& engine) {
   engine.step_rows_masked_ready = false;
 }
 
+void ReleaseStepContext::ApplyFrameResetPolicy() {
+  // The support frame is memoized across the QP checks of one release step;
+  // whether it survives the commit is the policy's call. Keeping a frame is
+  // always sound — a superset frame never changes a certified answer, the
+  // extra coordinates have zero objective coefficients — so the policy only
+  // trades reduced-dimension growth against rebuild cost.
+  for (ModelEngine& engine : engines_) {
+    QpSolver::WarmState& warm = engine.warm;
+    if (!warm.has_support) {
+      engine.warm_reject_streak = 0;
+      continue;
+    }
+    bool reset = true;
+    if (options_.frame_reset == ReleaseStepOptions::FrameReset::kAdaptive) {
+      const double frame_size = static_cast<double>(warm.support.size());
+      const double scan_size = static_cast<double>(
+          std::max<size_t>(size_t{1}, warm.last_scan_support));
+      const bool drifted =
+          frame_size > options_.frame_drift_ratio * scan_size;
+      const bool streak =
+          options_.frame_reject_streak > 0 &&
+          engine.warm_reject_streak >= options_.frame_reject_streak;
+      reset = drifted || streak;
+    }
+    if (reset) {
+      warm.ResetFrame();
+      engine.warm_reject_streak = 0;
+      ++diagnostics_.frame_resets;
+    } else {
+      ++diagnostics_.frame_carries;
+    }
+  }
+}
+
 void ReleaseStepContext::CommitImpl(const ColumnView& column) {
   PRISTE_CHECK(column.size() == engines_.front().model->num_states());
-  // The support frame is memoized across the QP checks of ONE release step;
-  // the next step's δ-location set moves, so carrying the union across steps
-  // would only grow the reduced dimension without bound.
-  for (ModelEngine& engine : engines_) {
-    engine.warm.f15.ResetFrame();
-    engine.warm.f16.ResetFrame();
-  }
+  ApplyFrameResetPolicy();
   if (mode_ == Mode::kUndecided) {
     DecideMode(column);
     return;

@@ -15,38 +15,106 @@ namespace priste::core {
 struct ReleaseStepOptions {
   /// Incrementally extend the lifted chain's prefix products across
   /// timestamps instead of recomputing every Theorem-vector chain from t = 1.
-  /// Engages when the first released emission column is sparse (see
-  /// max_cache_support); the dense case falls back to the cold chain, which
-  /// is cheaper there.
+  /// Sparse first columns use one row per support cell; dense first columns
+  /// use the dense-prefix scheme (see dense_prefix). Off = cold chain
+  /// everywhere.
   bool prefix_cache = true;
-  /// The prefix cache maintains one lifted row per support cell of the first
-  /// emission column (b̄/c̄ are supported there for the whole run, which is
-  /// what makes the contraction sparse). Above this support size the rows
-  /// cost more than the cold chain — fall back.
+
+  /// Sparse-row budget, with a PINNED boundary: the sparse prefix rows
+  /// engage exactly when 1 ≤ |supp(p̃_{o_1})| ≤ min(max_cache_support, m−1)
+  /// — support == max_cache_support is INCLUSIVE (still sparse-cached).
+  /// Larger (dense) first columns go to the dense-prefix scheme or, when it
+  /// declines, the cold chain (counted in
+  /// ReleaseStepDiagnostics.dense_fallbacks). 0 is the master off switch:
+  /// it disables the whole prefix cache — sparse rows, dense rows, AND the
+  /// t = 1 closed form — so every check runs the cold chain; the CI
+  /// cold-path matrix relies on this. The PRISTE_MAX_CACHE_SUPPORT
+  /// environment variable, when set to a valid non-negative integer
+  /// (strictly parsed), overrides this knob at context construction.
   size_t max_cache_support = 64;
-  /// Thread QpSolver::WarmState bundles through the QP checks: the
-  /// emission-support union is memoized once per release step, the previous
-  /// candidate's optimal π seeds the next maximization, and slice bases chain
-  /// across solves. Also requires the solver's Options.warm_start.
+
+  /// Dense-first-column incremental scheme: m dense lifted row chains
+  /// r_i = Cᵀe_i · M₁D₂…M_{t−1}D_t — one per map state — extended once per
+  /// *accepted* timestamp, so a candidate check costs O(m·nnz(candidate))
+  /// instead of a fresh O(t) chain. The m-row family costs one StepRow
+  /// sweep per accepted timestamp (per row family), which amortizes over
+  /// the run: with C candidate checks per step the scheme beats the cold
+  /// chain once the horizon T clears roughly 4m/C committed steps.
+  enum class DensePrefix {
+    /// Dense first columns always fall back to the cold chain (PR-4
+    /// behavior).
+    kOff,
+    /// Engage when the horizon hint (SetHorizonHint; the drivers pass the
+    /// trajectory length) satisfies T ≥ 2·m — the documented break-even
+    /// with the ≥ 2 candidate checks per step a halving search implies.
+    /// Without a hint (0), stays cold.
+    kAuto,
+    /// Engage for every dense first column (equivalence tests / bench).
+    kAlways,
+  };
+  DensePrefix dense_prefix = DensePrefix::kAuto;
+
+  /// Thread one QpSolver::WarmState per model through the QP checks: the
+  /// emission-support union is memoized across checks, the previous
+  /// candidate's optimal π seeds each condition's next maximization, and
+  /// the two Theorem conditions resolve through ONE shared slice family
+  /// (QpSolver::MaximizePair). Also requires the solver's
+  /// Options.warm_start.
   bool warm_start = true;
+
+  /// Lifecycle of the memoized warm frame across *release steps*.
+  enum class FrameReset {
+    /// Drop the frame at every commit (PR-4 behavior): each step's emission
+    /// support starts a fresh union.
+    kCommitAlways,
+    /// Keep the frame across commits — a frame superset never changes a
+    /// certified answer, only the reduced dimension — and drop it only when
+    /// it stops paying: the frame has drifted past frame_drift_ratio × the
+    /// last check's joint support, or frame_reject_streak consecutive
+    /// checks rejected more warm slice bases than they accepted.
+    kAdaptive,
+  };
+  FrameReset frame_reset = FrameReset::kAdaptive;
+  /// kAdaptive: reset when |frame| > frame_drift_ratio · |last joint
+  /// support| (the δ-location set moved on and the union only grows the
+  /// reduced dimension).
+  double frame_drift_ratio = 4.0;
+  /// kAdaptive: reset after this many consecutive QP checks whose slice LPs
+  /// rejected more warm bases than they accepted (≤ 0 disables the streak
+  /// trigger).
+  int frame_reject_streak = 4;
 };
 
 /// Counters the engine accumulates over a run (cheap; always collected).
 struct ReleaseStepDiagnostics {
-  /// Theorem-vector computations served by the incremental prefix rows.
+  /// Theorem-vector computations served by the sparse incremental prefix
+  /// rows (per model, per candidate).
   long cached_checks = 0;
+  /// Theorem-vector computations served by the dense-prefix row family
+  /// (per model, per candidate).
+  long dense_prefix_checks = 0;
   /// Theorem-vector computations recomputed from t = 1 (cold chain).
   long cold_checks = 0;
+  /// Candidate checks (CheckCandidate calls — once per check, NOT once per
+  /// model) that ran cold because the first column's support exceeded
+  /// max_cache_support and the dense-prefix scheme declined.
+  long dense_fallbacks = 0;
   /// Lifted row-extension steps applied at commits (per model, per support
   /// cell).
   long prefix_extensions = 0;
-  /// QP checks whose both condition maximizations reused the memoized
-  /// support frame.
+  /// QP checks whose condition maximizations reused the memoized support
+  /// frame.
   long qp_support_hits = 0;
   /// Slice LPs solved from an accepted warm basis / rejected into the cold
   /// fallback, summed over all QP checks.
   long warm_accepted_slices = 0;
   long warm_rejected_slices = 0;
+  /// Live warm frames dropped / kept at commits — per model engine, per
+  /// commit (a 3-model context can count 3 resets for one commit; engines'
+  /// streaks diverge, so they decide independently). Commits where an
+  /// engine has no frame yet count in neither.
+  long frame_resets = 0;
+  long frame_carries = 0;
 };
 
 /// Aggregate outcome of checking one candidate column against every event
@@ -60,7 +128,7 @@ struct ReleaseCheckOutcome {
 };
 
 /// The release-step evaluation engine: owns, per event model, the quantifier,
-/// the incremental Theorem-vector state, and the QP warm-start bundle, and
+/// the incremental Theorem-vector state, and the QP warm-start state, and
 /// serves every candidate check of Algorithm 2/3's budget-halving search.
 ///
 /// The incremental state exploits the structure of the Lemma III.2/III.3
@@ -73,9 +141,14 @@ struct ReleaseCheckOutcome {
 /// where the lifted row r_s extends by one StepRow + one emission product per
 /// *accepted* timestamp — shared by every candidate of the next release step,
 /// which then costs O(support · nnz(candidate)) instead of a full O(t) chain
-/// per check. Past the event window a second, accepting-masked row family
-/// yields b̄ while the unmasked family yields c̄ (Eqs. 19/20). Numerical
-/// agreement with the cold chain is ≤ 1e-9 at every prefix (tested).
+/// per check. When the first column is *dense* the same identity holds with
+/// support = every map state: the dense-prefix scheme keeps all m row chains
+/// (the matrix R = Cᵀ·M₁D₂…, extended row-wise once per accepted timestamp)
+/// and evaluates candidates with fused replicate-and-dot kernels — O(m·nnz)
+/// per check, amortizing the m-row extension over long runs. Past the event
+/// window a second, accepting-masked row family yields b̄ while the unmasked
+/// family yields c̄ (Eqs. 19/20). Numerical agreement with the cold chain is
+/// ≤ 1e-9 at every prefix for both schemes (tested).
 ///
 /// Not thread-safe; create one per Run().
 class ReleaseStepContext {
@@ -86,6 +159,11 @@ class ReleaseStepContext {
   ReleaseStepContext(std::vector<const LiftedEventModel*> models,
                      const QpSolver* solver, bool normalize_emissions = true,
                      ReleaseStepOptions options = {});
+
+  /// Tells the engine how many timestamps the run will commit (the drivers
+  /// pass the trajectory length). Only read by DensePrefix::kAuto, and only
+  /// until the first Commit decides the mode.
+  void SetHorizonHint(int horizon) { horizon_hint_ = horizon; }
 
   /// Number of accepted (committed) release columns so far.
   int committed_steps() const { return t_; }
@@ -109,8 +187,9 @@ class ReleaseStepContext {
   void Commit(const linalg::SparseVector& column);
 
   /// Theorem vectors for `column` as the next candidate of `model_index` —
-  /// served by the cache when engaged, the cold chain otherwise. Exposed for
-  /// the cached-vs-cold equivalence tests.
+  /// served by the engaged cache (sparse rows or dense-prefix rows) when
+  /// active, the cold chain otherwise. Exposed for the cached-vs-cold
+  /// equivalence tests.
   TheoremVectors CandidateVectors(size_t model_index,
                                   const linalg::Vector& column);
   TheoremVectors CandidateVectors(size_t model_index,
@@ -128,7 +207,11 @@ class ReleaseStepContext {
     }
   };
 
-  enum class Mode { kUndecided, kCached, kCold };
+  // kCached (sparse rows) and kDense (dense-prefix rows) share the row
+  // machinery — kDense's support is every nonzero cell of the first column
+  // and its candidate kernels are fused — while kCold replays the dense
+  // history through the quantifier.
+  enum class Mode { kUndecided, kCached, kDense, kCold };
 
   struct ModelEngine {
     explicit ModelEngine(const LiftedEventModel* m, bool normalize)
@@ -136,7 +219,12 @@ class ReleaseStepContext {
 
     const LiftedEventModel* model;
     PrivacyQuantifier quantifier;
-    PrivacyQuantifier::QpWarmPair warm;
+    // Shared warm state for the two Theorem conditions (one frame, one
+    // slice-basis chain, per-condition argmax seeds).
+    QpSolver::WarmState warm;
+    // Consecutive QP checks whose warm slice bases were mostly rejected —
+    // the adaptive frame-reset policy's streak trigger.
+    int warm_reject_streak = 0;
 
     // Cached-mode state: one lifted row per support cell (u = r_s above),
     // plus the accepting-masked family once the event window has been fully
@@ -151,6 +239,11 @@ class ReleaseStepContext {
     // ContractColumn(ones), for the direct t = 1 formula (lazily built).
     linalg::Vector ones_contract;
     bool ones_contract_ready = false;
+    // Dense-prefix scratch: the candidate replicated across the k event
+    // blocks (∘ the event suffix for b̄), rebuilt per candidate, dotted
+    // against every row.
+    linalg::Vector fused_b;
+    linalg::Vector fused_c;
   };
 
   ReleaseCheckOutcome CheckImpl(const ColumnView& column, double epsilon,
@@ -162,15 +255,17 @@ class ReleaseStepContext {
   TheoremVectors VectorsImpl(size_t model_index, const ColumnView& column,
                              bool candidate_in_history = false);
   bool UsesCachePath() const {
-    return mode_ == Mode::kCached ||
-           (mode_ == Mode::kUndecided && options_.prefix_cache);
+    return mode_ == Mode::kCached || mode_ == Mode::kDense ||
+           (mode_ == Mode::kUndecided && options_.prefix_cache &&
+            options_.max_cache_support > 0);
   }
 
-  // Cached-path helpers.
+  // Cached-path helpers (shared by the sparse and dense-prefix schemes).
   void EnsureStepRows(ModelEngine& engine, bool need_masked);
   TheoremVectors CachedVectors(ModelEngine& engine, const ColumnView& column);
   void DecideMode(const ColumnView& first_column);
   void BuildMaskedRows(ModelEngine& engine);
+  void ApplyFrameResetPolicy();
 
   double CandidateScale(const ColumnView& column) const;
 
@@ -181,9 +276,13 @@ class ReleaseStepContext {
   ReleaseStepDiagnostics diagnostics_;
 
   Mode mode_ = Mode::kUndecided;
+  // True when DecideMode fell back to the cold chain *because* the first
+  // column was dense (drives the dense_fallbacks counter).
+  bool cold_is_dense_fallback_ = false;
   int t_ = 0;  // committed timestamps
+  int horizon_hint_ = 0;
   // Shared across models: the committed first column's support (map states,
-  // sorted) and its scaled values s_1·p̃_{o_1}[s] (cached mode only).
+  // sorted) and its scaled values s_1·p̃_{o_1}[s] (cached/dense modes only).
   std::vector<size_t> support_;
   std::vector<double> support_scale_;
   // Cold-mode committed history (dense, exactly what the cold chain takes).

@@ -13,17 +13,22 @@ namespace {
 constexpr double kTol = 1e-9;
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-// Solves the k×k system B y = rhs by Gaussian elimination with partial
-// pivoting. Returns false when B is (numerically) singular. The k ∈ {1, 2}
-// systems the QP slice LPs generate every simplex iteration take the closed
-// forms below — the same pivot choices and tolerances as the general
-// elimination, without its loop overhead.
-bool SolveSquare(linalg::Matrix b, linalg::Vector rhs, linalg::Vector* out) {
+// Solves the k×k system B y = rhs into the caller's (reused) scratch vector
+// by Gaussian elimination with partial pivoting. Returns false when B is
+// (numerically) singular — `out` is untouched then. The k ∈ {1, 2} systems
+// the QP slice LPs generate every simplex iteration take the closed forms
+// below — the same pivot choices and tolerances as the general elimination,
+// without its loop overhead — and write straight into `out` (no temporaries:
+// this runs several times per slice of every sweep, so per-call allocations
+// were a measurable constant of the whole QP search).
+bool SolveSquare(const linalg::Matrix& b, const linalg::Vector& rhs,
+                 linalg::Vector* out) {
   const size_t k = b.rows();
   PRISTE_CHECK(b.cols() == k && rhs.size() == k);
   if (k == 1) {
     if (std::fabs(b(0, 0)) < 1e-12) return false;
-    *out = linalg::Vector{rhs[0] / b(0, 0)};
+    if (out->size() != 1) *out = linalg::Vector(1);
+    (*out)[0] = rhs[0] / b(0, 0);
     return true;
   }
   if (k == 2) {
@@ -35,31 +40,35 @@ bool SolveSquare(linalg::Matrix b, linalg::Vector rhs, linalg::Vector* out) {
     if (std::fabs(denom) < 1e-12) return false;
     const double y1 = (rhs[q] - f * rhs[p]) / denom;
     const double y0 = (rhs[p] - b(p, 1) * y1) / b(p, 0);
-    *out = linalg::Vector{y0, y1};
+    if (out->size() != 2) *out = linalg::Vector(2);
+    (*out)[0] = y0;
+    (*out)[1] = y1;
     return true;
   }
+  linalg::Matrix bw = b;   // general path: work on copies
+  linalg::Vector rw = rhs;
   for (size_t col = 0; col < k; ++col) {
     size_t pivot = col;
     for (size_t r = col + 1; r < k; ++r) {
-      if (std::fabs(b(r, col)) > std::fabs(b(pivot, col))) pivot = r;
+      if (std::fabs(bw(r, col)) > std::fabs(bw(pivot, col))) pivot = r;
     }
-    if (std::fabs(b(pivot, col)) < 1e-12) return false;
+    if (std::fabs(bw(pivot, col)) < 1e-12) return false;
     if (pivot != col) {
-      for (size_t c = 0; c < k; ++c) std::swap(b(pivot, c), b(col, c));
-      std::swap(rhs[pivot], rhs[col]);
+      for (size_t c = 0; c < k; ++c) std::swap(bw(pivot, c), bw(col, c));
+      std::swap(rw[pivot], rw[col]);
     }
     for (size_t r = col + 1; r < k; ++r) {
-      const double f = b(r, col) / b(col, col);
+      const double f = bw(r, col) / bw(col, col);
       if (f == 0.0) continue;
-      for (size_t c = col; c < k; ++c) b(r, c) -= f * b(col, c);
-      rhs[r] -= f * rhs[col];
+      for (size_t c = col; c < k; ++c) bw(r, c) -= f * bw(col, c);
+      rw[r] -= f * rw[col];
     }
   }
   linalg::Vector y(k);
   for (size_t row = k; row-- > 0;) {
-    double acc = rhs[row];
-    for (size_t c = row + 1; c < k; ++c) acc -= b(row, c) * y[c];
-    y[row] = acc / b(row, row);
+    double acc = rw[row];
+    for (size_t c = row + 1; c < k; ++c) acc -= bw(row, c) * y[c];
+    y[row] = acc / bw(row, row);
   }
   *out = y;
   return true;
@@ -82,6 +91,13 @@ class BoundedSimplex {
     x_.assign(total_, 0.0);
     at_upper_.assign(total_, false);
     basis_.resize(k_);
+    bt_ = linalg::Matrix(k_, k_);
+    bmat_ = linalg::Matrix(k_, k_);
+    cb_ = linalg::Vector(k_);
+    er_ = linalg::Vector(k_);
+    ae_ = linalg::Vector(k_);
+    rhs_ = linalg::Vector(k_);
+    dual_c_.assign(total_, 0.0);
   }
 
   void SetRhs(const linalg::Vector& b) {
@@ -237,7 +253,8 @@ class BoundedSimplex {
   // tightest reduced-cost ratio (keeps near-dual-feasibility, so the primal
   // Phase 2 that follows needs few pivots). The basis stays artificial-free.
   bool DualRepair(const linalg::Vector& true_objective) {
-    std::vector<double> c(total_, 0.0);
+    std::vector<double>& c = dual_c_;
+    std::fill(c.begin(), c.end(), 0.0);
     for (size_t j = 0; j < n_; ++j) c[j] = true_objective[j];
     for (int iter = 0; iter < 24; ++iter) {
       // Most-violated basic row.
@@ -258,17 +275,17 @@ class BoundedSimplex {
       }
       if (row == k_) return true;  // primal feasible
 
-      linalg::Matrix bt(k_, k_);
-      linalg::Vector cb(k_);
-      linalg::Vector er(k_);
       for (size_t i = 0; i < k_; ++i) {
-        cb[i] = c[basis_[i]];
-        er[i] = i == row ? 1.0 : 0.0;
-        for (size_t r = 0; r < k_; ++r) bt(i, r) = a_(r, basis_[i]);
+        cb_[i] = c[basis_[i]];
+        er_[i] = i == row ? 1.0 : 0.0;
+        for (size_t r = 0; r < k_; ++r) bt_(i, r) = a_(r, basis_[i]);
       }
-      linalg::Vector w;  // Bᵀw = e_row: the leaving row of B⁻¹N
-      linalg::Vector y;  // Bᵀy = c_B: simplex multipliers for reduced costs
-      if (!SolveSquare(bt, er, &w) || !SolveSquare(bt, cb, &y)) return false;
+      // Bᵀw = e_row (the leaving row of B⁻¹N); Bᵀy = c_B (multipliers).
+      if (!SolveSquare(bt_, er_, &w_) || !SolveSquare(bt_, cb_, &y_)) {
+        return false;
+      }
+      const linalg::Vector& w = w_;
+      const linalg::Vector& y = y_;
 
       // The leaving basic must move back toward its violated bound:
       // below-lower needs x_B[row] to increase, above-upper to decrease.
@@ -310,18 +327,16 @@ class BoundedSimplex {
   // Recomputes basic values from the nonbasic assignment (keeps the iterate
   // exactly consistent with A x = b up to the linear solve).
   bool RefreshBasicValues() {
-    linalg::Vector rhs = b_;
+    rhs_ = b_;
     for (size_t j = 0; j < total_; ++j) {
       if (IsBasic(j) || x_[j] == 0.0) continue;
-      for (size_t i = 0; i < k_; ++i) rhs[i] -= a_(i, j) * x_[j];
+      for (size_t i = 0; i < k_; ++i) rhs_[i] -= a_(i, j) * x_[j];
     }
-    linalg::Matrix basis_matrix(k_, k_);
     for (size_t i = 0; i < k_; ++i) {
-      for (size_t r = 0; r < k_; ++r) basis_matrix(r, i) = a_(r, basis_[i]);
+      for (size_t r = 0; r < k_; ++r) bmat_(r, i) = a_(r, basis_[i]);
     }
-    linalg::Vector xb;
-    if (!SolveSquare(basis_matrix, rhs, &xb)) return false;
-    for (size_t i = 0; i < k_; ++i) x_[basis_[i]] = xb[i];
+    if (!SolveSquare(bmat_, rhs_, &xb_)) return false;
+    for (size_t i = 0; i < k_; ++i) x_[basis_[i]] = xb_[i];
     return true;
   }
 
@@ -335,14 +350,14 @@ class BoundedSimplex {
       }
 
       // Dual vector y: Bᵀ y = c_B.
-      linalg::Matrix bt(k_, k_);
-      linalg::Vector cb(k_);
       for (size_t i = 0; i < k_; ++i) {
-        cb[i] = c[basis_[i]];
-        for (size_t r = 0; r < k_; ++r) bt(i, r) = a_(r, basis_[i]);
+        cb_[i] = c[basis_[i]];
+        for (size_t r = 0; r < k_; ++r) bt_(i, r) = a_(r, basis_[i]);
       }
-      linalg::Vector y;
-      if (!SolveSquare(bt, cb, &y)) return LpSolution::Outcome::kIterationLimit;
+      if (!SolveSquare(bt_, cb_, &y_)) {
+        return LpSolution::Outcome::kIterationLimit;
+      }
+      const linalg::Vector& y = y_;
 
       // Pricing.
       size_t entering = total_;
@@ -371,16 +386,14 @@ class BoundedSimplex {
       if (entering == total_) return LpSolution::Outcome::kOptimal;
 
       // Direction through the basis: B w = A_entering.
-      linalg::Matrix basis_matrix(k_, k_);
-      linalg::Vector ae(k_);
       for (size_t i = 0; i < k_; ++i) {
-        ae[i] = a_(i, entering);
-        for (size_t r = 0; r < k_; ++r) basis_matrix(r, i) = a_(r, basis_[i]);
+        ae_[i] = a_(i, entering);
+        for (size_t r = 0; r < k_; ++r) bmat_(r, i) = a_(r, basis_[i]);
       }
-      linalg::Vector w;
-      if (!SolveSquare(basis_matrix, ae, &w)) {
+      if (!SolveSquare(bmat_, ae_, &w_)) {
         return LpSolution::Outcome::kIterationLimit;
       }
+      const linalg::Vector& w = w_;
 
       // Ratio test. The entering variable moves by θ in direction
       // entering_dir; basic i changes by −entering_dir·θ·w_i.
@@ -443,6 +456,21 @@ class BoundedSimplex {
   std::vector<bool> at_upper_;
   std::vector<size_t> basis_;
   std::vector<double> phase_scratch_;
+  // Per-iteration scratch, reused across every solve of the family: the
+  // k×k basis systems (bt_ holds Bᵀ, bmat_ holds B), their right-hand
+  // sides, and the SolveSquare outputs. RunSimplex/RefreshBasicValues/
+  // DualRepair run several times per slice, so per-call allocations here
+  // were a measurable constant of the whole QP sweep.
+  linalg::Matrix bt_;
+  linalg::Matrix bmat_;
+  linalg::Vector cb_;
+  linalg::Vector er_;
+  linalg::Vector ae_;
+  linalg::Vector rhs_;
+  linalg::Vector y_;
+  linalg::Vector w_;
+  linalg::Vector xb_;
+  std::vector<double> dual_c_;
 };
 
 // The shared warm/cold solve ladder: try the chained basis (with dual

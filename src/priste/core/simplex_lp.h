@@ -87,9 +87,17 @@ class SliceLpSolver {
   void ExportWarm(LpWarmStart* warm);
 
   /// Solves performed from a carried-over (possibly dual-repaired) basis vs
-  /// cold two-phase fallbacks, since construction/ImportWarm.
+  /// cold two-phase fallbacks, since construction/ResetCounters.
   int warm_accepted() const { return warm_accepted_; }
   int warm_rejected() const { return warm_rejected_; }
+
+  /// Zeroes the accept/reject counters without touching the chained basis —
+  /// the QP pair resolve reuses one family across two sweeps and wants
+  /// per-sweep accounting.
+  void ResetCounters() {
+    warm_accepted_ = 0;
+    warm_rejected_ = 0;
+  }
 
  private:
   struct Impl;

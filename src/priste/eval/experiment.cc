@@ -1,32 +1,24 @@
 #include "priste/eval/experiment.h"
 
-#include <cstdlib>
-
 #include "priste/common/check.h"
+#include "priste/common/strings.h"
 #include "priste/common/thread_pool.h"
 #include "priste/eval/metrics.h"
 
 namespace priste::eval {
-namespace {
-
-int EnvInt(const char* name, int fallback) {
-  const char* value = std::getenv(name);
-  if (value == nullptr || *value == '\0') return fallback;
-  return std::atoi(value);
-}
-
-}  // namespace
 
 ExperimentScale ExperimentScale::FromEnv() {
   ExperimentScale scale;
-  if (EnvInt("PRISTE_FULL", 0) != 0) {
+  // Strict full-string parses ("1x" and "abc" warn and fall back; atoi used
+  // to read them as 1 and 0 silently).
+  if (ReadIntEnv("PRISTE_FULL", 0) != 0) {
     scale.full = true;
     scale.grid_width = 20;
     scale.grid_height = 20;
     scale.horizon = 50;
     scale.runs = 100;
   }
-  scale.runs = EnvInt("PRISTE_RUNS", scale.runs);
+  scale.runs = ReadIntEnv("PRISTE_RUNS", scale.runs, /*min_value=*/1);
   PRISTE_CHECK(scale.runs >= 1);
   return scale;
 }

@@ -1,5 +1,7 @@
 #include "priste/common/strings.h"
 
+#include <cstdlib>
+
 #include <gtest/gtest.h>
 
 namespace priste {
@@ -27,6 +29,54 @@ TEST(FormatDoubleTest, TrimsTrailingZeros) {
   EXPECT_EQ(FormatDouble(1.0), "1");
   EXPECT_EQ(FormatDouble(0.125), "0.125");
   EXPECT_EQ(FormatDouble(2.0, 3), "2");
+}
+
+TEST(ParseInt32Test, AcceptsPlainDigits) {
+  int out = -1;
+  EXPECT_TRUE(ParseInt32("0", &out));
+  EXPECT_EQ(out, 0);
+  EXPECT_TRUE(ParseInt32("42", &out));
+  EXPECT_EQ(out, 42);
+  EXPECT_TRUE(ParseInt32("007", &out));
+  EXPECT_EQ(out, 7);
+  EXPECT_TRUE(ParseInt32("2147483647", &out));
+  EXPECT_EQ(out, 2147483647);
+}
+
+TEST(ParseInt32Test, RejectsTrailingGarbageSignsWhitespaceAndOverflow) {
+  int out = 123;
+  // The std::atoi failure modes this parser replaces: "4x" → 4, "abc" → 0.
+  EXPECT_FALSE(ParseInt32("4x", &out));
+  EXPECT_FALSE(ParseInt32("abc", &out));
+  EXPECT_FALSE(ParseInt32("", &out));
+  EXPECT_FALSE(ParseInt32(" 7", &out));
+  EXPECT_FALSE(ParseInt32("7 ", &out));
+  EXPECT_FALSE(ParseInt32("-1", &out));
+  EXPECT_FALSE(ParseInt32("+1", &out));
+  EXPECT_FALSE(ParseInt32("1.5", &out));
+  EXPECT_FALSE(ParseInt32("2147483648", &out));   // INT_MAX + 1
+  EXPECT_FALSE(ParseInt32("99999999999999999999", &out));
+  EXPECT_EQ(out, 123);  // untouched on every failure
+}
+
+TEST(ReadIntEnvTest, StrictParseWithFallback) {
+  unsetenv("PRISTE_TEST_INT");
+  EXPECT_EQ(ReadIntEnv("PRISTE_TEST_INT", 5), 5);
+  setenv("PRISTE_TEST_INT", "", 1);
+  EXPECT_EQ(ReadIntEnv("PRISTE_TEST_INT", 5), 5);
+  setenv("PRISTE_TEST_INT", "9", 1);
+  EXPECT_EQ(ReadIntEnv("PRISTE_TEST_INT", 5), 9);
+  setenv("PRISTE_TEST_INT", "9x", 1);  // atoi would have said 9
+  EXPECT_EQ(ReadIntEnv("PRISTE_TEST_INT", 5), 5);
+  setenv("PRISTE_TEST_INT", "abc", 1);  // atoi would have said 0
+  EXPECT_EQ(ReadIntEnv("PRISTE_TEST_INT", 5), 5);
+  setenv("PRISTE_TEST_INT", "-3", 1);
+  EXPECT_EQ(ReadIntEnv("PRISTE_TEST_INT", 5), 5);
+  setenv("PRISTE_TEST_INT", "0", 1);
+  EXPECT_EQ(ReadIntEnv("PRISTE_TEST_INT", 5), 0);
+  // min_value gates parsed-but-too-small values into the fallback.
+  EXPECT_EQ(ReadIntEnv("PRISTE_TEST_INT", 5, /*min_value=*/1), 5);
+  unsetenv("PRISTE_TEST_INT");
 }
 
 }  // namespace

@@ -102,6 +102,17 @@ TEST(ThreadPoolTest, DefaultThreadCountHonoursEnv) {
   unsetenv("PRISTE_THREADS");
   EXPECT_GE(ThreadPool::DefaultThreadCount(), 1);
 
+  // Strict parsing: "4x" used to slide through atoi as 4 threads, "abc" as
+  // 0 — both now warn and fall back to hardware concurrency.
+  const int fallback = ThreadPool::DefaultThreadCount();
+  setenv("PRISTE_THREADS", "4x", 1);
+  EXPECT_EQ(ThreadPool::DefaultThreadCount(), fallback);
+  setenv("PRISTE_THREADS", "abc", 1);
+  EXPECT_EQ(ThreadPool::DefaultThreadCount(), fallback);
+  setenv("PRISTE_THREADS", "-2", 1);
+  EXPECT_EQ(ThreadPool::DefaultThreadCount(), fallback);
+  unsetenv("PRISTE_THREADS");
+
   if (saved != nullptr) setenv("PRISTE_THREADS", saved_value.c_str(), 1);
 }
 

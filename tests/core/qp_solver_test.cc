@@ -486,6 +486,120 @@ TEST(QpSolverWarmStartTest, WarmMaximumNeverBelowCold) {
   }
 }
 
+// The two-objective resolve (one support frame + one slice family for a
+// pair sharing `a` — the Theorem-condition shape) must reproduce the
+// independent cold maxima across a warm-threaded sequence.
+TEST(QpSolverPairTest, PairMatchesIndependentColdMaxima) {
+  Rng rng(909);
+  QpSolver::Options warm_options;
+  warm_options.grid_points = 9;
+  warm_options.refine_iters = 4;
+  warm_options.pga_restarts = 1;
+  warm_options.pga_iters = 30;
+  QpSolver::Options cold_options = warm_options;
+  cold_options.warm_start = false;
+  const QpSolver warm_solver(warm_options);
+  const QpSolver cold_solver(cold_options);
+  const size_t n = 48;
+  QpSolver::WarmState state;
+  for (int step = 0; step < 6; ++step) {
+    QpSolver::Objective f15;
+    f15.a = linalg::Vector(n);
+    f15.d = linalg::Vector(n);
+    f15.l = linalg::Vector(n);
+    for (size_t j = 0; j < 7; ++j) {
+      const size_t i = 2 + 5 * j;
+      f15.a[i] = rng.NextDouble();
+      f15.d[i] = rng.Uniform(-1.0, 1.0);
+      f15.l[i] = rng.Uniform(-1.0, 1.0);
+    }
+    // The f16 shape: same a, different (d, l) combination.
+    QpSolver::Objective f16 = f15;
+    for (size_t i = 0; i < n; ++i) {
+      f16.d[i] = 0.5 * f15.d[i] + 0.25 * f15.l[i];
+      f16.l[i] = -1.5 * f15.l[i];
+    }
+    QpSolver::Result r1, r2;
+    warm_solver.MaximizePair(f15, f16, Deadline::Infinite(), &state, &r1, &r2);
+    const auto c1 = cold_solver.Maximize(f15, Deadline::Infinite());
+    const auto c2 = cold_solver.Maximize(f16, Deadline::Infinite());
+    EXPECT_NEAR(r1.max_value, c1.max_value, 1e-9) << "step=" << step;
+    EXPECT_NEAR(r2.max_value, c2.max_value, 1e-9) << "step=" << step;
+    // Warm starts only add candidates: never below cold.
+    EXPECT_GE(r1.max_value, c1.max_value - 1e-9);
+    EXPECT_GE(r2.max_value, c2.max_value - 1e-9);
+    if (step > 0) {
+      EXPECT_TRUE(r1.support_frame_reused);
+      EXPECT_TRUE(r2.support_frame_reused);
+    }
+  }
+  // One shared frame over the pair, and per-condition argmax seeds.
+  EXPECT_TRUE(state.has_support);
+  EXPECT_EQ(state.support.size(), 7u);
+  EXPECT_TRUE(state.has_argmax);
+  EXPECT_TRUE(state.has_argmax2);
+  EXPECT_EQ(state.last_scan_support, 7u);
+  EXPECT_GT(state.warm_accepts, 0);
+}
+
+TEST(QpSolverPairTest, SecondSweepContinuesFirstSweepsBasisChain) {
+  // Within ONE MaximizePair call the second objective's sweep starts from
+  // the first's final basis — it must report accepted warm slices even with
+  // a fresh state (no cross-call history at all).
+  Rng rng(311);
+  QpSolver::Options options;
+  options.grid_points = 17;
+  options.refine_iters = 4;
+  options.pga_restarts = 1;
+  options.pga_iters = 20;
+  const QpSolver solver(options);
+  const size_t n = 32;
+  QpSolver::Objective f15;
+  f15.a = linalg::Vector(n);
+  f15.d = linalg::Vector(n);
+  f15.l = linalg::Vector(n);
+  for (size_t j = 0; j < 6; ++j) {
+    const size_t i = 1 + 5 * j;
+    f15.a[i] = rng.NextDouble();
+    f15.d[i] = rng.Uniform(-1.0, 0.0);
+    f15.l[i] = rng.Uniform(-1.0, 0.0);
+  }
+  QpSolver::Objective f16 = f15;
+  for (size_t i = 0; i < n; ++i) f16.l[i] = 0.5 * f15.l[i];
+  QpSolver::WarmState state;
+  QpSolver::Result r1, r2;
+  solver.MaximizePair(f15, f16, Deadline::Infinite(), &state, &r1, &r2);
+  // First sweep chains its own slices; the second additionally inherits the
+  // first's final basis, so both accept warm bases.
+  EXPECT_GT(r1.warm_accepted_slices, 0);
+  EXPECT_GT(r2.warm_accepted_slices, 0);
+  EXPECT_EQ(state.warm_accepts, r1.warm_accepted_slices + r2.warm_accepted_slices);
+  EXPECT_EQ(state.warm_rejects, r1.warm_rejected_slices + r2.warm_rejected_slices);
+}
+
+TEST(QpSolverPairTest, WarmStartOffDegradesToIndependentColdPair) {
+  QpSolver::Options options;
+  options.warm_start = false;
+  const QpSolver off(options);
+  const QpSolver on;
+  QpSolver::Objective f15;
+  f15.a = linalg::Vector{0.2, 0.7, 0.1, 0.0};
+  f15.d = linalg::Vector{0.5, -0.3, 0.2, 0.0};
+  f15.l = linalg::Vector{0.0, 0.1, -0.1, 0.0};
+  QpSolver::Objective f16 = f15;
+  f16.l = linalg::Vector{0.1, -0.2, 0.3, 0.0};
+  QpSolver::WarmState state;
+  QpSolver::Result r1, r2;
+  off.MaximizePair(f15, f16, Deadline::Infinite(), &state, &r1, &r2);
+  EXPECT_FALSE(state.has_support);
+  EXPECT_FALSE(state.has_argmax);
+  EXPECT_FALSE(state.has_argmax2);
+  QpSolver::Result w1, w2;
+  on.MaximizePair(f15, f16, Deadline::Infinite(), nullptr, &w1, &w2);
+  EXPECT_NEAR(r1.max_value, w1.max_value, 1e-9);
+  EXPECT_NEAR(r2.max_value, w2.max_value, 1e-9);
+}
+
 TEST(QpSolverWarmStartTest, WarmStartOffIgnoresState) {
   QpSolver::Options options;
   options.warm_start = false;

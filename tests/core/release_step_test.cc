@@ -1,7 +1,9 @@
 #include "priste/core/release_step.h"
 
 #include <cmath>
+#include <cstdlib>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -20,6 +22,15 @@ namespace priste::core {
 namespace {
 
 using event::PresenceEvent;
+
+// True when the CI cold-path matrix runs this suite with the prefix cache
+// forced off (PRISTE_MAX_CACHE_SUPPORT=0 overrides every context's
+// max_cache_support at construction). The equivalence assertions hold either
+// way; only the which-path-served-it diagnostics flip.
+bool CacheForcedOffByEnv() {
+  const char* env = std::getenv("PRISTE_MAX_CACHE_SUPPORT");
+  return env != nullptr && std::string(env) == "0";
+}
 
 QpSolver::Options SmallQpOptions(bool warm) {
   QpSolver::Options options;
@@ -91,11 +102,18 @@ void RunEquivalenceSchedule(const LiftedEventModel* model, size_t m,
     }
   }
   EXPECT_EQ(context.committed_steps(), horizon);
-  // The schedule must actually exercise the incremental engine.
+  // The schedule must actually exercise the incremental engine (unless the
+  // CI cold-path matrix forced the cache off, in which case it must not).
   const ReleaseStepDiagnostics& d = context.diagnostics();
-  EXPECT_GT(d.cached_checks, 0);
-  EXPECT_EQ(d.cold_checks, 0);
-  EXPECT_GT(d.prefix_extensions, 0);
+  if (CacheForcedOffByEnv()) {
+    EXPECT_GT(d.cold_checks, 0);
+    EXPECT_EQ(d.cached_checks, 0);
+    EXPECT_EQ(d.prefix_extensions, 0);
+  } else {
+    EXPECT_GT(d.cached_checks, 0);
+    EXPECT_EQ(d.cold_checks, 0);
+    EXPECT_GT(d.prefix_extensions, 0);
+  }
 }
 
 TEST(ReleaseStepContextTest, CachedMatchesColdTwoWorldPresence) {
@@ -184,8 +202,407 @@ TEST(ReleaseStepContextTest, PrefixCacheOptOutMatchesCachedResults) {
     cached_ctx.Commit(sparse);
     cold_ctx.Commit(column);
   }
-  EXPECT_GT(cached_ctx.diagnostics().cached_checks, 0);
+  if (!CacheForcedOffByEnv()) {
+    EXPECT_GT(cached_ctx.diagnostics().cached_checks, 0);
+  }
   EXPECT_GT(cold_ctx.diagnostics().cold_checks, 0);
+}
+
+// Mirrors RunEquivalenceSchedule for DENSE first columns: the dense-prefix
+// scheme (m row chains, fused replicate-and-dot candidate kernels) must
+// agree with the cold recompute-from-t=1 chain at every prefix — Theorem
+// vectors to ≤ 1e-9, QP condition maxima to ≤ 1e-9, decisions exactly.
+// Sparse candidate *views* ride along in dense mode (the non-fused kernel).
+void RunDenseEquivalenceSchedule(const LiftedEventModel* model, size_t m,
+                                 uint64_t seed) {
+  Rng rng(seed);
+  const QpSolver warm_solver(SmallQpOptions(/*warm=*/true));
+  const QpSolver cold_solver(SmallQpOptions(/*warm=*/false));
+  ReleaseStepOptions options;
+  options.dense_prefix = ReleaseStepOptions::DensePrefix::kAlways;
+  options.max_cache_support = 4;  // every random dense column overflows this
+  ReleaseStepContext context({model}, &warm_solver, true, options);
+  const PrivacyQuantifier cold(model, /*normalize_emissions=*/true);
+  const double epsilon = 0.4;
+
+  std::vector<linalg::Vector> history;
+  const int horizon = model->event_end() + 4;
+  for (int t = 1; t <= horizon; ++t) {
+    for (int cand = 0; cand < 2; ++cand) {
+      const linalg::Vector column = testing::RandomEmissionColumn(m, rng);
+
+      TheoremVectors cached;
+      if (cand == 0) {
+        cached = context.CandidateVectors(0, column);  // fused dense kernel
+      } else {
+        const linalg::SparseVector sparse =
+            linalg::SparseVector::FromDense(column);
+        cached = context.CandidateVectors(0, sparse);  // sparse view
+      }
+      history.push_back(column);
+      const TheoremVectors reference = cold.ComputeVectors(history);
+      ExpectVectorsNear(cached, reference, 1e-9);
+
+      const ReleaseCheckOutcome outcome =
+          context.CheckCandidate(column, epsilon, /*qp_threshold_seconds=*/-1.0);
+      const PrivacyCheckResult cold_check = cold.CheckArbitraryPrior(
+          reference, epsilon, cold_solver, Deadline::Infinite());
+      ASSERT_EQ(outcome.per_model.size(), 1u);
+      EXPECT_EQ(outcome.per_model[0].satisfied, cold_check.satisfied)
+          << "t=" << t << " cand=" << cand;
+      // Full-support objectives are where the grid-plus-PGA sweep is only
+      // approximate, so warm-vs-cold maxima agree to sweep resolution, not
+      // machine epsilon — but soundness is one-sided and exact: the warm
+      // maximum is never below the cold one (the seed only adds candidate
+      // evaluations).
+      EXPECT_GE(outcome.per_model[0].max_condition15,
+                cold_check.max_condition15 - 1e-9);
+      EXPECT_GE(outcome.per_model[0].max_condition16,
+                cold_check.max_condition16 - 1e-9);
+      EXPECT_NEAR(outcome.per_model[0].max_condition15,
+                  cold_check.max_condition15, 1e-3);
+      EXPECT_NEAR(outcome.per_model[0].max_condition16,
+                  cold_check.max_condition16, 1e-3);
+      history.pop_back();
+
+      if (cand == 1) {
+        context.Commit(column);
+        history.push_back(column);
+      }
+    }
+  }
+  EXPECT_EQ(context.committed_steps(), horizon);
+  const ReleaseStepDiagnostics& d = context.diagnostics();
+  if (CacheForcedOffByEnv()) {
+    EXPECT_GT(d.cold_checks, 0);
+    EXPECT_EQ(d.dense_prefix_checks, 0);
+  } else {
+    EXPECT_GT(d.dense_prefix_checks, 0);
+    EXPECT_EQ(d.cold_checks, 0);
+    EXPECT_GT(d.prefix_extensions, 0);
+    EXPECT_EQ(d.dense_fallbacks, 0);  // the scheme engaged, nothing fell back
+  }
+}
+
+TEST(ReleaseStepDensePrefixTest, DenseMatchesColdTwoWorldPresence) {
+  Rng rng(606);
+  const size_t m = 18;
+  std::vector<geo::Region> regions;
+  for (int i = 0; i < 3; ++i) regions.push_back(testing::RandomRegion(m, rng));
+  const auto ev = std::make_shared<PresenceEvent>(regions, 2);  // window [2, 4]
+  const TwoWorldModel model(testing::RandomTransition(m, rng), ev);
+  RunDenseEquivalenceSchedule(&model, m, 2718);
+}
+
+TEST(ReleaseStepDensePrefixTest, DenseMatchesColdWindowAtStart) {
+  Rng rng(607);
+  const size_t m = 10;
+  std::vector<geo::Region> regions;
+  for (int i = 0; i < 2; ++i) regions.push_back(testing::RandomRegion(m, rng));
+  const auto ev = std::make_shared<PresenceEvent>(regions, 1);  // window [1, 2]
+  const TwoWorldModel model(testing::RandomTransition(m, rng), ev);
+  RunDenseEquivalenceSchedule(&model, m, 8182);
+}
+
+TEST(ReleaseStepDensePrefixTest, DenseMatchesColdAutomatonWorld) {
+  Rng rng(608);
+  const size_t m = 8;
+  const markov::TransitionMatrix chain = testing::RandomTransition(m, rng);
+  const auto expr = event::BoolExpr::Or(
+      event::BoolExpr::Pred(2, 3),
+      event::BoolExpr::And(event::BoolExpr::Pred(3, 4),
+                           event::BoolExpr::Pred(4, 6)));
+  auto model = AutomatonWorldModel::Create(
+      markov::TransitionSchedule::Homogeneous(chain), *expr);
+  ASSERT_TRUE(model.ok()) << model.status();
+  RunDenseEquivalenceSchedule(model.value().get(), m, 2929);
+}
+
+TEST(ReleaseStepDensePrefixTest, MaxCacheSupportBoundaryIsInclusive) {
+  // Pinned semantics: |support| == max_cache_support still uses the SPARSE
+  // rows; |support| == max_cache_support + 1 is dense (dense-prefix scheme
+  // or cold fallback). Two models verify the dense_fallbacks counter
+  // increments once per CHECK, not once per model.
+  Rng rng(701);
+  const size_t m = 24;
+  std::vector<geo::Region> regions{testing::RandomRegion(m, rng),
+                                   testing::RandomRegion(m, rng)};
+  const auto ev_a = std::make_shared<PresenceEvent>(regions, 2);
+  const auto ev_b = std::make_shared<PresenceEvent>(
+      std::vector<geo::Region>{regions[1], regions[0]}, 2);
+  const markov::TransitionMatrix chain = testing::RandomTransition(m, rng);
+  const TwoWorldModel model_a(chain, ev_a);
+  const TwoWorldModel model_b(chain, ev_b);
+  const QpSolver solver(SmallQpOptions(true));
+
+  ReleaseStepOptions options;
+  options.max_cache_support = 5;
+  options.dense_prefix = ReleaseStepOptions::DensePrefix::kOff;
+
+  Rng col_rng(702);
+  const linalg::Vector at_boundary =
+      testing::RandomSparseEmissionColumn(m, 5, col_rng);
+  const linalg::Vector over_boundary =
+      testing::RandomSparseEmissionColumn(m, 6, col_rng);
+
+  // |support| == max_cache_support → sparse-cached.
+  {
+    ReleaseStepContext context({&model_a, &model_b}, &solver, true, options);
+    context.Commit(at_boundary);
+    context.CheckCandidate(at_boundary, 0.4, -1.0);
+    if (!CacheForcedOffByEnv()) {
+      EXPECT_GT(context.diagnostics().cached_checks, 0);
+      EXPECT_EQ(context.diagnostics().cold_checks, 0);
+      EXPECT_EQ(context.diagnostics().dense_fallbacks, 0);
+    }
+  }
+  // |support| == max_cache_support + 1, dense-prefix off → cold fallback,
+  // counted exactly once per check (two checks → 2, despite two models).
+  if (!CacheForcedOffByEnv()) {
+    ReleaseStepContext context({&model_a, &model_b}, &solver, true, options);
+    context.Commit(over_boundary);
+    context.CheckCandidate(over_boundary, 0.4, -1.0);
+    context.CheckCandidate(over_boundary, 0.4, -1.0);
+    EXPECT_EQ(context.diagnostics().dense_fallbacks, 2);
+    EXPECT_EQ(context.diagnostics().cached_checks, 0);
+    EXPECT_GT(context.diagnostics().cold_checks, 0);
+  }
+  // Same over-boundary column with the dense-prefix scheme forced → no
+  // fallback, served by the dense row family.
+  if (!CacheForcedOffByEnv()) {
+    options.dense_prefix = ReleaseStepOptions::DensePrefix::kAlways;
+    ReleaseStepContext context({&model_a, &model_b}, &solver, true, options);
+    context.Commit(over_boundary);
+    context.CheckCandidate(over_boundary, 0.4, -1.0);
+    EXPECT_EQ(context.diagnostics().dense_fallbacks, 0);
+    EXPECT_GT(context.diagnostics().dense_prefix_checks, 0);
+    EXPECT_EQ(context.diagnostics().cold_checks, 0);
+  }
+}
+
+TEST(ReleaseStepDensePrefixTest, AutoPolicyNeedsTheHorizonToClearBreakEven) {
+  if (CacheForcedOffByEnv()) GTEST_SKIP() << "cache forced off by env";
+  Rng rng(703);
+  const size_t m = 12;
+  std::vector<geo::Region> regions{testing::RandomRegion(m, rng),
+                                   testing::RandomRegion(m, rng)};
+  const auto ev = std::make_shared<PresenceEvent>(regions, 2);
+  const TwoWorldModel model(testing::RandomTransition(m, rng), ev);
+  const QpSolver solver(SmallQpOptions(true));
+  ReleaseStepOptions options;
+  options.max_cache_support = 4;  // kAuto is the default dense_prefix
+  Rng col_rng(704);
+  const linalg::Vector dense = testing::RandomEmissionColumn(m, col_rng);
+
+  // No hint → cold fallback.
+  {
+    ReleaseStepContext context({&model}, &solver, true, options);
+    context.Commit(dense);
+    context.CheckCandidate(dense, 0.4, -1.0);
+    EXPECT_EQ(context.diagnostics().dense_prefix_checks, 0);
+    EXPECT_EQ(context.diagnostics().dense_fallbacks, 1);
+  }
+  // Hint below the 2m break-even → still cold.
+  {
+    ReleaseStepContext context({&model}, &solver, true, options);
+    context.SetHorizonHint(static_cast<int>(2 * m) - 1);
+    context.Commit(dense);
+    context.CheckCandidate(dense, 0.4, -1.0);
+    EXPECT_EQ(context.diagnostics().dense_prefix_checks, 0);
+    EXPECT_EQ(context.diagnostics().dense_fallbacks, 1);
+  }
+  // Hint at the break-even → the dense-prefix family engages.
+  {
+    ReleaseStepContext context({&model}, &solver, true, options);
+    context.SetHorizonHint(static_cast<int>(2 * m));
+    context.Commit(dense);
+    context.CheckCandidate(dense, 0.4, -1.0);
+    EXPECT_GT(context.diagnostics().dense_prefix_checks, 0);
+    EXPECT_EQ(context.diagnostics().dense_fallbacks, 0);
+  }
+}
+
+TEST(ReleaseStepDensePrefixTest, EnvOverridesMaxCacheSupport) {
+  // PRISTE_MAX_CACHE_SUPPORT overrides the knob at construction: 0 forces
+  // the cold chain even for sparse columns and a forced dense scheme; a
+  // positive value widens the sparse-row budget.
+  const char* saved = std::getenv("PRISTE_MAX_CACHE_SUPPORT");
+  const std::string saved_value = saved != nullptr ? saved : "";
+  Rng rng(705);
+  const size_t m = 16;
+  std::vector<geo::Region> regions{testing::RandomRegion(m, rng),
+                                   testing::RandomRegion(m, rng)};
+  const auto ev = std::make_shared<PresenceEvent>(regions, 2);
+  const TwoWorldModel model(testing::RandomTransition(m, rng), ev);
+  const QpSolver solver(SmallQpOptions(true));
+  Rng col_rng(706);
+  const linalg::Vector sparse_col =
+      testing::RandomSparseEmissionColumn(m, 3, col_rng);
+
+  setenv("PRISTE_MAX_CACHE_SUPPORT", "0", 1);
+  {
+    ReleaseStepOptions options;
+    options.dense_prefix = ReleaseStepOptions::DensePrefix::kAlways;
+    ReleaseStepContext context({&model}, &solver, true, options);
+    context.CheckCandidate(sparse_col, 0.4, -1.0);  // even t=1 runs cold
+    context.Commit(sparse_col);
+    context.CheckCandidate(sparse_col, 0.4, -1.0);
+    EXPECT_EQ(context.diagnostics().cached_checks, 0);
+    EXPECT_EQ(context.diagnostics().dense_prefix_checks, 0);
+    EXPECT_GT(context.diagnostics().cold_checks, 0);
+    EXPECT_EQ(context.diagnostics().dense_fallbacks, 0);  // off, not fallen back
+  }
+  setenv("PRISTE_MAX_CACHE_SUPPORT", "8", 1);
+  {
+    ReleaseStepOptions options;
+    options.max_cache_support = 1;  // env widens it back to 8
+    ReleaseStepContext context({&model}, &solver, true, options);
+    context.Commit(sparse_col);
+    context.CheckCandidate(sparse_col, 0.4, -1.0);
+    EXPECT_GT(context.diagnostics().cached_checks, 0);
+    EXPECT_EQ(context.diagnostics().cold_checks, 0);
+  }
+  setenv("PRISTE_MAX_CACHE_SUPPORT", "7x", 1);  // invalid → knob untouched
+  {
+    ReleaseStepOptions options;
+    options.max_cache_support = 2;
+    ReleaseStepContext context({&model}, &solver, true, options);
+    context.Commit(sparse_col);  // support 3 > 2 → dense path decision
+    context.CheckCandidate(sparse_col, 0.4, -1.0);
+    EXPECT_EQ(context.diagnostics().cached_checks, 0);
+    EXPECT_EQ(context.diagnostics().dense_fallbacks, 1);  // kAuto, no hint
+  }
+
+  if (saved != nullptr) {
+    setenv("PRISTE_MAX_CACHE_SUPPORT", saved_value.c_str(), 1);
+  } else {
+    unsetenv("PRISTE_MAX_CACHE_SUPPORT");
+  }
+}
+
+TEST(ReleaseStepFramePolicyTest, AdaptivePoliciesMatchCommitAlways) {
+  // Fuzz the frame-reset policies against each other over a shifting-support
+  // schedule: never-reset (drift ratio huge, streak off), always-drift
+  // (ratio < 1 → resets every commit), and the legacy commit-always policy
+  // must produce the same certified maxima and decisions — a kept frame is a
+  // superset frame, which never changes an answer.
+  Rng rng(7331);
+  const size_t m = 20;
+  std::vector<geo::Region> regions{testing::RandomRegion(m, rng),
+                                   testing::RandomRegion(m, rng)};
+  const auto ev = std::make_shared<PresenceEvent>(regions, 2);  // window [2, 3]
+  const TwoWorldModel model(testing::RandomTransition(m, rng), ev);
+  const QpSolver solver(SmallQpOptions(true));
+
+  ReleaseStepOptions keep;
+  keep.frame_drift_ratio = 1e9;
+  keep.frame_reject_streak = 0;  // streak trigger disabled
+  ReleaseStepOptions drift;
+  drift.frame_drift_ratio = 0.5;  // fires at every commit
+  ReleaseStepOptions always;
+  always.frame_reset = ReleaseStepOptions::FrameReset::kCommitAlways;
+
+  ReleaseStepContext ctx_keep({&model}, &solver, true, keep);
+  ReleaseStepContext ctx_drift({&model}, &solver, true, drift);
+  ReleaseStepContext ctx_always({&model}, &solver, true, always);
+
+  Rng col_rng(7332);
+  const int horizon = 8;
+  for (int t = 1; t <= horizon; ++t) {
+    for (int cand = 0; cand < 3; ++cand) {
+      const linalg::Vector column =
+          testing::RandomSparseEmissionColumn(m, 4, col_rng);
+      const linalg::SparseVector sparse =
+          linalg::SparseVector::FromDense(column);
+      const auto out_keep = ctx_keep.CheckCandidate(sparse, 0.4, -1.0);
+      const auto out_drift = ctx_drift.CheckCandidate(sparse, 0.4, -1.0);
+      const auto out_always = ctx_always.CheckCandidate(sparse, 0.4, -1.0);
+      ASSERT_EQ(out_keep.per_model.size(), 1u);
+      for (const auto* out : {&out_drift, &out_always}) {
+        EXPECT_EQ(out_keep.per_model[0].satisfied,
+                  out->per_model[0].satisfied)
+            << "t=" << t << " cand=" << cand;
+        EXPECT_NEAR(out_keep.per_model[0].max_condition15,
+                    out->per_model[0].max_condition15, 1e-9);
+        EXPECT_NEAR(out_keep.per_model[0].max_condition16,
+                    out->per_model[0].max_condition16, 1e-9);
+      }
+      if (cand == 2) {
+        ctx_keep.Commit(sparse);
+        ctx_drift.Commit(sparse);
+        ctx_always.Commit(sparse);
+      }
+    }
+  }
+  // Policy audit trail: never-reset carried every live frame, always-drift
+  // and commit-always dropped every one.
+  EXPECT_GT(ctx_keep.diagnostics().frame_carries, 0);
+  EXPECT_EQ(ctx_keep.diagnostics().frame_resets, 0);
+  EXPECT_GT(ctx_drift.diagnostics().frame_resets, 0);
+  EXPECT_EQ(ctx_drift.diagnostics().frame_carries, 0);
+  EXPECT_GT(ctx_always.diagnostics().frame_resets, 0);
+  EXPECT_EQ(ctx_always.diagnostics().frame_carries, 0);
+}
+
+TEST(ReleaseStepFramePolicyTest, DenseToSparseTransitionKeepsColdAgreement) {
+  // Warm-state lifecycle across dense→sparse candidate transitions: a dense
+  // first column engages the dense-prefix family (full-support Theorem
+  // vectors → wide QP frames), then the candidates turn sparse. With the
+  // frame carried across steps (kAdaptive, never-reset settings) every
+  // check must still match the cold chain — the frame is only ever a
+  // superset, and any extension invalidates the cached argmax/basis rather
+  // than reusing them across incompatible supports.
+  Rng rng(811);
+  const size_t m = 14;
+  std::vector<geo::Region> regions{testing::RandomRegion(m, rng),
+                                   testing::RandomRegion(m, rng)};
+  const auto ev = std::make_shared<PresenceEvent>(regions, 2);  // window [2, 3]
+  const TwoWorldModel model(testing::RandomTransition(m, rng), ev);
+  const QpSolver warm_solver(SmallQpOptions(true));
+  const QpSolver cold_solver(SmallQpOptions(false));
+  ReleaseStepOptions options;
+  options.dense_prefix = ReleaseStepOptions::DensePrefix::kAlways;
+  options.max_cache_support = 4;
+  options.frame_drift_ratio = 1e9;  // never reset: maximum carried state
+  options.frame_reject_streak = 0;
+  ReleaseStepContext context({&model}, &warm_solver, true, options);
+  const PrivacyQuantifier cold(&model, true);
+
+  Rng col_rng(812);
+  std::vector<linalg::Vector> history;
+  const int horizon = 7;
+  for (int t = 1; t <= horizon; ++t) {
+    for (int cand = 0; cand < 2; ++cand) {
+      // t = 1 commits a dense column; afterwards the candidates alternate
+      // dense/sparse with drifting sparse supports.
+      const bool dense_candidate = t == 1 || cand == 0;
+      const linalg::Vector column =
+          dense_candidate ? testing::RandomEmissionColumn(m, col_rng)
+                          : testing::RandomSparseEmissionColumn(m, 3, col_rng);
+      const TheoremVectors cached = context.CandidateVectors(0, column);
+      history.push_back(column);
+      const TheoremVectors reference = cold.ComputeVectors(history);
+      ExpectVectorsNear(cached, reference, 1e-9);
+      const auto outcome = context.CheckCandidate(column, 0.4, -1.0);
+      const auto cold_check = cold.CheckArbitraryPrior(
+          reference, 0.4, cold_solver, Deadline::Infinite());
+      EXPECT_EQ(outcome.per_model[0].satisfied, cold_check.satisfied)
+          << "t=" << t << " cand=" << cand;
+      EXPECT_NEAR(outcome.per_model[0].max_condition15,
+                  cold_check.max_condition15, 1e-9);
+      EXPECT_NEAR(outcome.per_model[0].max_condition16,
+                  cold_check.max_condition16, 1e-9);
+      history.pop_back();
+      if (cand == 1) {
+        context.Commit(column);
+        history.push_back(column);
+      }
+    }
+  }
+  if (!CacheForcedOffByEnv()) {
+    EXPECT_GT(context.diagnostics().dense_prefix_checks, 0);
+    EXPECT_GT(context.diagnostics().frame_carries, 0);
+  }
 }
 
 PristeOptions DeltaLocOptions(bool accelerated) {
@@ -259,10 +676,53 @@ TEST(ReleaseStepContextTest, FullGeoIndRunMatchesColdConfiguration) {
     EXPECT_DOUBLE_EQ(result_a->steps[i].released_alpha,
                      result_b->steps[i].released_alpha);
   }
-  // GeoInd columns are dense, so from t = 2 on the engine must have chosen
-  // the cold chain — the QP warm starts are the acceleration there.
+  // GeoInd columns are dense and the horizon (4) is far below the
+  // dense-prefix break-even (2m = 32), so from t = 2 on the engine must
+  // have chosen the cold chain — the QP warm starts are the acceleration
+  // there — and recorded the fallback.
   EXPECT_GT(result_a->release_diagnostics.cold_checks, 0);
   EXPECT_EQ(result_a->release_diagnostics.prefix_extensions, 0);
+  if (!CacheForcedOffByEnv()) {
+    EXPECT_GT(result_a->release_diagnostics.dense_fallbacks, 0);
+  }
+}
+
+TEST(ReleaseStepDensePrefixTest, FullGeoIndRunWithDensePrefixMatchesCold) {
+  // End-to-end acceptance for the dense-prefix scheme: a full PristeGeoInd
+  // halving run (dense planar-Laplace columns) must release the identical
+  // trajectory with the dense row family engaged vs the fully cold engine.
+  const geo::Grid grid(4, 4, 1.0);
+  const geo::GaussianGridModel mobility(grid, 1.0);
+  const auto ev =
+      std::make_shared<PresenceEvent>(geo::Region(16, {5, 6}), 2, 3);
+  PristeOptions accelerated_options = DeltaLocOptions(true);
+  accelerated_options.release.dense_prefix =
+      ReleaseStepOptions::DensePrefix::kAlways;
+  const PristeGeoInd accelerated(grid, mobility.transition(), {ev},
+                                 accelerated_options);
+  const PristeGeoInd cold(grid, mobility.transition(), {ev},
+                          DeltaLocOptions(false));
+  const geo::Trajectory truth({1, 2, 6, 10, 9, 5});
+  Rng rng_a(31);
+  Rng rng_b(31);
+  const auto result_a = accelerated.Run(truth, rng_a);
+  const auto result_b = cold.Run(truth, rng_b);
+  ASSERT_TRUE(result_a.ok()) << result_a.status();
+  ASSERT_TRUE(result_b.ok()) << result_b.status();
+  ASSERT_EQ(result_a->steps.size(), result_b->steps.size());
+  for (size_t i = 0; i < result_a->steps.size(); ++i) {
+    EXPECT_EQ(result_a->steps[i].released_cell,
+              result_b->steps[i].released_cell)
+        << "t=" << result_a->steps[i].t;
+    EXPECT_DOUBLE_EQ(result_a->steps[i].released_alpha,
+                     result_b->steps[i].released_alpha);
+    EXPECT_EQ(result_a->steps[i].halvings, result_b->steps[i].halvings);
+  }
+  if (!CacheForcedOffByEnv()) {
+    EXPECT_GT(result_a->release_diagnostics.dense_prefix_checks, 0);
+    EXPECT_GT(result_a->release_diagnostics.prefix_extensions, 0);
+    EXPECT_EQ(result_a->release_diagnostics.cold_checks, 0);
+  }
 }
 
 }  // namespace

@@ -60,6 +60,24 @@ TEST(ExperimentScaleTest, FullZeroOrEmptyMeansReduced) {
   unsetenv("PRISTE_FULL");
 }
 
+TEST(ExperimentScaleTest, InvalidEnvValuesFallBackStrictly) {
+  // atoi read "2x" as 2 runs and "abc" as 0 runs (tripping the CHECK);
+  // the strict parser warns and keeps the defaults instead.
+  unsetenv("PRISTE_FULL");
+  setenv("PRISTE_RUNS", "2x", 1);
+  EXPECT_EQ(ExperimentScale::FromEnv().runs, 3);
+  setenv("PRISTE_RUNS", "abc", 1);
+  EXPECT_EQ(ExperimentScale::FromEnv().runs, 3);
+  setenv("PRISTE_RUNS", "0", 1);  // parses, but runs must be >= 1
+  EXPECT_EQ(ExperimentScale::FromEnv().runs, 3);
+  setenv("PRISTE_RUNS", "-4", 1);
+  EXPECT_EQ(ExperimentScale::FromEnv().runs, 3);
+  setenv("PRISTE_FULL", "1x", 1);  // atoi: 1 → full scale; strict: reduced
+  EXPECT_FALSE(ExperimentScale::FromEnv().full);
+  unsetenv("PRISTE_FULL");
+  unsetenv("PRISTE_RUNS");
+}
+
 TEST(ExperimentScaleTest, RunsOverrideAppliesAtReducedScale) {
   unsetenv("PRISTE_FULL");
   setenv("PRISTE_RUNS", "11", 1);
