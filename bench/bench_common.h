@@ -72,6 +72,8 @@ inline void PrintRunSummary(const std::string& title,
                   StrFormat("%.1f", stats[i].conservative_releases.mean())});
   }
   table.Print(std::cout);
+  std::printf("\nruntime metrics (process-wide, cumulative)\n%s",
+              eval::RuntimeMetricsSummary().c_str());
 }
 
 }  // namespace priste::bench

@@ -1,0 +1,202 @@
+#ifndef PRISTE_COMMON_LRU_CACHE_H_
+#define PRISTE_COMMON_LRU_CACHE_H_
+
+#include <atomic>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "priste/common/check.h"
+#include "priste/common/metrics.h"
+
+namespace priste {
+
+/// A process-wide sharded LRU cache (the classic sharded `cache.cpp` /
+/// `table_cache.cpp` design): capacity is measured in BYTES of caller-declared
+/// charge, entries are ref-counted handles, and each shard serializes on its
+/// own mutex so concurrent lookups on different shards never contend.
+///
+///  * Handle = shared_ptr<const Value>: an evicted entry's storage stays alive
+///    for as long as any caller still holds its handle — eviction only drops
+///    the cache's own reference. This is what makes it safe for
+///    `PlanarLaplaceMechanism::emission()` to hand out references backed by
+///    cache memory.
+///  * Eviction is per shard, strictly LRU by Lookup/Insert recency, triggered
+///    on Insert when the shard's charge exceeds capacity_bytes / num_shards.
+///  * Values must be immutable once inserted (they are shared across threads
+///    without further synchronization) and deterministic to rebuild — callers
+///    rely on evict-then-recompute returning bit-identical data.
+///  * Observability: constructed with a metric prefix P, the cache publishes
+///    `P.hits`, `P.misses`, `P.evictions`, `P.inserts` counters and a
+///    `P.bytes` gauge to MetricsRegistry::Global().
+///
+/// Disabled mode (SetEnabled(false), or capacity 0): Lookup always misses and
+/// Insert hands back the value without retaining it — callers see identical
+/// semantics minus the sharing, which is the cached-vs-uncached bit-equality
+/// test surface.
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class ShardedLruCache {
+ public:
+  using Handle = std::shared_ptr<const Value>;
+
+  /// `num_shards` is clamped to >= 1; 8 suits a handful of worker threads.
+  ShardedLruCache(std::string metric_prefix, size_t capacity_bytes,
+                  size_t num_shards = 8)
+      : shards_(num_shards > 0 ? num_shards : 1),
+        capacity_bytes_(capacity_bytes),
+        hits_(MetricsRegistry::Global().GetCounter(metric_prefix + ".hits")),
+        misses_(MetricsRegistry::Global().GetCounter(metric_prefix + ".misses")),
+        evictions_(
+            MetricsRegistry::Global().GetCounter(metric_prefix + ".evictions")),
+        inserts_(MetricsRegistry::Global().GetCounter(metric_prefix + ".inserts")),
+        bytes_(MetricsRegistry::Global().GetGauge(metric_prefix + ".bytes")) {}
+
+  /// The cached value, or nullptr on miss. A hit moves the entry to the
+  /// shard's MRU position.
+  Handle Lookup(const Key& key) {
+    if (!enabled()) {
+      misses_.Increment();
+      return nullptr;
+    }
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.index.find(key);
+    if (it == shard.index.end()) {
+      misses_.Increment();
+      return nullptr;
+    }
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    hits_.Increment();
+    return it->second->value;
+  }
+
+  /// Inserts `value` under `key` with the given byte charge and returns a
+  /// handle to it (replacing any previous entry for the key). May evict LRU
+  /// entries of the same shard; an over-capacity value is still returned to
+  /// the caller but immediately evicted from the cache itself.
+  Handle Insert(const Key& key, Value value, size_t charge_bytes) {
+    Handle handle = std::make_shared<const Value>(std::move(value));
+    if (!enabled()) return handle;
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      // Replace in place (concurrent builders racing the same key land here;
+      // both built the same deterministic value).
+      shard.charge -= it->second->charge;
+      bytes_.Add(-static_cast<long>(it->second->charge));
+      shard.lru.erase(it->second);
+      shard.index.erase(it);
+    }
+    shard.lru.push_front(Entry{key, handle, charge_bytes});
+    shard.index[key] = shard.lru.begin();
+    shard.charge += charge_bytes;
+    bytes_.Add(static_cast<long>(charge_bytes));
+    inserts_.Increment();
+    EvictOverCapacityLocked(shard);
+    return handle;
+  }
+
+  /// Lookup-or-build: on miss, `build()` runs OUTSIDE any shard lock (builds
+  /// are expensive — emission quadrature is tens of ms) and the result is
+  /// inserted with `charge_bytes(value)`. Two threads racing the same cold
+  /// key may both build; the values are deterministic duplicates and the
+  /// second insert simply replaces the first, so correctness is unaffected.
+  template <typename BuildFn, typename ChargeFn>
+  Handle GetOrBuild(const Key& key, const BuildFn& build,
+                    const ChargeFn& charge_bytes) {
+    if (Handle cached = Lookup(key)) return cached;
+    Value built = build();
+    const size_t charge = charge_bytes(built);
+    return Insert(key, std::move(built), charge);
+  }
+
+  /// Drops every cached entry (outstanding handles stay valid). Tests and
+  /// the bench harness use this to re-create cold-cache conditions.
+  void Clear() {
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      bytes_.Add(-static_cast<long>(shard.charge));
+      shard.charge = 0;
+      shard.index.clear();
+      shard.lru.clear();
+    }
+  }
+
+  /// Changing capacity applies lazily at the next Insert of each shard
+  /// (shrinking does not proactively evict idle shards).
+  void SetCapacityBytes(size_t capacity_bytes) {
+    capacity_bytes_.store(capacity_bytes, std::memory_order_relaxed);
+  }
+  size_t capacity_bytes() const {
+    return capacity_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// The opt-out knob: a disabled cache serves no hits and retains nothing.
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed) && capacity_bytes() > 0;
+  }
+
+  /// Total charge currently retained (sum over shards; advisory under
+  /// concurrency).
+  size_t TotalChargeBytes() const {
+    size_t total = 0;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      total += shard.charge;
+    }
+    return total;
+  }
+
+  size_t num_shards() const { return shards_.size(); }
+
+ private:
+  struct Entry {
+    Key key;
+    Handle value;
+    size_t charge = 0;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = MRU
+    std::unordered_map<Key, typename std::list<Entry>::iterator, Hash> index;
+    size_t charge = 0;
+  };
+
+  Shard& ShardFor(const Key& key) {
+    return shards_[Hash{}(key) % shards_.size()];
+  }
+
+  void EvictOverCapacityLocked(Shard& shard) {
+    const size_t shard_capacity = capacity_bytes() / shards_.size();
+    while (shard.charge > shard_capacity && !shard.lru.empty()) {
+      const Entry& victim = shard.lru.back();
+      shard.charge -= victim.charge;
+      bytes_.Add(-static_cast<long>(victim.charge));
+      shard.index.erase(victim.key);
+      shard.lru.pop_back();  // handle refcount drops; holders keep it alive
+      evictions_.Increment();
+    }
+  }
+
+  std::vector<Shard> shards_;
+  std::atomic<size_t> capacity_bytes_;
+  std::atomic<bool> enabled_{true};
+  Counter& hits_;
+  Counter& misses_;
+  Counter& evictions_;
+  Counter& inserts_;
+  Gauge& bytes_;
+};
+
+}  // namespace priste
+
+#endif  // PRISTE_COMMON_LRU_CACHE_H_

@@ -1,5 +1,6 @@
 #include "priste/common/strings.h"
 
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
@@ -47,6 +48,63 @@ bool ParseInt32(const std::string& s, int* out) {
     if (value > std::numeric_limits<int>::max()) return false;
   }
   *out = static_cast<int>(value);
+  return true;
+}
+
+bool ParseUint64(const std::string& s, uint64_t* out) {
+  if (s.empty()) return false;
+  uint64_t value = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (std::numeric_limits<uint64_t>::max() - digit) / 10) {
+      return false;
+    }
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  // Shape check first: strtod accepts "inf", "nan", hex-floats, and leading
+  // whitespace, none of which belong in a flag or CSV field. Restricting the
+  // alphabet to sign/digits/'.'/decimal-exponent rejects all of those before
+  // the conversion ever runs.
+  size_t i = 0;
+  if (i < s.size() && (s[i] == '+' || s[i] == '-')) ++i;
+  size_t mantissa_digits = 0;
+  while (i < s.size() && s[i] >= '0' && s[i] <= '9') {
+    ++mantissa_digits;
+    ++i;
+  }
+  if (i < s.size() && s[i] == '.') {
+    ++i;
+    while (i < s.size() && s[i] >= '0' && s[i] <= '9') {
+      ++mantissa_digits;
+      ++i;
+    }
+  }
+  if (mantissa_digits == 0) return false;
+  if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+    ++i;
+    if (i < s.size() && (s[i] == '+' || s[i] == '-')) ++i;
+    size_t exponent_digits = 0;
+    while (i < s.size() && s[i] >= '0' && s[i] <= '9') {
+      ++exponent_digits;
+      ++i;
+    }
+    if (exponent_digits == 0) return false;
+  }
+  if (i != s.size()) return false;
+
+  char* end = nullptr;
+  const double value = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) return false;
+  // Overflow saturates to ±HUGE_VAL; "finite input text, finite value" is
+  // the contract (underflow to 0/denormal is fine and passes this).
+  if (!std::isfinite(value)) return false;
+  *out = value;
   return true;
 }
 

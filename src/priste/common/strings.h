@@ -1,6 +1,7 @@
 #ifndef PRISTE_COMMON_STRINGS_H_
 #define PRISTE_COMMON_STRINGS_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,19 @@ std::string FormatDouble(double value, int digits = 6);
 /// parser behind every environment knob; std::atoi's silent prefix parsing
 /// ("4x" → 4) and silent zero ("abc" → 0) are exactly what it replaces.
 bool ParseInt32(const std::string& s, int* out);
+
+/// Strict full-string base-10 parser for unsigned 64-bit values (RNG seeds):
+/// digits only, no sign/whitespace/garbage, must fit in uint64_t.
+bool ParseUint64(const std::string& s, uint64_t* out);
+
+/// Strict full-string parser for FINITE decimal doubles: optional sign,
+/// decimal digits with optional fraction and decimal exponent ("1", "-0.5",
+/// "1e-3", ".25"). Rejects everything std::strtod would quietly admit beyond
+/// that — "inf"/"nan" (no finite semantics in any knob or CSV field we
+/// parse), hex-floats ("0x1p3"), whitespace, trailing garbage ("1.5z"), and
+/// values that overflow to infinity. Returns false (leaving *out untouched)
+/// on invalid input.
+bool ParseDouble(const std::string& s, double* out);
 
 /// Reads environment variable `name` through the strict parser. Unset or
 /// empty → `fallback` silently; set but invalid (garbage, negative, overflow,

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <memory>
 
+#include "priste/common/metrics.h"
 #include "priste/common/strings.h"
 
 namespace priste {
@@ -24,6 +25,9 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> fn) {
+  static Counter& submitted =
+      MetricsRegistry::Global().GetCounter("pool.tasks_submitted");
+  submitted.Increment();
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(fn));
@@ -94,6 +98,9 @@ struct LoopState {
 
 void ParallelFor(ThreadPool& pool, size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
+  static Counter& calls =
+      MetricsRegistry::Global().GetCounter("pool.parallel_for_calls");
+  calls.Increment();
   if (n == 1 || pool.num_threads() == 0) {
     for (size_t i = 0; i < n; ++i) fn(i);
     return;

@@ -2,6 +2,7 @@
 #define PRISTE_COMMON_TIMER_H_
 
 #include <chrono>
+#include <cmath>
 
 namespace priste {
 
@@ -27,8 +28,27 @@ class Timer {
 /// QP solver's conservative-release threshold (paper Section IV-C).
 class Deadline {
  public:
-  /// A deadline `seconds` from now. Non-positive values expire immediately.
+  /// A deadline `seconds` from now. Non-positive values (including NaN)
+  /// expire immediately; budgets too large for the clock to represent —
+  /// +inf, or anything past ~292 years of steady_clock ticks — saturate to
+  /// Infinite(). (The naive duration_cast overflows its integer tick count
+  /// on such inputs, which is UB that in practice wrapped a huge budget into
+  /// an ALREADY-EXPIRED deadline — the exact opposite of what the caller
+  /// asked for.)
   static Deadline After(double seconds) {
+    if (std::isnan(seconds) || seconds <= 0.0) {
+      Deadline d;
+      d.infinite_ = false;
+      d.deadline_ = Clock::now();
+      return d;
+    }
+    // Saturate at half the clock's representable range (~146 years for a
+    // nanosecond steady_clock): duration_cast would overflow near the full
+    // range, and `now + duration` needs headroom for the clock's current
+    // reading too. No meaningful budget lives anywhere near this.
+    const double max_seconds =
+        0.5 * std::chrono::duration<double>(Clock::duration::max()).count();
+    if (seconds >= max_seconds) return Infinite();
     Deadline d;
     d.infinite_ = false;
     d.deadline_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(

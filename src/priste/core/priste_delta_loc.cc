@@ -1,5 +1,6 @@
 #include "priste/core/priste_delta_loc.h"
 
+#include "priste/common/metrics.h"
 #include "priste/common/strings.h"
 #include "priste/common/timer.h"
 #include "priste/core/release_step.h"
@@ -57,7 +58,13 @@ StatusOr<RunResult> PristeDeltaLoc::Run(const geo::Trajectory& true_trajectory,
   // benefits from the dense-prefix family on long runs (DensePrefix::kAuto).
   context.SetHorizonHint(T);
 
+  static Histogram& step_seconds =
+      MetricsRegistry::Global().GetHistogram("release.step_seconds");
+  static Counter& halvings_counter =
+      MetricsRegistry::Global().GetCounter("release.budget_halvings");
+
   for (int t = 1; t <= T; ++t) {
+    const Timer step_timer;
     const int true_cell = true_trajectory.At(t);
     PRISTE_CHECK(grid_.ContainsCell(true_cell));
 
@@ -114,6 +121,8 @@ StatusOr<RunResult> PristeDeltaLoc::Run(const geo::Trajectory& true_trajectory,
     PRISTE_ASSIGN_OR_RETURN(posterior,
                             hmm::PosteriorUpdate(predicted, released_column));
 
+    halvings_counter.Increment(step.halvings);
+    step_seconds.Record(step_timer.ElapsedSeconds());
     result.released.Append(step.released_cell);
     result.steps.push_back(step);
   }

@@ -1,5 +1,6 @@
 #include "priste/core/priste_geo_ind.h"
 
+#include "priste/common/metrics.h"
 #include "priste/common/strings.h"
 #include "priste/common/timer.h"
 #include "priste/core/release_step.h"
@@ -49,13 +50,8 @@ PristeGeoInd::PristeGeoInd(
   }
 }
 
-const lppm::Lppm& PristeGeoInd::MechanismFor(double alpha) const {
-  std::lock_guard<std::mutex> lock(mechanisms_mu_);
-  auto it = mechanisms_.find(alpha);
-  if (it == mechanisms_.end()) {
-    it = mechanisms_.emplace(alpha, family_->Instantiate(alpha)).first;
-  }
-  return *it->second;
+std::unique_ptr<lppm::Lppm> PristeGeoInd::MechanismFor(double alpha) const {
+  return family_->Instantiate(alpha);
 }
 
 StatusOr<RunResult> PristeGeoInd::Run(const geo::Trajectory& true_trajectory,
@@ -85,7 +81,13 @@ StatusOr<RunResult> PristeGeoInd::Run(const geo::Trajectory& true_trajectory,
   // dense-prefix row family amortizes (DensePrefix::kAuto).
   context.SetHorizonHint(T);
 
+  static Histogram& step_seconds =
+      MetricsRegistry::Global().GetHistogram("release.step_seconds");
+  static Counter& halvings_counter =
+      MetricsRegistry::Global().GetCounter("release.budget_halvings");
+
   for (int t = 1; t <= T; ++t) {
+    const Timer step_timer;
     const int true_cell = true_trajectory.At(t);
     PRISTE_CHECK(grid_.ContainsCell(true_cell));
 
@@ -98,17 +100,17 @@ StatusOr<RunResult> PristeGeoInd::Run(const geo::Trajectory& true_trajectory,
       if (alpha < options_.min_alpha) {
         // Uniform release: α = 0 reveals nothing, and rescaling (b̄, c̄) by
         // 1/m preserves the previously-certified condition signs.
-        const auto& mech = MechanismFor(0.0);
-        const int o = mech.Perturb(true_cell, rng);
-        context.Commit(mech.emission().EmissionColumn(o));
+        const auto mech = MechanismFor(0.0);
+        const int o = mech->Perturb(true_cell, rng);
+        context.Commit(mech->emission().EmissionColumn(o));
         step.released_cell = o;
         step.released_alpha = 0.0;
         break;
       }
 
-      const auto& mech = MechanismFor(alpha);
-      const int o = mech.Perturb(true_cell, rng);
-      const linalg::Vector column = mech.emission().EmissionColumn(o);
+      const auto mech = MechanismFor(alpha);
+      const int o = mech->Perturb(true_cell, rng);
+      const linalg::Vector column = mech->emission().EmissionColumn(o);
       const ReleaseCheckOutcome outcome = context.CheckCandidate(
           column, options_.epsilon, options_.qp_threshold_seconds);
 
@@ -128,6 +130,8 @@ StatusOr<RunResult> PristeGeoInd::Run(const geo::Trajectory& true_trajectory,
       ++step.halvings;
     }
 
+    halvings_counter.Increment(step.halvings);
+    step_seconds.Record(step_timer.ElapsedSeconds());
     result.released.Append(step.released_cell);
     result.steps.push_back(step);
   }

@@ -1,9 +1,7 @@
 #ifndef PRISTE_CORE_PRISTE_GEO_IND_H_
 #define PRISTE_CORE_PRISTE_GEO_IND_H_
 
-#include <map>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "priste/common/status.h"
@@ -49,24 +47,24 @@ class PristeGeoInd {
 
   /// Releases a perturbed location per timestamp of `true_trajectory`
   /// (length T >= every event's end). Thread-safe: concurrent Run calls on
-  /// one instance share the (mutex-guarded) mechanism cache, and each run's
-  /// randomness comes only from its own `rng` — the parallel experiment
-  /// driver relies on both.
+  /// one instance share only immutable state plus the process-wide emission
+  /// cache, and each run's randomness comes only from its own `rng` — the
+  /// parallel experiment driver relies on both.
   StatusOr<RunResult> Run(const geo::Trajectory& true_trajectory, Rng& rng) const;
 
  private:
-  const lppm::Lppm& MechanismFor(double alpha) const;
+  /// The family member at `alpha`. Construction is cheap on the ladder's
+  /// steady state: the mechanism's emission matrix — the expensive part —
+  /// comes out of the process-wide lppm::EmissionCache, so instances are
+  /// thin handles and no per-PristeGeoInd cache (the old mutex-guarded
+  /// unbounded map) is needed.
+  std::unique_ptr<lppm::Lppm> MechanismFor(double alpha) const;
 
   geo::Grid grid_;
   PristeOptions options_;
   QpSolver solver_;
   std::vector<std::shared_ptr<const LiftedEventModel>> models_;
   std::shared_ptr<const lppm::MechanismFamily> family_;
-  // Budget values form the geometric ladder initial_alpha·decay^k, so the
-  // cache stays small across timestamps and runs. Guarded for concurrent
-  // Run calls; entries are never erased, so returned references stay valid.
-  mutable std::mutex mechanisms_mu_;
-  mutable std::map<double, std::unique_ptr<lppm::Lppm>> mechanisms_;
 };
 
 }  // namespace priste::core

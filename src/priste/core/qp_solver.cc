@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "priste/common/check.h"
+#include "priste/common/metrics.h"
 #include "priste/common/random.h"
 #include "priste/core/simplex_lp.h"
 
@@ -16,6 +17,28 @@ namespace priste::core {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Process-wide solver accounting (read via `priste_cli --metrics` and the
+// experiment summaries). Observability only — never read back into the
+// search, so determinism is untouched.
+void RecordQpMetrics(const QpSolver::Result& result) {
+  static Counter& calls = MetricsRegistry::Global().GetCounter("qp.maximizations");
+  static Counter& slices =
+      MetricsRegistry::Global().GetCounter("qp.slices_solved");
+  static Counter& warm_accepted =
+      MetricsRegistry::Global().GetCounter("qp.warm_accepted_slices");
+  static Counter& warm_rejected =
+      MetricsRegistry::Global().GetCounter("qp.warm_rejected_slices");
+  static Counter& frame_hits =
+      MetricsRegistry::Global().GetCounter("qp.support_frame_hits");
+  static Counter& timeouts = MetricsRegistry::Global().GetCounter("qp.timeouts");
+  calls.Increment();
+  slices.Increment(result.slices_solved);
+  warm_accepted.Increment(result.warm_accepted_slices);
+  warm_rejected.Increment(result.warm_rejected_slices);
+  if (result.support_frame_reused) frame_hits.Increment();
+  if (result.timed_out) timeouts.Increment();
+}
 
 // Range of x = π·a over the constraint set {Σπ = 1, 0 ≤ π ≤ u} (simplex) or
 // {0 ≤ π ≤ u} (box). Every cap here is ≥ 1 (support coordinates carry the
@@ -565,6 +588,7 @@ QpSolver::Result QpSolver::Maximize(const Objective& objective,
         warm->warm_rejects += family->warm_rejected();
       }
     }
+    RecordQpMetrics(result);
     return result;
   };
 
@@ -585,6 +609,7 @@ QpSolver::Result QpSolver::Maximize(const Objective& objective,
     result.max_value = 0.0;
     result.reduced_dim = 0;
     result.support_frame_reused = frame_reused;
+    RecordQpMetrics(result);
     return result;
   }
 
@@ -673,6 +698,8 @@ void QpSolver::MaximizePair(const Objective& first, const Objective& second,
       warm->warm_rejects += first_result->warm_rejected_slices +
                             second_result->warm_rejected_slices;
     }
+    RecordQpMetrics(*first_result);
+    RecordQpMetrics(*second_result);
   };
 
   if (!reduce) {
@@ -689,6 +716,7 @@ void QpSolver::MaximizePair(const Objective& first, const Objective& second,
       r->max_value = 0.0;
       r->reduced_dim = 0;
       r->support_frame_reused = frame_reused;
+      RecordQpMetrics(*r);
     }
     return;
   }

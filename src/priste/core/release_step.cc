@@ -6,10 +6,38 @@
 #include <utility>
 
 #include "priste/common/check.h"
+#include "priste/common/metrics.h"
 #include "priste/common/strings.h"
 #include "priste/common/timer.h"
 
 namespace priste::core {
+namespace {
+
+// Process-wide mirrors of the per-context diagnostics counters, so one CLI
+// run (or a whole experiment sweep) can be read off `--metrics` without
+// plumbing RunResult diagnostics through every driver. Registered once;
+// Increment is a relaxed atomic add.
+struct ReleaseMetrics {
+  Counter& dense_prefix_checks =
+      MetricsRegistry::Global().GetCounter("release.dense_prefix_checks");
+  Counter& cached_checks =
+      MetricsRegistry::Global().GetCounter("release.cached_checks");
+  Counter& cold_checks =
+      MetricsRegistry::Global().GetCounter("release.cold_checks");
+  Counter& frame_resets =
+      MetricsRegistry::Global().GetCounter("release.frame_resets");
+  Counter& frame_carries =
+      MetricsRegistry::Global().GetCounter("release.frame_carries");
+  Histogram& check_seconds =
+      MetricsRegistry::Global().GetHistogram("release.check_seconds");
+
+  static ReleaseMetrics& Get() {
+    static ReleaseMetrics* metrics = new ReleaseMetrics();
+    return *metrics;
+  }
+};
+
+}  // namespace
 
 ReleaseStepContext::ReleaseStepContext(
     std::vector<const LiftedEventModel*> models, const QpSolver* solver,
@@ -216,8 +244,10 @@ TheoremVectors ReleaseStepContext::VectorsImpl(size_t model_index,
   if (UsesCachePath()) {
     if (mode_ == Mode::kDense) {
       ++diagnostics_.dense_prefix_checks;
+      ReleaseMetrics::Get().dense_prefix_checks.Increment();
     } else {
       ++diagnostics_.cached_checks;
+      ReleaseMetrics::Get().cached_checks.Increment();
     }
     if (t_ >= 1) return CachedVectors(engine, column);
     // t = 1 direct form: the contraction commutes with the candidate's
@@ -252,6 +282,7 @@ TheoremVectors ReleaseStepContext::VectorsImpl(size_t model_index,
   }
 
   ++diagnostics_.cold_checks;
+  ReleaseMetrics::Get().cold_checks.Increment();
   if (candidate_in_history) {
     return engine.quantifier.ComputeVectors(history_);
   }
@@ -264,6 +295,7 @@ TheoremVectors ReleaseStepContext::VectorsImpl(size_t model_index,
 ReleaseCheckOutcome ReleaseStepContext::CheckImpl(const ColumnView& column,
                                                   double epsilon,
                                                   double qp_threshold_seconds) {
+  const Timer check_timer;
   ReleaseCheckOutcome out;
   out.all_satisfied = true;
   out.per_model.reserve(engines_.size());
@@ -308,6 +340,7 @@ ReleaseCheckOutcome ReleaseStepContext::CheckImpl(const ColumnView& column,
     }
   }
   if (push_once) history_.pop_back();
+  ReleaseMetrics::Get().check_seconds.Record(check_timer.ElapsedSeconds());
   return out;
 }
 
@@ -430,8 +463,10 @@ void ReleaseStepContext::ApplyFrameResetPolicy() {
       warm.ResetFrame();
       engine.warm_reject_streak = 0;
       ++diagnostics_.frame_resets;
+      ReleaseMetrics::Get().frame_resets.Increment();
     } else {
       ++diagnostics_.frame_carries;
+      ReleaseMetrics::Get().frame_carries.Increment();
     }
   }
 }

@@ -1,6 +1,7 @@
 #include "priste/eval/experiment.h"
 
 #include "priste/common/check.h"
+#include "priste/common/metrics.h"
 #include "priste/common/strings.h"
 #include "priste/common/thread_pool.h"
 #include "priste/eval/metrics.h"
@@ -129,6 +130,10 @@ core::PristeOptions DefaultBenchOptions(double epsilon, double alpha) {
   options.qp.pga_restarts = 2;
   options.qp.pga_iters = 60;
   return options;
+}
+
+std::string RuntimeMetricsSummary() {
+  return MetricsRegistry::Global().Render();
 }
 
 }  // namespace priste::eval

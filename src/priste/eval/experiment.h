@@ -79,6 +79,12 @@ RepeatedRunStats RunRepeatedDeltaLoc(const geo::Grid& grid,
 /// with this library's QP engine).
 core::PristeOptions DefaultBenchOptions(double epsilon, double alpha);
 
+/// One-paragraph rendering of the process-wide runtime metrics accumulated
+/// so far (cache hit rates, release/QP counters, latency quantiles) —
+/// appended to bench run summaries and `priste_cli --metrics`. Purely
+/// observational: reading it never perturbs results.
+std::string RuntimeMetricsSummary();
+
 }  // namespace priste::eval
 
 #endif  // PRISTE_EVAL_EXPERIMENT_H_

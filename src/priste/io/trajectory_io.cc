@@ -52,10 +52,11 @@ std::vector<std::string> SplitFields(const std::string& line) {
 }
 
 StatusOr<double> ParseDouble(const std::string& field) {
-  char* end = nullptr;
-  errno = 0;
-  const double value = std::strtod(field.c_str(), &end);
-  if (errno != 0 || end == field.c_str() || *end != '\0') {
+  // The strict common parser: plain finite decimals only. strtod's extras —
+  // "inf"/"nan" coordinates, hex-floats like "0x1p3" — are malformed data in
+  // a trajectory CSV, not numbers.
+  double value = 0.0;
+  if (!priste::ParseDouble(field, &value)) {
     return Status::InvalidArgument(StrFormat("cannot parse number '%s'",
                                              field.c_str()));
   }

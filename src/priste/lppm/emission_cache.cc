@@ -1,0 +1,65 @@
+#include "priste/lppm/emission_cache.h"
+
+#include <cstring>
+#include <functional>
+
+#include "priste/common/strings.h"
+
+namespace priste::lppm {
+
+namespace {
+
+// 64-bit FNV-1a over a byte span — cheap, stable, and key fields are hashed
+// by value representation (doubles compared with == above, so bitwise hashing
+// is consistent: equal keys hash equal; the only caveat, -0.0 vs 0.0, cannot
+// arise from the non-negative budgets/radii the mechanisms validate).
+uint64_t Fnv1a(const void* data, size_t n, uint64_t seed) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= bytes[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+size_t DefaultCapacityBytes() {
+  // PRISTE_EMISSION_CACHE_MB caps the cache; PRISTE_EMISSION_CACHE=0 disables
+  // it outright (capacity 0 == disabled in ShardedLruCache).
+  if (ReadIntEnv("PRISTE_EMISSION_CACHE", 1) == 0) return 0;
+  const int mb = ReadIntEnv("PRISTE_EMISSION_CACHE_MB", 256, /*min_value=*/1);
+  return static_cast<size_t>(mb) * 1024 * 1024;
+}
+
+}  // namespace
+
+size_t EmissionKeyHash::operator()(const EmissionKey& key) const {
+  uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+  const int kind = static_cast<int>(key.kind);
+  h = Fnv1a(&kind, sizeof(kind), h);
+  h = Fnv1a(&key.width, sizeof(key.width), h);
+  h = Fnv1a(&key.height, sizeof(key.height), h);
+  h = Fnv1a(&key.cell_km, sizeof(key.cell_km), h);
+  h = Fnv1a(&key.param, sizeof(key.param), h);
+  return static_cast<size_t>(h);
+}
+
+EmissionCache::Cache& EmissionCache::Shared() {
+  // Leaked intentionally: mechanism handles may be released during static
+  // destruction, after a function-local static cache would already be gone.
+  static Cache* shared =
+      new Cache("cache.emission", DefaultCapacityBytes(), /*num_shards=*/8);
+  return *shared;
+}
+
+size_t EmissionCache::ChargeBytes(const hmm::EmissionMatrix& emission) {
+  return emission.num_states() * emission.num_outputs() * sizeof(double) +
+         sizeof(hmm::EmissionMatrix);
+}
+
+EmissionCache::Handle EmissionCache::GetOrBuild(
+    const EmissionKey& key, const std::function<hmm::EmissionMatrix()>& build) {
+  return Shared().GetOrBuild(key, build, &EmissionCache::ChargeBytes);
+}
+
+}  // namespace priste::lppm

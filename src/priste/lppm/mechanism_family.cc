@@ -45,12 +45,23 @@ hmm::EmissionMatrix BuildCloakingEmission(const geo::Grid& grid, double radius_k
 
 }  // namespace
 
+namespace {
+
+// Validated in the member-init list, before any emission work starts.
+double ValidateRadius(double radius_km) {
+  PRISTE_CHECK(radius_km >= 0.0);
+  return radius_km;
+}
+
+}  // namespace
+
 CloakingMechanism::CloakingMechanism(const geo::Grid& grid, double radius_km)
     : grid_(grid),
-      radius_km_(radius_km),
-      emission_(BuildCloakingEmission(grid, radius_km)) {
-  PRISTE_CHECK(radius_km >= 0.0);
-}
+      radius_km_(ValidateRadius(radius_km)),
+      emission_(EmissionCache::GetOrBuild(
+          EmissionKey{EmissionKey::Kind::kCloaking, grid.width(), grid.height(),
+                      grid.cell_size_km(), radius_km},
+          [this] { return BuildCloakingEmission(grid_, radius_km_); })) {}
 
 std::string CloakingMechanism::name() const {
   return StrFormat("cloak(R=%skm)", FormatDouble(radius_km_, 3).c_str());

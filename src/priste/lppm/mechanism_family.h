@@ -5,6 +5,7 @@
 #include <string>
 
 #include "priste/geo/grid.h"
+#include "priste/lppm/emission_cache.h"
 #include "priste/lppm/lppm.h"
 
 namespace priste::lppm {
@@ -76,7 +77,7 @@ class CloakingMechanism : public Lppm {
   CloakingMechanism(const geo::Grid& grid, double radius_km);
 
   size_t num_states() const override { return grid_.num_cells(); }
-  const hmm::EmissionMatrix& emission() const override { return emission_; }
+  const hmm::EmissionMatrix& emission() const override { return *emission_; }
   std::string name() const override;
 
   double radius_km() const { return radius_km_; }
@@ -84,7 +85,9 @@ class CloakingMechanism : public Lppm {
  private:
   geo::Grid grid_;
   double radius_km_;
-  hmm::EmissionMatrix emission_;
+  /// Shared through the process-wide EmissionCache, like the planar-Laplace
+  /// emission (key kind kCloaking, param = radius_km).
+  EmissionCache::Handle emission_;
 };
 
 }  // namespace priste::lppm

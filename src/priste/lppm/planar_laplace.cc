@@ -178,7 +178,15 @@ double PlanarLaplaceMechanism::ValidateAlpha(double alpha) {
 }
 
 PlanarLaplaceMechanism::PlanarLaplaceMechanism(const geo::Grid& grid, double alpha)
-    : grid_(grid), alpha_(ValidateAlpha(alpha)), emission_(BuildEmission(grid, alpha_)) {}
+    : grid_(grid),
+      alpha_(ValidateAlpha(alpha)),
+      // BuildEmission is a pure function of (grid geometry, α), so the
+      // process-wide cache shares one matrix across every mechanism instance
+      // with this key — and an evicted entry rebuilds bit-identically.
+      emission_(EmissionCache::GetOrBuild(
+          EmissionKey{EmissionKey::Kind::kPlanarLaplace, grid.width(),
+                      grid.height(), grid.cell_size_km(), alpha_},
+          [this] { return BuildEmission(grid_, alpha_); })) {}
 
 std::string PlanarLaplaceMechanism::name() const {
   return StrFormat("%s-PLM", FormatDouble(alpha_).c_str());

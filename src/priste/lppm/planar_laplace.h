@@ -5,6 +5,7 @@
 #include <string>
 
 #include "priste/geo/grid.h"
+#include "priste/lppm/emission_cache.h"
 #include "priste/lppm/lppm.h"
 
 namespace priste::lppm {
@@ -37,7 +38,7 @@ class PlanarLaplaceMechanism : public Lppm {
   PlanarLaplaceMechanism(const geo::Grid& grid, double alpha);
 
   size_t num_states() const override { return grid_.num_cells(); }
-  const hmm::EmissionMatrix& emission() const override { return emission_; }
+  const hmm::EmissionMatrix& emission() const override { return *emission_; }
   std::string name() const override;
 
   double alpha() const { return alpha_; }
@@ -61,7 +62,10 @@ class PlanarLaplaceMechanism : public Lppm {
 
   geo::Grid grid_;
   double alpha_;
-  hmm::EmissionMatrix emission_;
+  /// Ref-counted handle into the process-wide EmissionCache: every mechanism
+  /// sharing (grid dims, cell size, α) shares ONE quadrature-built matrix,
+  /// and the handle keeps it valid even if the cache evicts it.
+  EmissionCache::Handle emission_;
 };
 
 }  // namespace priste::lppm

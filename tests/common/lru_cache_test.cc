@@ -1,0 +1,192 @@
+#include "priste/common/lru_cache.h"
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "priste/common/metrics.h"
+#include "priste/common/thread_pool.h"
+
+namespace priste {
+namespace {
+
+using IntCache = ShardedLruCache<int, std::vector<double>>;
+
+std::vector<double> MakeValue(int key, size_t n = 8) {
+  std::vector<double> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<double>(key) + static_cast<double>(i) * 0.5;
+  }
+  return v;
+}
+
+TEST(ShardedLruCacheTest, InsertThenLookupHits) {
+  IntCache cache("t.basic", 1 << 20, 4);
+  EXPECT_EQ(cache.Lookup(1), nullptr);
+  const IntCache::Handle inserted = cache.Insert(1, MakeValue(1), 64);
+  const IntCache::Handle found = cache.Lookup(1);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found.get(), inserted.get());
+  EXPECT_EQ(*found, MakeValue(1));
+}
+
+TEST(ShardedLruCacheTest, GetOrBuildBuildsOnceThenServes) {
+  IntCache cache("t.build", 1 << 20, 4);
+  int builds = 0;
+  const auto build = [&] {
+    ++builds;
+    return MakeValue(7);
+  };
+  const auto charge = [](const std::vector<double>&) { return size_t{64}; };
+  const IntCache::Handle a = cache.GetOrBuild(7, build, charge);
+  const IntCache::Handle b = cache.GetOrBuild(7, build, charge);
+  EXPECT_EQ(builds, 1);
+  EXPECT_EQ(a.get(), b.get());
+}
+
+TEST(ShardedLruCacheTest, EvictsLeastRecentlyUsedWithinShard) {
+  // One shard so recency ordering is global; capacity fits two entries.
+  IntCache cache("t.evict", 128, 1);
+  cache.Insert(1, MakeValue(1), 64);
+  cache.Insert(2, MakeValue(2), 64);
+  ASSERT_NE(cache.Lookup(1), nullptr);  // 1 becomes MRU, 2 is now LRU
+  cache.Insert(3, MakeValue(3), 64);    // over capacity → evict 2
+  EXPECT_EQ(cache.Lookup(2), nullptr);
+  EXPECT_NE(cache.Lookup(1), nullptr);
+  EXPECT_NE(cache.Lookup(3), nullptr);
+}
+
+TEST(ShardedLruCacheTest, HandleOutlivesEviction) {
+  IntCache cache("t.pin", 64, 1);
+  const IntCache::Handle pinned = cache.Insert(1, MakeValue(1), 64);
+  cache.Insert(2, MakeValue(2), 64);  // evicts key 1
+  EXPECT_EQ(cache.Lookup(1), nullptr);
+  // The evicted entry's storage is still alive through the handle.
+  EXPECT_EQ(*pinned, MakeValue(1));
+}
+
+TEST(ShardedLruCacheTest, OverCapacityValueIsReturnedButNotRetained) {
+  IntCache cache("t.huge", 32, 1);
+  const IntCache::Handle h = cache.Insert(1, MakeValue(1), 1000);
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(*h, MakeValue(1));
+  EXPECT_EQ(cache.Lookup(1), nullptr);
+  EXPECT_EQ(cache.TotalChargeBytes(), 0u);
+}
+
+TEST(ShardedLruCacheTest, DisabledCacheNeverRetains) {
+  IntCache cache("t.off", 1 << 20, 4);
+  cache.SetEnabled(false);
+  EXPECT_FALSE(cache.enabled());
+  const IntCache::Handle h = cache.Insert(1, MakeValue(1), 64);
+  ASSERT_NE(h, nullptr);  // caller still gets the value
+  EXPECT_EQ(cache.Lookup(1), nullptr);
+  cache.SetEnabled(true);
+  EXPECT_TRUE(cache.enabled());
+}
+
+TEST(ShardedLruCacheTest, ZeroCapacityBehavesDisabled) {
+  IntCache cache("t.zero", 0, 4);
+  EXPECT_FALSE(cache.enabled());
+  cache.Insert(1, MakeValue(1), 64);
+  EXPECT_EQ(cache.Lookup(1), nullptr);
+}
+
+TEST(ShardedLruCacheTest, ClearDropsEntriesButKeepsHandles) {
+  IntCache cache("t.clear", 1 << 20, 4);
+  const IntCache::Handle h = cache.Insert(1, MakeValue(1), 64);
+  cache.Clear();
+  EXPECT_EQ(cache.Lookup(1), nullptr);
+  EXPECT_EQ(cache.TotalChargeBytes(), 0u);
+  EXPECT_EQ(*h, MakeValue(1));
+}
+
+TEST(ShardedLruCacheTest, PublishesCounters) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  IntCache cache("t.metrics", 128, 1);
+  Counter& hits = registry.GetCounter("t.metrics.hits");
+  Counter& misses = registry.GetCounter("t.metrics.misses");
+  Counter& evictions = registry.GetCounter("t.metrics.evictions");
+  Gauge& bytes = registry.GetGauge("t.metrics.bytes");
+  const long hits0 = hits.value();
+  const long misses0 = misses.value();
+  const long evictions0 = evictions.value();
+
+  cache.Lookup(1);                    // miss
+  cache.Insert(1, MakeValue(1), 64);  // bytes += 64
+  cache.Lookup(1);                    // hit
+  EXPECT_EQ(misses.value() - misses0, 1);
+  EXPECT_EQ(hits.value() - hits0, 1);
+  EXPECT_EQ(bytes.value(), 64);
+  cache.Insert(2, MakeValue(2), 64);
+  cache.Insert(3, MakeValue(3), 64);  // evicts the LRU entry
+  EXPECT_GE(evictions.value() - evictions0, 1);
+  EXPECT_LE(cache.TotalChargeBytes(), 128u);
+  cache.Clear();
+  EXPECT_EQ(bytes.value(), 0);
+}
+
+TEST(ShardedLruCacheTest, ConcurrentMixedOperationsStayConsistent) {
+  // Insert/lookup/evict races across a keyspace larger than capacity: every
+  // returned handle must carry the value its key deterministically builds,
+  // and the retained charge must respect capacity once writers quiesce.
+  IntCache cache("t.race", 8 * 1024, 8);
+  ThreadPool pool(4);
+  constexpr int kWorkers = 8;
+  constexpr int kOpsPerWorker = 4000;
+  constexpr int kKeySpace = 64;
+  std::atomic<int> mismatches{0};
+  ParallelFor(pool, kWorkers, [&](size_t w) {
+    for (int i = 0; i < kOpsPerWorker; ++i) {
+      const int key = static_cast<int>((w * 131 + static_cast<size_t>(i) * 7) %
+                                       kKeySpace);
+      const IntCache::Handle h = cache.GetOrBuild(
+          key, [key] { return MakeValue(key, 32); },
+          [](const std::vector<double>& v) { return v.size() * sizeof(double); });
+      if (h == nullptr || *h != MakeValue(key, 32)) mismatches.fetch_add(1);
+      if (i % 16 == 0) cache.Lookup(key);
+    }
+  });
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_LE(cache.TotalChargeBytes(), 8u * 1024u);
+}
+
+TEST(ShardedLruCacheTest, ConcurrentEvictionKeepsHeldHandlesAlive) {
+  // Tiny capacity: nearly every insert evicts. Holders must keep reading
+  // their own values bit-identically while the cache churns.
+  IntCache cache("t.churn", 512, 2);
+  ThreadPool pool(4);
+  std::atomic<int> mismatches{0};
+  ParallelFor(pool, 8, [&](size_t w) {
+    std::vector<IntCache::Handle> held;
+    for (int i = 0; i < 2000; ++i) {
+      const int key = static_cast<int>((w * 17 + static_cast<size_t>(i)) % 50);
+      held.push_back(cache.GetOrBuild(
+          key, [key] { return MakeValue(key); },
+          [](const std::vector<double>& v) { return v.size() * sizeof(double); }));
+      if (held.size() > 8) held.erase(held.begin());
+      for (size_t k = 0; k < held.size(); ++k) {
+        const int expect_key =
+            static_cast<int>((w * 17 + static_cast<size_t>(i) -
+                              (held.size() - 1 - k)) % 50);
+        if (*held[k] != MakeValue(expect_key)) mismatches.fetch_add(1);
+      }
+    }
+  });
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(ShardedLruCacheTest, SetCapacityAppliesOnNextInsert) {
+  IntCache cache("t.resize", 1 << 20, 1);
+  cache.Insert(1, MakeValue(1), 64);
+  cache.Insert(2, MakeValue(2), 64);
+  cache.SetCapacityBytes(64);
+  EXPECT_EQ(cache.capacity_bytes(), 64u);
+  cache.Insert(3, MakeValue(3), 64);  // triggers eviction down to capacity
+  EXPECT_LE(cache.TotalChargeBytes(), 64u);
+}
+
+}  // namespace
+}  // namespace priste

@@ -1,0 +1,176 @@
+#include "priste/common/metrics.h"
+
+#include <atomic>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace priste {
+namespace {
+
+TEST(MetricsTest, CounterAccumulates) {
+  MetricsRegistry registry;
+  Counter& c = registry.GetCounter("test.counter");
+  EXPECT_EQ(c.value(), 0);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42);
+}
+
+TEST(MetricsTest, GetReturnsStableReferences) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("same.name");
+  Counter& b = registry.GetCounter("same.name");
+  EXPECT_EQ(&a, &b);
+  // Force a rehash of any internal containers; references must survive.
+  for (int i = 0; i < 200; ++i) {
+    registry.GetCounter("filler." + std::to_string(i));
+  }
+  EXPECT_EQ(&a, &registry.GetCounter("same.name"));
+}
+
+TEST(MetricsTest, KindCollisionDies) {
+  MetricsRegistry registry;
+  registry.GetCounter("metric.kind");
+  EXPECT_DEATH(registry.GetGauge("metric.kind"), "kind");
+}
+
+TEST(MetricsTest, GaugeSetAndAdd) {
+  MetricsRegistry registry;
+  Gauge& g = registry.GetGauge("test.gauge");
+  g.Set(100);
+  g.Add(-30);
+  EXPECT_EQ(g.value(), 70);
+}
+
+TEST(MetricsTest, HistogramBucketsCoverTheRange) {
+  MetricsRegistry registry;
+  Histogram& h = registry.GetHistogram("test.latency");
+  // Underflow, a mid-range value, and a far-overflow value all land.
+  h.Record(1e-9);    // < 1 µs → underflow bucket
+  h.Record(3e-3);    // ~3 ms
+  h.Record(1e6);     // ≥ 67 s → overflow bucket
+  h.Record(-1.0);    // negative clamps to the underflow bucket
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_GT(h.bucket(0), 0);
+  EXPECT_GT(h.bucket(Histogram::kNumBuckets - 1), 0);
+  EXPECT_TRUE(std::isinf(Histogram::BucketUpperBound(Histogram::kNumBuckets - 1)));
+}
+
+TEST(MetricsTest, HistogramQuantilesAreMonotone) {
+  MetricsRegistry registry;
+  Histogram& h = registry.GetHistogram("test.latency");
+  for (int i = 0; i < 100; ++i) h.Record(0.001);
+  h.Record(10.0);  // a single outlier
+  const double p50 = h.ApproxQuantile(0.5);
+  const double p99 = h.ApproxQuantile(0.99);
+  const double p100 = h.ApproxQuantile(1.0);
+  EXPECT_LE(p50, p99);
+  EXPECT_LE(p99, p100);
+  EXPECT_GE(p50, 0.001);  // bucket upper bounds are inclusive covers
+  EXPECT_LT(p50, 0.01);
+  EXPECT_GE(p100, 10.0);
+}
+
+TEST(MetricsTest, ConcurrentWritersLoseNothing) {
+  MetricsRegistry registry;
+  Counter& c = registry.GetCounter("race.counter");
+  Histogram& h = registry.GetHistogram("race.latency");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c, &h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.Increment();
+        h.Record(1e-6 * static_cast<double>((t * 31 + i) % 1000));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(c.value(), static_cast<long>(kThreads) * kPerThread);
+  EXPECT_EQ(h.count(), static_cast<long>(kThreads) * kPerThread);
+}
+
+TEST(MetricsTest, SnapshotIsConsistentUnderConcurrentRecording) {
+  // The histogram count is derived from the buckets, so any snapshot taken
+  // while writers are live must satisfy count == Σ buckets — no torn reads
+  // where the count outruns the buckets or vice versa.
+  MetricsRegistry registry;
+  Histogram& h = registry.GetHistogram("live.latency");
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&h, &stop] {
+      uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        h.Record(1e-6 * static_cast<double>(i++ % 4096));
+      }
+    });
+  }
+  for (int iter = 0; iter < 200; ++iter) {
+    const MetricsRegistry::Snapshot snap = registry.TakeSnapshot();
+    ASSERT_EQ(snap.histograms.size(), 1u);
+    EXPECT_GE(snap.histograms[0].count, 0);
+    EXPECT_GE(snap.histograms[0].p99_seconds, snap.histograms[0].p50_seconds);
+  }
+  stop.store(true);
+  for (auto& w : writers) w.join();
+  const MetricsRegistry::Snapshot final_snap = registry.TakeSnapshot();
+  long bucket_sum = 0;
+  for (size_t i = 0; i < Histogram::kNumBuckets; ++i) bucket_sum += h.bucket(i);
+  EXPECT_EQ(final_snap.histograms[0].count, bucket_sum);
+}
+
+TEST(MetricsTest, SnapshotSortedByNameAndComplete) {
+  MetricsRegistry registry;
+  registry.GetCounter("b.counter").Increment(2);
+  registry.GetCounter("a.counter").Increment(1);
+  registry.GetGauge("z.gauge").Set(9);
+  registry.GetHistogram("m.hist").Record(0.5);
+  const MetricsRegistry::Snapshot snap = registry.TakeSnapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].name, "a.counter");
+  EXPECT_EQ(snap.counters[0].value, 1);
+  EXPECT_EQ(snap.counters[1].name, "b.counter");
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].value, 9);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, 1);
+  EXPECT_NEAR(snap.histograms[0].sum_seconds, 0.5, 1e-6);
+}
+
+TEST(MetricsTest, RenderMentionsEveryMetric) {
+  MetricsRegistry registry;
+  registry.GetCounter("render.hits").Increment(7);
+  registry.GetGauge("render.bytes").Set(1024);
+  registry.GetHistogram("render.seconds").Record(0.002);
+  const std::string out = registry.Render();
+  EXPECT_NE(out.find("render.hits"), std::string::npos);
+  EXPECT_NE(out.find("render.bytes"), std::string::npos);
+  EXPECT_NE(out.find("render.seconds"), std::string::npos);
+  EXPECT_NE(out.find("7"), std::string::npos);
+}
+
+TEST(MetricsTest, ResetForTestZeroesButKeepsRegistrations) {
+  MetricsRegistry registry;
+  Counter& c = registry.GetCounter("reset.counter");
+  Histogram& h = registry.GetHistogram("reset.hist");
+  c.Increment(5);
+  h.Record(0.1);
+  registry.ResetForTest();
+  EXPECT_EQ(c.value(), 0);
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(&c, &registry.GetCounter("reset.counter"));
+}
+
+TEST(MetricsTest, GlobalRegistryIsASingleton) {
+  EXPECT_EQ(&MetricsRegistry::Global(), &MetricsRegistry::Global());
+}
+
+}  // namespace
+}  // namespace priste

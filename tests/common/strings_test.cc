@@ -59,6 +59,71 @@ TEST(ParseInt32Test, RejectsTrailingGarbageSignsWhitespaceAndOverflow) {
   EXPECT_EQ(out, 123);  // untouched on every failure
 }
 
+TEST(ParseUint64Test, AcceptsDigitsUpToMax) {
+  uint64_t out = 1;
+  EXPECT_TRUE(ParseUint64("0", &out));
+  EXPECT_EQ(out, 0u);
+  EXPECT_TRUE(ParseUint64("42", &out));
+  EXPECT_EQ(out, 42u);
+  EXPECT_TRUE(ParseUint64("18446744073709551615", &out));  // UINT64_MAX
+  EXPECT_EQ(out, 18446744073709551615ull);
+}
+
+TEST(ParseUint64Test, RejectsGarbageSignsAndOverflow) {
+  uint64_t out = 7;
+  EXPECT_FALSE(ParseUint64("", &out));
+  EXPECT_FALSE(ParseUint64("4x", &out));
+  EXPECT_FALSE(ParseUint64("-1", &out));
+  EXPECT_FALSE(ParseUint64("+1", &out));
+  EXPECT_FALSE(ParseUint64(" 1", &out));
+  EXPECT_FALSE(ParseUint64("1 ", &out));
+  EXPECT_FALSE(ParseUint64("18446744073709551616", &out));  // UINT64_MAX + 1
+  EXPECT_FALSE(ParseUint64("99999999999999999999999", &out));
+  EXPECT_EQ(out, 7u);
+}
+
+TEST(ParseDoubleTest, AcceptsFiniteDecimals) {
+  double out = -1.0;
+  EXPECT_TRUE(ParseDouble("1", &out));
+  EXPECT_EQ(out, 1.0);
+  EXPECT_TRUE(ParseDouble("-0.5", &out));
+  EXPECT_EQ(out, -0.5);
+  EXPECT_TRUE(ParseDouble("+2.25", &out));
+  EXPECT_EQ(out, 2.25);
+  EXPECT_TRUE(ParseDouble(".25", &out));
+  EXPECT_EQ(out, 0.25);
+  EXPECT_TRUE(ParseDouble("3.", &out));
+  EXPECT_EQ(out, 3.0);
+  EXPECT_TRUE(ParseDouble("1e-3", &out));
+  EXPECT_EQ(out, 1e-3);
+  EXPECT_TRUE(ParseDouble("2.5E+2", &out));
+  EXPECT_EQ(out, 250.0);
+}
+
+TEST(ParseDoubleTest, RejectsInfNanHexAndGarbage) {
+  double out = 99.0;
+  // strtod accepts every one of these; the strict parser must not.
+  EXPECT_FALSE(ParseDouble("inf", &out));
+  EXPECT_FALSE(ParseDouble("-inf", &out));
+  EXPECT_FALSE(ParseDouble("infinity", &out));
+  EXPECT_FALSE(ParseDouble("nan", &out));
+  EXPECT_FALSE(ParseDouble("NAN(0)", &out));
+  EXPECT_FALSE(ParseDouble("0x1p3", &out));
+  EXPECT_FALSE(ParseDouble("0x10", &out));
+  EXPECT_FALSE(ParseDouble("1.5z", &out));
+  EXPECT_FALSE(ParseDouble(" 1", &out));
+  EXPECT_FALSE(ParseDouble("1 ", &out));
+  EXPECT_FALSE(ParseDouble("", &out));
+  EXPECT_FALSE(ParseDouble("+", &out));
+  EXPECT_FALSE(ParseDouble(".", &out));
+  EXPECT_FALSE(ParseDouble("1e", &out));
+  EXPECT_FALSE(ParseDouble("1e+", &out));
+  EXPECT_FALSE(ParseDouble("1e4x", &out));
+  // Syntactically fine but overflows to +inf → rejected as non-finite.
+  EXPECT_FALSE(ParseDouble("1e400", &out));
+  EXPECT_EQ(out, 99.0);  // untouched on every failure
+}
+
 TEST(ReadIntEnvTest, StrictParseWithFallback) {
   unsetenv("PRISTE_TEST_INT");
   EXPECT_EQ(ReadIntEnv("PRISTE_TEST_INT", 5), 5);

@@ -1,5 +1,7 @@
 #include "priste/common/timer.h"
 
+#include <limits>
+
 #include <gtest/gtest.h>
 
 namespace priste {
@@ -36,6 +38,32 @@ TEST(DeadlineTest, PastDeadlineExpires) {
 TEST(DeadlineTest, FutureDeadlineNotYetExpired) {
   const Deadline d = Deadline::After(30.0);
   EXPECT_FALSE(d.Expired());
+}
+
+TEST(DeadlineTest, HugeBudgetSaturatesToInfinite) {
+  // duration_cast<steady_clock::duration>(1e18 s) overflows int64 nanoseconds;
+  // the old code produced a deadline in the PAST, expiring every QP check
+  // instantly. Budgets beyond the clock's range must saturate to Infinite().
+  const Deadline huge = Deadline::After(1e18);
+  EXPECT_TRUE(huge.is_infinite());
+  EXPECT_FALSE(huge.Expired());
+
+  const Deadline inf = Deadline::After(std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(inf.is_infinite());
+  EXPECT_FALSE(inf.Expired());
+
+  // A century-scale budget is representable and must stay finite-but-unexpired.
+  const Deadline century = Deadline::After(3.2e9);
+  EXPECT_FALSE(century.is_infinite());
+  EXPECT_FALSE(century.Expired());
+}
+
+TEST(DeadlineTest, NonPositiveAndNanBudgetsAreAlreadyExpired) {
+  EXPECT_TRUE(Deadline::After(0.0).Expired());
+  EXPECT_TRUE(Deadline::After(-1e300).Expired());
+  const Deadline nan = Deadline::After(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_FALSE(nan.is_infinite());
+  EXPECT_TRUE(nan.Expired());
 }
 
 }  // namespace

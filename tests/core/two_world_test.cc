@@ -30,17 +30,17 @@ TEST(TwoWorldTest, PresenceMatricesMatchAppendixC) {
       {0.0, 0.0, 0.7, 0.1, 0.2, 0.0}, {0.0, 0.0, 0.5, 0.4, 0.1, 0.0},
       {0.0, 0.0, 0.9, 0.0, 0.1, 0.0}, {0.0, 0.0, 0.0, 0.1, 0.2, 0.7},
       {0.0, 0.0, 0.0, 0.4, 0.1, 0.5}, {0.0, 0.0, 0.0, 0.0, 0.1, 0.9}};
-  EXPECT_LT(model.TransitionAt(2).ToDense().MaxAbsDiff(expected_window), 1e-12);
-  EXPECT_LT(model.TransitionAt(3).ToDense().MaxAbsDiff(expected_window), 1e-12);
+  EXPECT_LT(model.TransitionAt(2)->ToDense().MaxAbsDiff(expected_window), 1e-12);
+  EXPECT_LT(model.TransitionAt(3)->ToDense().MaxAbsDiff(expected_window), 1e-12);
 
   // M1, M4, M5: block diagonal (right matrix of Eq. 22).
   const linalg::Matrix expected_outside{
       {0.1, 0.2, 0.7, 0.0, 0.0, 0.0}, {0.4, 0.1, 0.5, 0.0, 0.0, 0.0},
       {0.0, 0.1, 0.9, 0.0, 0.0, 0.0}, {0.0, 0.0, 0.0, 0.1, 0.2, 0.7},
       {0.0, 0.0, 0.0, 0.4, 0.1, 0.5}, {0.0, 0.0, 0.0, 0.0, 0.1, 0.9}};
-  EXPECT_LT(model.TransitionAt(1).ToDense().MaxAbsDiff(expected_outside), 1e-12);
-  EXPECT_LT(model.TransitionAt(4).ToDense().MaxAbsDiff(expected_outside), 1e-12);
-  EXPECT_LT(model.TransitionAt(5).ToDense().MaxAbsDiff(expected_outside), 1e-12);
+  EXPECT_LT(model.TransitionAt(1)->ToDense().MaxAbsDiff(expected_outside), 1e-12);
+  EXPECT_LT(model.TransitionAt(4)->ToDense().MaxAbsDiff(expected_outside), 1e-12);
+  EXPECT_LT(model.TransitionAt(5)->ToDense().MaxAbsDiff(expected_outside), 1e-12);
 }
 
 TEST(TwoWorldTest, LiftedMatricesAreRowStochastic) {
@@ -62,7 +62,7 @@ TEST(TwoWorldTest, LiftedMatricesAreRowStochastic) {
       }
       const TwoWorldModel model(chain, ev);
       for (int t = 1; t <= start + len + 2; ++t) {
-        EXPECT_TRUE(model.TransitionAt(t).IsRowStochastic(1e-9))
+        EXPECT_TRUE(model.TransitionAt(t)->IsRowStochastic(1e-9))
             << "presence=" << presence << " t=" << t;
       }
     }
@@ -130,6 +130,50 @@ TEST(TwoWorldTest, SuffixVectorsAreEventProbabilities) {
     EXPECT_TRUE(model.SuffixTrue(t).AllInRange(0.0, 1.0)) << "t=" << t;
   }
   EXPECT_TRUE(model.PriorContraction().AllInRange(0.0, 1.0));
+}
+
+TEST(TwoWorldTest, BlockCacheEvictionRebuildsBitIdentically) {
+  // Shrink the shared block cache so nearly every TransitionAt misses and
+  // rebuilds: the rebuilt blocks must be bit-identical to handles taken
+  // before the squeeze, and handles must outlive eviction.
+  TwoWorldModel::BlockLru& cache = TwoWorldModel::BlockCache();
+  const size_t saved_capacity = cache.capacity_bytes();
+
+  const auto ev = std::make_shared<PresenceEvent>(geo::Region(3, {0, 1}), 3, 4);
+  const TwoWorldModel model(PaperExampleChain(), ev);
+
+  std::vector<TwoWorldModel::BlockHandle> warm;
+  for (int t = 1; t <= 5; ++t) warm.push_back(model.TransitionAt(t));
+
+  cache.SetCapacityBytes(1);  // below any block's charge → constant eviction
+  cache.Clear();
+  for (int t = 1; t <= 5; ++t) {
+    const TwoWorldModel::BlockHandle cold = model.TransitionAt(t);
+    ASSERT_NE(cold, nullptr);
+    EXPECT_NE(cold.get(), warm[static_cast<size_t>(t - 1)].get());
+    // Bit-identical, not just numerically close.
+    EXPECT_EQ(cold->ToDense().MaxAbsDiff(
+                  warm[static_cast<size_t>(t - 1)]->ToDense()),
+              0.0)
+        << "t=" << t;
+  }
+  // The warm handles survived eviction with their contents intact.
+  EXPECT_TRUE(warm[1]->IsRowStochastic(1e-9));
+
+  cache.SetCapacityBytes(saved_capacity);
+  cache.Clear();
+}
+
+TEST(TwoWorldTest, DistinctModelsDoNotShareCacheEntries) {
+  // Two models with identical parameters still get instance-scoped keys: a
+  // block cached by one is never served to the other (contents depend on the
+  // schedule AND event of the instance that built them).
+  const auto ev = std::make_shared<PresenceEvent>(geo::Region(3, {0, 1}), 3, 4);
+  const TwoWorldModel a(PaperExampleChain(), ev);
+  const TwoWorldModel b(PaperExampleChain(), ev);
+  EXPECT_NE(a.TransitionAt(2).get(), b.TransitionAt(2).get());
+  EXPECT_EQ(a.TransitionAt(2)->ToDense().MaxAbsDiff(b.TransitionAt(2)->ToDense()),
+            0.0);
 }
 
 TEST(TwoWorldTest, RejectsMismatchedStateCounts) {

@@ -103,5 +103,49 @@ TEST(CliSmokeTest, RejectsMissingInputFile) {
   EXPECT_NE(std::system(command.c_str()), 0);
 }
 
+TEST(CliSmokeTest, MalformedFlagValuesExitNonZero) {
+  const char* cli_bin = std::getenv("PRISTE_CLI_BIN");
+  ASSERT_NE(cli_bin, nullptr);
+  // atoi/atof used to read these as 8, 1.5, 0, … and run anyway. Each must
+  // now be a hard startup error, before any input file is touched.
+  const std::vector<std::string> bad_flags = {
+      "--grid 8xfoo",       "--grid x8",
+      "--alpha 1.5z",       "--epsilon abc",
+      "--epsilon inf",      "--seed -1",
+      "--event-window 2:bad", "--event-cells 1,x,3",
+  };
+  for (const std::string& flags : bad_flags) {
+    const std::string command = std::string(cli_bin) + " " + flags +
+                                " --input cli_smoke_unused.csv 2>/dev/null";
+    EXPECT_NE(std::system(command.c_str()), 0) << "accepted: " << flags;
+  }
+}
+
+TEST(CliSmokeTest, MetricsFlagDumpsRuntimeCounters) {
+  const char* cli_bin = std::getenv("PRISTE_CLI_BIN");
+  ASSERT_NE(cli_bin, nullptr);
+
+  geo::Trajectory input;
+  for (int cell : {0, 1, 2, 6, 5, 9, 10, 14}) input.Append(cell);
+  const std::string input_path = "cli_metrics_input.csv";
+  const std::string dump_path = "cli_metrics_stdout.txt";
+  ASSERT_TRUE(io::WriteTextFile(input_path, io::TrajectoryToCsv(input)).ok());
+
+  const std::string command = std::string(cli_bin) +
+                              " --input " + input_path +
+                              " --output cli_metrics_output.csv"
+                              " --grid 4x4 --epsilon 0.8 --seed 7 --metrics > " +
+                              dump_path;
+  ASSERT_EQ(std::system(command.c_str()), 0) << "command: " << command;
+
+  const auto dump = io::ReadTextFile(dump_path);
+  ASSERT_TRUE(dump.ok()) << dump.status().ToString();
+  // The run banner plus the metrics dump: cache counters and the release
+  // latency histogram must both be present.
+  EXPECT_NE(dump->find("runtime metrics"), std::string::npos) << *dump;
+  EXPECT_NE(dump->find("cache.emission.hits"), std::string::npos) << *dump;
+  EXPECT_NE(dump->find("release.check_seconds"), std::string::npos) << *dump;
+}
+
 }  // namespace
 }  // namespace priste

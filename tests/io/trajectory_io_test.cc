@@ -63,6 +63,24 @@ TEST(TrajectoryIoTest, RejectsFractionalCells) {
       << fractional.status();
 }
 
+TEST(TrajectoryIoTest, RejectsNonFiniteAndHexCoordinates) {
+  // strtod happily parses all of these; as CSV *data* they are malformed.
+  // "inf" coordinates used to clamp to the far border cell silently.
+  EXPECT_FALSE(ParseTrajectoryCsv("t,x_km,y_km\n1,inf,0.5\n", kGrid).ok());
+  EXPECT_FALSE(ParseTrajectoryCsv("t,x_km,y_km\n1,0.5,-inf\n", kGrid).ok());
+  EXPECT_FALSE(ParseTrajectoryCsv("t,x_km,y_km\n1,nan,0.5\n", kGrid).ok());
+  EXPECT_FALSE(ParseTrajectoryCsv("t,x_km,y_km\n1,0x1p3,0.5\n", kGrid).ok());
+  EXPECT_FALSE(ParseTrajectoryCsv("t,x_km,y_km\n1,0x10,0.5\n", kGrid).ok());
+  const auto bad = ParseTrajectoryCsv("t,x_km,y_km\n1,infinity,0.5\n", kGrid);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("infinity"), std::string::npos)
+      << bad.status();
+  // Ordinary scientific notation stays accepted.
+  const auto sci = ParseTrajectoryCsv("t,x_km,y_km\n1,5e-1,5E-1\n", kGrid);
+  ASSERT_TRUE(sci.ok()) << sci.status();
+  EXPECT_EQ(sci->At(1), 0);
+}
+
 TEST(TrajectoryIoTest, RejectsOutOfRangeTimestamps) {
   // Integral but beyond the int range (e.g. an epoch timestamp): reported as
   // out of range, not "not an integer".

@@ -1,0 +1,128 @@
+#include "priste/lppm/emission_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "priste/common/metrics.h"
+#include "priste/geo/grid.h"
+#include "priste/lppm/mechanism_family.h"
+#include "priste/lppm/planar_laplace.h"
+
+namespace priste::lppm {
+namespace {
+
+// The shared cache is process-wide state; every test restores the defaults
+// it perturbs so suite order never matters.
+class EmissionCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    EmissionCache::Shared().Clear();
+    EmissionCache::Shared().SetEnabled(true);
+    saved_capacity_ = EmissionCache::Shared().capacity_bytes();
+  }
+  void TearDown() override {
+    EmissionCache::Shared().SetCapacityBytes(saved_capacity_);
+    EmissionCache::Shared().SetEnabled(true);
+    EmissionCache::Shared().Clear();
+  }
+
+  size_t saved_capacity_ = 0;
+};
+
+TEST_F(EmissionCacheTest, MechanismsWithEqualKeysShareOneMatrix) {
+  const geo::Grid grid(6, 6, 1.0);
+  const PlanarLaplaceMechanism a(grid, 0.8);
+  const PlanarLaplaceMechanism b(grid, 0.8);
+  // Same key → literally the same matrix object, not an equal copy.
+  EXPECT_EQ(&a.emission(), &b.emission());
+  const PlanarLaplaceMechanism c(grid, 0.4);
+  EXPECT_NE(&a.emission(), &c.emission());
+}
+
+TEST_F(EmissionCacheTest, DistinctGeometriesGetDistinctEntries) {
+  const geo::Grid small(6, 6, 1.0);
+  const geo::Grid wide(6, 6, 2.0);
+  const PlanarLaplaceMechanism a(small, 0.8);
+  const PlanarLaplaceMechanism b(wide, 0.8);
+  EXPECT_NE(&a.emission(), &b.emission());
+  // Cloaking and PLM never collide even at the same (dims, cell, param).
+  const CloakingMechanism cloak(small, 0.8);
+  EXPECT_NE(&a.emission(), &cloak.emission());
+}
+
+TEST_F(EmissionCacheTest, CachedAndUncachedAreBitIdentical) {
+  const geo::Grid grid(6, 6, 1.0);
+  const PlanarLaplaceMechanism cached(grid, 0.7);
+
+  EmissionCache::Shared().SetEnabled(false);
+  const PlanarLaplaceMechanism fresh(grid, 0.7);
+  EmissionCache::Shared().SetEnabled(true);
+
+  EXPECT_NE(&cached.emission(), &fresh.emission());
+  const size_t m = grid.num_cells();
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t o = 0; o < m; ++o) {
+      // Bit-identical, not approximately equal: the builder is a pure
+      // deterministic function of the key.
+      EXPECT_EQ(cached.emission()(i, o), fresh.emission()(i, o))
+          << "i=" << i << " o=" << o;
+    }
+  }
+}
+
+TEST_F(EmissionCacheTest, EvictionRebuildsBitIdentically) {
+  const geo::Grid grid(6, 6, 1.0);
+  const PlanarLaplaceMechanism first(grid, 0.9);
+
+  // Capacity below one entry's charge: every insert immediately evicts, so
+  // the second construction cannot be served from the cache.
+  EmissionCache::Shared().SetCapacityBytes(1);
+  EmissionCache::Shared().Clear();
+  const PlanarLaplaceMechanism rebuilt(grid, 0.9);
+  EXPECT_NE(&first.emission(), &rebuilt.emission());
+  const size_t m = grid.num_cells();
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t o = 0; o < m; ++o) {
+      EXPECT_EQ(first.emission()(i, o), rebuilt.emission()(i, o));
+    }
+  }
+  // Both handles stay valid even though neither lives in the cache anymore.
+  EXPECT_NEAR(first.emission().OutputDistribution(0).Sum(), 1.0, 1e-9);
+  EXPECT_NEAR(rebuilt.emission().OutputDistribution(0).Sum(), 1.0, 1e-9);
+}
+
+TEST_F(EmissionCacheTest, CountersTrackHitsAndMisses) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  const long hits0 = registry.GetCounter("cache.emission.hits").value();
+  const long misses0 = registry.GetCounter("cache.emission.misses").value();
+
+  const geo::Grid grid(5, 5, 1.0);
+  const PlanarLaplaceMechanism a(grid, 0.6);  // miss + insert
+  const PlanarLaplaceMechanism b(grid, 0.6);  // hit
+  (void)a;
+  (void)b;
+  EXPECT_GE(registry.GetCounter("cache.emission.misses").value() - misses0, 1);
+  EXPECT_GE(registry.GetCounter("cache.emission.hits").value() - hits0, 1);
+  EXPECT_GT(registry.GetGauge("cache.emission.bytes").value(), 0);
+}
+
+TEST_F(EmissionCacheTest, FamilyInstantiationsShareAcrossInstances) {
+  // The Algorithm-2 workload: many family instantiations at the same budget
+  // ladder, across independent family objects (different "users").
+  const geo::Grid grid(5, 5, 1.0);
+  const PlanarLaplaceFamily family_a(grid);
+  const PlanarLaplaceFamily family_b(grid);
+  const auto lppm_a = family_a.Instantiate(0.5);
+  const auto lppm_b = family_b.Instantiate(0.5);
+  EXPECT_EQ(&lppm_a->emission(), &lppm_b->emission());
+}
+
+TEST_F(EmissionCacheTest, ChargeBytesCoversThePayload) {
+  const geo::Grid grid(4, 4, 1.0);
+  const PlanarLaplaceMechanism mech(grid, 0.5);
+  const size_t m = grid.num_cells();
+  EXPECT_GE(EmissionCache::ChargeBytes(mech.emission()),
+            m * m * sizeof(double));
+}
+
+}  // namespace
+}  // namespace priste::lppm

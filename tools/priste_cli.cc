@@ -11,16 +11,21 @@
 //              [--epsilon 0.5] [--alpha 0.5]
 //              [--delta 0.2]            (switches to Algorithm 3)
 //              [--seed 7]
+//              [--metrics]              (dump runtime metrics to stdout)
 //
 // The mobility model is the Gaussian-kernel synthetic chain (--sigma); for
 // trained chains use the library API directly.
+//
+// Flag values are parsed STRICTLY (common/strings.h): "8xfoo", "1.5z",
+// "inf", or "0x10" exit non-zero naming the offending flag instead of the
+// old atoi/atof behaviour of silently truncating to a prefix or zero.
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
-#include <map>
 #include <memory>
 #include <string>
 
+#include "priste/common/metrics.h"
+#include "priste/common/strings.h"
 #include "priste/core/priste_delta_loc.h"
 #include "priste/core/priste_geo_ind.h"
 #include "priste/event/presence.h"
@@ -45,29 +50,61 @@ struct CliArgs {
   double alpha = 0.5;
   double delta = -1.0;  // < 0: Algorithm 2
   uint64_t seed = 7;
+  bool metrics = false;
 };
 
-bool ParseIntPair(const std::string& value, char sep, int* a, int* b) {
-  const size_t pos = value.find(sep);
-  if (pos == std::string::npos) return false;
-  *a = std::atoi(value.substr(0, pos).c_str());
-  *b = std::atoi(value.substr(pos + 1).c_str());
+// Strict parse helpers: each names the offending flag and value on stderr,
+// so "--grid 8xfoo" fails loudly instead of running on a truncated grid.
+bool ParseDoubleFlag(const std::string& flag, const std::string& value,
+                     double* out) {
+  if (!ParseDouble(value, out)) {
+    std::fprintf(stderr, "%s: cannot parse '%s' as a finite number\n",
+                 flag.c_str(), value.c_str());
+    return false;
+  }
   return true;
 }
 
-std::vector<int> ParseIntList(const std::string& value) {
-  std::vector<int> out;
+bool ParseIntFlag(const std::string& flag, const std::string& value, int* out) {
+  if (!ParseInt32(value, out)) {
+    std::fprintf(stderr, "%s: cannot parse '%s' as a non-negative integer\n",
+                 flag.c_str(), value.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool ParseIntPair(const std::string& flag, const std::string& value, char sep,
+                  int* a, int* b) {
+  const size_t pos = value.find(sep);
+  if (pos == std::string::npos) {
+    std::fprintf(stderr, "%s: expected two integers separated by '%c', got '%s'\n",
+                 flag.c_str(), sep, value.c_str());
+    return false;
+  }
+  return ParseIntFlag(flag, value.substr(0, pos), a) &&
+         ParseIntFlag(flag, value.substr(pos + 1), b);
+}
+
+bool ParseIntList(const std::string& flag, const std::string& value,
+                  std::vector<int>* out) {
+  out->clear();
   std::string current;
+  const auto flush = [&]() {
+    int parsed = 0;
+    if (!ParseIntFlag(flag, current, &parsed)) return false;
+    out->push_back(parsed);
+    current.clear();
+    return true;
+  };
   for (char c : value) {
     if (c == ',') {
-      out.push_back(std::atoi(current.c_str()));
-      current.clear();
+      if (!flush()) return false;
     } else {
       current += c;
     }
   }
-  if (!current.empty()) out.push_back(std::atoi(current.c_str()));
-  return out;
+  return current.empty() ? true : flush();
 }
 
 bool ParseArgs(int argc, char** argv, CliArgs* args) {
@@ -82,25 +119,34 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
     } else if (flag == "--output" && (value = next())) {
       args->output = value;
     } else if (flag == "--grid" && (value = next())) {
-      if (!ParseIntPair(value, 'x', &args->grid_w, &args->grid_h)) return false;
+      if (!ParseIntPair(flag, value, 'x', &args->grid_w, &args->grid_h)) {
+        return false;
+      }
     } else if (flag == "--cell-km" && (value = next())) {
-      args->cell_km = std::atof(value);
+      if (!ParseDoubleFlag(flag, value, &args->cell_km)) return false;
     } else if (flag == "--sigma" && (value = next())) {
-      args->sigma = std::atof(value);
+      if (!ParseDoubleFlag(flag, value, &args->sigma)) return false;
     } else if (flag == "--event-cells" && (value = next())) {
-      args->event_cells = ParseIntList(value);
+      if (!ParseIntList(flag, value, &args->event_cells)) return false;
     } else if (flag == "--event-window" && (value = next())) {
-      if (!ParseIntPair(value, ':', &args->window_start, &args->window_end)) {
+      if (!ParseIntPair(flag, value, ':', &args->window_start,
+                        &args->window_end)) {
         return false;
       }
     } else if (flag == "--epsilon" && (value = next())) {
-      args->epsilon = std::atof(value);
+      if (!ParseDoubleFlag(flag, value, &args->epsilon)) return false;
     } else if (flag == "--alpha" && (value = next())) {
-      args->alpha = std::atof(value);
+      if (!ParseDoubleFlag(flag, value, &args->alpha)) return false;
     } else if (flag == "--delta" && (value = next())) {
-      args->delta = std::atof(value);
+      if (!ParseDoubleFlag(flag, value, &args->delta)) return false;
     } else if (flag == "--seed" && (value = next())) {
-      args->seed = static_cast<uint64_t>(std::atoll(value));
+      if (!ParseUint64(value, &args->seed)) {
+        std::fprintf(stderr, "--seed: cannot parse '%s' as an unsigned integer\n",
+                     value);
+        return false;
+      }
+    } else if (flag == "--metrics") {
+      args->metrics = true;
     } else {
       std::fprintf(stderr, "unknown or incomplete flag: %s\n", flag.c_str());
       return false;
@@ -118,7 +164,8 @@ int main(int argc, char** argv) {
                  "usage: priste_cli --input traj.csv --output run.csv "
                  "[--grid WxH] [--cell-km K] [--sigma S] "
                  "[--event-cells a,b,c] [--event-window s:e] "
-                 "[--epsilon E] [--alpha A] [--delta D] [--seed N]\n");
+                 "[--epsilon E] [--alpha A] [--delta D] [--seed N] "
+                 "[--metrics]\n");
     return 2;
   }
 
@@ -170,5 +217,9 @@ int main(int argc, char** argv) {
   std::printf("protected %s; released %d locations -> %s (%d conservative)\n",
               event->ToString().c_str(), result->released.length(),
               args.output.c_str(), result->total_conservative);
+  if (args.metrics) {
+    std::printf("--- runtime metrics ---\n%s",
+                MetricsRegistry::Global().Render().c_str());
+  }
   return 0;
 }
