@@ -34,6 +34,8 @@ GUARDED_PREFIXES = [
     "BM_ReleaseStepDensePrefix/dense_rows:1",
     "BM_QpWarmStart/warm:1",
     "BM_SharedEmissionCache/cached:1",
+    "BM_RowBlockReplicateDot/simd:1",
+    "BM_ArenaReleaseStep/arena:1",
 ]
 
 

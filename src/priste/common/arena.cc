@@ -1,0 +1,92 @@
+#include "priste/common/arena.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "priste/common/check.h"
+
+namespace priste {
+
+Arena::~Arena() {
+  for (const Block& b : blocks_) std::free(b.data);
+}
+
+void* Arena::Allocate(size_t bytes, size_t align) {
+  PRISTE_DCHECK(align != 0 && (align & (align - 1)) == 0);
+  PRISTE_DCHECK(align <= kMaxAlign);
+  if (bytes == 0) bytes = 1;
+  uintptr_t p = reinterpret_cast<uintptr_t>(ptr_);
+  uintptr_t aligned = (p + align - 1) & ~(uintptr_t{align} - 1);
+  const size_t needed = bytes + (aligned - p);
+  if (ptr_ == nullptr || needed > static_cast<size_t>(end_ - ptr_)) {
+    char* out = AllocateSlow(bytes, align);
+    bytes_used_ += bytes;
+    return out;
+  }
+  ptr_ += needed;
+  bytes_used_ += needed;
+  return reinterpret_cast<void*>(aligned);
+}
+
+char* Arena::AllocateSlow(size_t bytes, size_t align) {
+  // Every block is kMaxAlign-aligned and sized a multiple of it, so any
+  // in-block alignment ≤ kMaxAlign costs at most align-1 padding bytes.
+  // Growing by at least the currently owned total keeps the slow path
+  // geometric: a step whose footprint spans blocks takes O(log footprint)
+  // slow allocations before Reset() consolidates it into one block.
+  size_t block_size = std::max({bytes + align, kMinBlockBytes, bytes_owned_});
+  block_size = (block_size + kMaxAlign - 1) / kMaxAlign * kMaxAlign;
+  char* data =
+      static_cast<char*>(std::aligned_alloc(kMaxAlign, block_size));
+  PRISTE_CHECK(data != nullptr);
+  blocks_.push_back(Block{data, block_size});
+  bytes_owned_ += block_size;
+  ptr_ = data;
+  end_ = data + block_size;
+  uintptr_t p = reinterpret_cast<uintptr_t>(ptr_);
+  uintptr_t aligned = (p + align - 1) & ~(uintptr_t{align} - 1);
+  ptr_ = reinterpret_cast<char*>(aligned) + bytes;
+  return reinterpret_cast<char*>(aligned);
+}
+
+double* Arena::AllocateDoubles(size_t n) {
+  double* out =
+      static_cast<double*>(Allocate(n * sizeof(double), kMaxAlign));
+  std::memset(out, 0, n * sizeof(double));
+  return out;
+}
+
+void Arena::Reset() {
+  if (blocks_.empty()) return;
+  // Steady-state goal: one block covering the whole step footprint, so the
+  // next pass is pure pointer bumps. When the high-water mark outgrew the
+  // largest block, retiring all but the largest would re-malloc the excess
+  // every step — instead retire everything and cut one consolidated block
+  // sized to the footprint (plus a chunk of slack for alignment padding the
+  // multi-block pass didn't pay). Otherwise keep the largest block as is.
+  size_t keep = 0;
+  for (size_t i = 1; i < blocks_.size(); ++i) {
+    if (blocks_[i].size > blocks_[keep].size) keep = i;
+  }
+  if (blocks_.size() > 1 && bytes_used_ > blocks_[keep].size) {
+    const size_t hw = (bytes_used_ + kMinBlockBytes + kMaxAlign - 1) /
+                      kMaxAlign * kMaxAlign;
+    for (const Block& b : blocks_) std::free(b.data);
+    char* data = static_cast<char*>(std::aligned_alloc(kMaxAlign, hw));
+    PRISTE_CHECK(data != nullptr);
+    blocks_.assign(1, Block{data, hw});
+  } else {
+    const Block kept = blocks_[keep];
+    for (size_t i = 0; i < blocks_.size(); ++i) {
+      if (i != keep) std::free(blocks_[i].data);
+    }
+    blocks_.assign(1, kept);
+  }
+  bytes_owned_ = blocks_[0].size;
+  bytes_used_ = 0;
+  ptr_ = blocks_[0].data;
+  end_ = blocks_[0].data + blocks_[0].size;
+}
+
+}  // namespace priste

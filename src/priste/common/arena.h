@@ -1,0 +1,65 @@
+#ifndef PRISTE_COMMON_ARENA_H_
+#define PRISTE_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace priste {
+
+/// Chunked bump allocator for transient per-step scratch (the LevelDB/Prism
+/// `util/arena` pattern). The release loop allocates the same lifted-vector
+/// shapes every accepted timestamp; routing them through the arena turns
+/// each into a pointer bump, and Reset() recycles the whole footprint in
+/// O(retired blocks) without returning the high-water block to the OS.
+///
+/// Lifetime contract: pointers are valid until the next Reset() or the
+/// arena's destruction. No destructors run — allocate trivially destructible
+/// payloads only (the release engine stores raw double spans).
+/// Not thread-safe; one arena per owning context.
+class Arena {
+ public:
+  Arena() = default;
+  ~Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// `bytes` of storage aligned to `align` (a power of two ≤ kMaxAlign).
+  void* Allocate(size_t bytes, size_t align = alignof(double));
+
+  /// n doubles, 64-byte aligned (the RowBlock/kernels alignment), zeroed.
+  double* AllocateDoubles(size_t n);
+
+  /// Recycles the footprint: keeps the largest block when it covers the
+  /// high-water mark, otherwise replaces all blocks with one consolidated
+  /// block sized to it — after the first step at a given footprint, steady
+  /// state allocates nothing.
+  void Reset();
+
+  /// Bytes handed out since construction/Reset (bump-pointer high water).
+  size_t bytes_used() const { return bytes_used_; }
+  /// Total block bytes currently owned (resident footprint).
+  size_t bytes_owned() const { return bytes_owned_; }
+
+  static constexpr size_t kMaxAlign = 64;
+  static constexpr size_t kMinBlockBytes = 4096;
+
+ private:
+  struct Block {
+    char* data = nullptr;
+    size_t size = 0;
+  };
+
+  char* AllocateSlow(size_t bytes, size_t align);
+
+  std::vector<Block> blocks_;
+  char* ptr_ = nullptr;   // bump cursor within the active (last) block
+  char* end_ = nullptr;   // one past the active block
+  size_t bytes_used_ = 0;
+  size_t bytes_owned_ = 0;
+};
+
+}  // namespace priste
+
+#endif  // PRISTE_COMMON_ARENA_H_

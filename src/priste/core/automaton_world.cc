@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "priste/common/check.h"
+#include "priste/linalg/kernels.h"
 
 namespace priste::core {
 
@@ -69,20 +70,25 @@ linalg::Vector AutomatonWorldModel::ContractColumn(const linalg::Vector& col) co
 
 void AutomatonWorldModel::StepRowInto(const linalg::Vector& v, int t,
                                       linalg::Vector& out) const {
-  const size_t m = num_states();
-  const int k = automaton_.num_automaton_states();
   PRISTE_CHECK(v.size() == lifted_size() && out.size() == lifted_size());
   PRISTE_DCHECK(v.data() != out.data());
+  StepRowSpanInto(v.data(), t, out.data());
+}
+
+void AutomatonWorldModel::StepRowSpanInto(const double* v, int t,
+                                          double* out) const {
+  const size_t m = num_states();
+  const int k = automaton_.num_automaton_states();
   PRISTE_CHECK(t >= 1);
   const markov::TransitionMatrix& base = schedule_.AtStep(t);
   const int tau = t + 1;
   const bool in_window = tau >= automaton_.start() && tau <= automaton_.end();
 
-  std::memset(out.data(), 0, out.size() * sizeof(double));
+  std::memset(out, 0, lifted_size() * sizeof(double));
   static thread_local std::vector<double> u;
   u.resize(m);
   for (int q = 0; q < k; ++q) {
-    const double* vq = v.data() + static_cast<size_t>(q) * m;
+    const double* vq = v + static_cast<size_t>(q) * m;
     // Skip empty automaton slices (most are, outside the frontier).
     bool any = false;
     for (size_t s = 0; s < m && !any; ++s) any = vq[s] != 0.0;
@@ -95,8 +101,8 @@ void AutomatonWorldModel::StepRowInto(const linalg::Vector& v, int t,
         out[static_cast<size_t>(qp) * m + sp] += u[sp];
       }
     } else {
-      double* oq = out.data() + static_cast<size_t>(q) * m;
-      for (size_t sp = 0; sp < m; ++sp) oq[sp] += u[sp];
+      linalg::kernels::Axpy(1.0, u.data(),
+                            out + static_cast<size_t>(q) * m, m);
     }
   }
 }
@@ -138,8 +144,8 @@ void AutomatonWorldModel::ApplyEmissionInPlace(const linalg::Vector& emission,
   PRISTE_CHECK(v.size() == lifted_size());
   const double* e = emission.data();
   for (int q = 0; q < k; ++q) {
-    double* vq = v.data() + static_cast<size_t>(q) * m;
-    for (size_t s = 0; s < m; ++s) vq[s] *= e[s];
+    linalg::kernels::HadamardInPlace(e, v.data() + static_cast<size_t>(q) * m,
+                                     m);
   }
 }
 

@@ -54,6 +54,7 @@ class AutomatonWorldModel : public LiftedEventModel {
   /// live automaton state through its span kernels (CSR fast path when the
   /// chain is sparse), and the automaton transition only permutes slices —
   /// the (k·m)×(k·m) lifted operator is never formed.
+  void StepRowSpanInto(const double* v, int t, double* out) const override;
   void StepRowInto(const linalg::Vector& v, int t,
                    linalg::Vector& out) const override;
   void StepColumnInto(const linalg::Vector& v, int t,

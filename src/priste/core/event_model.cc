@@ -1,6 +1,10 @@
 #include "priste/core/event_model.h"
 
+#include <algorithm>
+#include <vector>
+
 #include "priste/common/check.h"
+#include "priste/linalg/kernels.h"
 
 namespace priste::core {
 
@@ -21,13 +25,37 @@ void LiftedEventModel::ApplyEmissionInPlace(const linalg::Vector& emission,
 
 void LiftedEventModel::ApplyEmissionInPlace(const linalg::SparseVector& emission,
                                             linalg::Vector& v) const {
+  PRISTE_CHECK(v.size() == lifted_size());
+  ApplyEmissionSpanInPlace(emission, v.data());
+}
+
+void LiftedEventModel::StepRowSpanInto(const double* v, int t,
+                                       double* out) const {
+  linalg::Vector vin(std::vector<double>(v, v + lifted_size()));
+  linalg::Vector vout(lifted_size());
+  StepRowInto(vin, t, vout);
+  std::copy(vout.data(), vout.data() + lifted_size(), out);
+}
+
+void LiftedEventModel::ApplyEmissionSpanInPlace(const linalg::Vector& emission,
+                                                double* v) const {
   const size_t m = num_states();
   PRISTE_CHECK(emission.size() == m);
-  PRISTE_CHECK(v.size() == lifted_size());
   PRISTE_CHECK(m > 0 && lifted_size() % m == 0);
   const size_t k = lifted_size() / m;
   for (size_t q = 0; q < k; ++q) {
-    emission.HadamardSpanInPlace(v.data() + q * m);
+    linalg::kernels::HadamardInPlace(emission.data(), v + q * m, m);
+  }
+}
+
+void LiftedEventModel::ApplyEmissionSpanInPlace(
+    const linalg::SparseVector& emission, double* v) const {
+  const size_t m = num_states();
+  PRISTE_CHECK(emission.size() == m);
+  PRISTE_CHECK(m > 0 && lifted_size() % m == 0);
+  const size_t k = lifted_size() / m;
+  for (size_t q = 0; q < k; ++q) {
+    emission.HadamardSpanInPlace(v + q * m);
   }
 }
 

@@ -78,6 +78,18 @@ class LiftedEventModel {
   virtual void ApplyEmissionInPlace(const linalg::SparseVector& emission,
                                     linalg::Vector& v) const;
 
+  /// Raw-span forms over lifted spans of lifted_size() doubles — the unit
+  /// the RowBlock-backed release engine stores its row chains in. The
+  /// emission defaults implement the documented k-block layout directly on
+  /// the span; the step default round-trips through temporary Vectors, and
+  /// both built-in models override it with their zero-copy blockwise
+  /// kernels. `out` must not alias `v`.
+  virtual void StepRowSpanInto(const double* v, int t, double* out) const;
+  virtual void ApplyEmissionSpanInPlace(const linalg::Vector& emission,
+                                        double* v) const;
+  virtual void ApplyEmissionSpanInPlace(const linalg::SparseVector& emission,
+                                        double* v) const;
+
   /// Indicator of event-true lifted states after the window has been fully
   /// consumed (the two-world [0, 1] mask, generalized).
   const linalg::Vector& AcceptingMask() const { return accepting_mask_; }

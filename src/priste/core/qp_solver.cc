@@ -310,7 +310,16 @@ QpSolver::Result MaximizeCore(const QpSolver::Objective& objective,
       {objective.l.MaxAbs(), objective.a.MaxAbs() * objective.d.MaxAbs(), 1e-300});
   if (finished && result.max_value <= 0.0 &&
       result.max_value > -options.escalation_band * objective_scale) {
-    finished = sweep(x_lo, x_hi, options.grid_points * options.escalation_factor);
+    // (points − 1)·factor + 1 points subdivide each base-grid interval into
+    // `factor` parts, so every factor-th escalated x is the SAME grid formula
+    // lo + (hi−lo)·g/(points−1) with g scaled by `factor` in both numerator
+    // and denominator — bit-identical to the base sweep's x when factor·
+    // (points−1) stays a power-of-two multiple (the 65-point/8× default),
+    // which lets those slices reinstate their memoized exact-RHS bases. The
+    // old points·factor grid shared (almost) no x with the base sweep. Other
+    // configs just miss the memo; the escalation itself is unchanged.
+    finished = sweep(x_lo, x_hi,
+                     (options.grid_points - 1) * options.escalation_factor + 1);
   }
 
   result.timed_out = !finished;
@@ -351,6 +360,7 @@ const std::vector<size_t>* UpdateWarmFrame(const std::vector<size_t>& scan,
     warm->has_argmax = false;
     warm->has_argmax2 = false;
     warm->lp.valid = false;
+    warm->slice_memo.Clear();  // entries are frame-coordinate, like the basis
   }
   return &warm->support;
 }
@@ -457,7 +467,10 @@ linalg::Vector ProjectOntoCappedSimplex(const linalg::Vector& v,
     bool activates;  // true: τ = v_i; false: τ = v_i − u_i
     size_t i;
   };
-  std::vector<Breakpoint> breaks;
+  // Reused across calls: this projection runs inside every PGA backtrack
+  // (thousands per Maximize), so the per-call allocation was measurable.
+  static thread_local std::vector<Breakpoint> breaks;
+  breaks.clear();
   breaks.reserve(2 * n);
   for (size_t i = 0; i < n; ++i) {
     if (upper[i] == 0.0) continue;  // never contributes
@@ -571,6 +584,7 @@ QpSolver::Result QpSolver::Maximize(const Objective& objective,
       if (simplex) lp_a(1, j) = 1.0;
     }
     family = std::make_unique<SliceLpSolver>(std::move(lp_a), caps);
+    if (use_warm) family->AttachMemo(&warm->slice_memo);
     if (use_warm && warm->lp.valid) family->ImportWarm(warm->lp);
     io.family = family.get();
   };
@@ -675,6 +689,7 @@ void QpSolver::MaximizePair(const Objective& first, const Objective& second,
       if (simplex) lp_a(1, j) = 1.0;
     }
     family = std::make_unique<SliceLpSolver>(std::move(lp_a), caps);
+    if (use_warm) family->AttachMemo(&warm->slice_memo);
     if (use_warm && warm->lp.valid) family->ImportWarm(warm->lp);
     io.family = family.get();
 

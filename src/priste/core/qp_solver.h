@@ -139,6 +139,13 @@ class QpSolver {
     linalg::Vector argmax2;
     /// Final slice basis of the previous call, in frame coordinates.
     LpWarmStart lp;
+    /// Exact-RHS basis memo shared by every sweep run against this state
+    /// (attached to the per-call SliceLpSolver family): the second Theorem
+    /// condition's sweep, the escalation re-sweep, and the next call's
+    /// identical grid all revisit bit-identical slice RHS values, whose
+    /// memoized bases reinstate with no Phase 1 and no dual repair. Frame
+    /// coordinates — cleared with the frame.
+    SliceBasisMemo slice_memo;
     /// Joint-support size of the most recent call's objective(s), recorded
     /// BEFORE the frame union — the release engine's adaptive frame-reset
     /// policy compares it against the frame size to measure support drift.
@@ -158,6 +165,7 @@ class QpSolver {
       has_argmax = false;
       has_argmax2 = false;
       lp.valid = false;
+      slice_memo.Clear();
     }
   };
 

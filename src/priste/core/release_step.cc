@@ -9,6 +9,7 @@
 #include "priste/common/metrics.h"
 #include "priste/common/strings.h"
 #include "priste/common/timer.h"
+#include "priste/linalg/kernels.h"
 
 namespace priste::core {
 namespace {
@@ -86,73 +87,32 @@ linalg::Vector DensifyColumn(const linalg::Vector* dense,
   return dense != nullptr ? *dense : sparse->ToDense();
 }
 
-// Σ_blocks Σ_j column[j] · row[block·m + j] · seed[block·m + j], with an
-// implicit all-ones seed when `seed` is null. O(k·nnz) for sparse columns —
-// the per-candidate cost of a cached check.
-double BlockHadamardDot(const linalg::Vector& row, size_t m,
-                        const linalg::Vector* dense,
-                        const linalg::SparseVector* sparse,
-                        const linalg::Vector* seed) {
-  const size_t k = row.size() / m;
-  double total = 0.0;
-  if (sparse != nullptr) {
-    const std::vector<size_t>& idx = sparse->indices();
-    const std::vector<double>& vals = sparse->values();
-    for (size_t q = 0; q < k; ++q) {
-      const size_t base = q * m;
-      if (seed != nullptr) {
-        for (size_t p = 0; p < idx.size(); ++p) {
-          const size_t j = base + idx[p];
-          total += vals[p] * row[j] * (*seed)[j];
-        }
-      } else {
-        for (size_t p = 0; p < idx.size(); ++p) {
-          total += vals[p] * row[base + idx[p]];
-        }
-      }
-    }
-    return total;
-  }
-  for (size_t q = 0; q < k; ++q) {
-    const size_t base = q * m;
-    if (seed != nullptr) {
-      for (size_t j = 0; j < m; ++j) {
-        total += (*dense)[j] * row[base + j] * (*seed)[base + j];
-      }
-    } else {
-      for (size_t j = 0; j < m; ++j) {
-        total += (*dense)[j] * row[base + j];
-      }
-    }
-  }
-  return total;
-}
-
 }  // namespace
 
 void ReleaseStepContext::EnsureStepRows(ModelEngine& engine, bool need_masked) {
   PRISTE_CHECK(t_ >= 1);
   const size_t lifted = engine.model->lifted_size();
   if (!engine.step_rows_ready) {
-    engine.step_rows.resize(support_.size());
+    if (engine.step_rows.rows() != support_.size() ||
+        engine.step_rows.cols() != lifted) {
+      engine.step_rows.Reset(support_.size(), lifted);
+    }
     for (size_t i = 0; i < support_.size(); ++i) {
-      if (engine.step_rows[i].size() != lifted) {
-        engine.step_rows[i] = linalg::Vector(lifted);
-      }
-      engine.model->StepRowInto(engine.rows[i], t_, engine.step_rows[i]);
+      engine.model->StepRowSpanInto(engine.rows.Row(i), t_,
+                                    engine.step_rows.Row(i));
     }
     engine.step_rows_ready = true;
   }
   if (need_masked && !engine.step_rows_masked_ready) {
     PRISTE_CHECK_MSG(!engine.rows_masked.empty(),
                      "masked prefix rows requested before the event ended");
-    engine.step_rows_masked.resize(support_.size());
+    if (engine.step_rows_masked.rows() != support_.size() ||
+        engine.step_rows_masked.cols() != lifted) {
+      engine.step_rows_masked.Reset(support_.size(), lifted);
+    }
     for (size_t i = 0; i < support_.size(); ++i) {
-      if (engine.step_rows_masked[i].size() != lifted) {
-        engine.step_rows_masked[i] = linalg::Vector(lifted);
-      }
-      engine.model->StepRowInto(engine.rows_masked[i], t_,
-                                engine.step_rows_masked[i]);
+      engine.model->StepRowSpanInto(engine.rows_masked.Row(i), t_,
+                                    engine.step_rows_masked.Row(i));
     }
     engine.step_rows_masked_ready = true;
   }
@@ -174,33 +134,30 @@ TheoremVectors ReleaseStepContext::CachedVectors(ModelEngine& engine,
   out.b_bar = linalg::Vector(m);
   out.c_bar = linalg::Vector(m);
   const linalg::Vector* seed = during ? &model.SuffixTrue(t) : nullptr;
+  const size_t lifted = model.lifted_size();
+  const size_t k = lifted / m;
 
-  if (mode_ == Mode::kDense && column.dense != nullptr) {
-    // Dense-prefix fused path: replicate the candidate across the k event
-    // blocks once (∘ the event suffix for the b̄ seed during the window),
-    // then one contiguous dot per row — the inner loops vectorize, and the
-    // per-row candidate/seed products are not recomputed m times.
-    const size_t lifted = model.lifted_size();
-    const size_t k = lifted / m;
-    if (engine.fused_c.size() != lifted) engine.fused_c = linalg::Vector(lifted);
-    for (size_t q = 0; q < k; ++q) {
-      const size_t base = q * m;
-      for (size_t j = 0; j < m; ++j) {
-        engine.fused_c[base + j] = (*column.dense)[j];
-      }
-    }
-    if (during) {
-      if (engine.fused_b.size() != lifted) {
-        engine.fused_b = linalg::Vector(lifted);
-      }
-      for (size_t i = 0; i < lifted; ++i) {
-        engine.fused_b[i] = engine.fused_c[i] * (*seed)[i];
-      }
-    }
+  if (column.dense != nullptr) {
+    // Fused replicate-and-dot: the candidate is treated as replicated across
+    // the k event blocks without materializing the replication, and during
+    // the window ONE pass over each row yields both the suffix-seeded b̄ sum
+    // and the all-ones c̄ sum (Eq. 18). Past the window the accepting-masked
+    // family carries b̄, the unmasked family c̄ (Eqs. 19/20). Rows live in
+    // contiguous 64-byte-aligned RowBlock storage, so the kernels stream one
+    // flat buffer.
+    const double* cand = column.dense->data();
     for (size_t i = 0; i < support_.size(); ++i) {
-      const double bsum = during ? engine.step_rows[i].Dot(engine.fused_b)
-                                 : engine.step_rows_masked[i].Dot(engine.fused_c);
-      const double csum = engine.step_rows[i].Dot(engine.fused_c);
+      double bsum;
+      double csum;
+      if (during) {
+        linalg::kernels::ReplicateDotPair(engine.step_rows.Row(i), k, m, cand,
+                                          seed->data(), &bsum, &csum);
+      } else {
+        bsum = linalg::kernels::ReplicateDot(engine.step_rows_masked.Row(i), k,
+                                             m, cand);
+        csum = linalg::kernels::ReplicateDot(engine.step_rows.Row(i), k, m,
+                                             cand);
+      }
       const double w = support_scale_[i] * s_c;
       out.b_bar[support_[i]] = w * bsum;
       out.c_bar[support_[i]] = w * csum;
@@ -208,22 +165,39 @@ TheoremVectors ReleaseStepContext::CachedVectors(ModelEngine& engine,
     return out;
   }
 
+  // Sparse candidate: stage the block-expanded gather list (and the
+  // seed-fused values for b̄ during the window) ONCE per candidate in the
+  // arena, then each support row is a single GatherDot — the seed gather
+  // amortizes over the whole row family instead of re-running per row.
+  const std::vector<size_t>& idx = column.sparse->indices();
+  const std::vector<double>& vals = column.sparse->values();
+  const size_t nnz = idx.size();
+  const size_t total = k * nnz;
+  size_t* gidx = static_cast<size_t*>(
+      arena_.Allocate(total * sizeof(size_t), alignof(size_t)));
+  double* cvals = arena_.AllocateDoubles(total);
+  double* bvals = during ? arena_.AllocateDoubles(total) : nullptr;
+  for (size_t q = 0; q < k; ++q) {
+    const size_t base = q * m;
+    for (size_t p = 0; p < nnz; ++p) {
+      gidx[q * nnz + p] = base + idx[p];
+      cvals[q * nnz + p] = vals[p];
+      if (during) bvals[q * nnz + p] = vals[p] * (*seed)[base + idx[p]];
+    }
+  }
   for (size_t i = 0; i < support_.size(); ++i) {
     double bsum;
     double csum;
     if (during) {
-      // Eq. (18): b seeds with the event suffix, c with all-ones.
-      bsum = BlockHadamardDot(engine.step_rows[i], m, column.dense,
-                              column.sparse, seed);
-      csum = BlockHadamardDot(engine.step_rows[i], m, column.dense,
-                              column.sparse, nullptr);
+      // Both sums gather the SAME row — one fused walk halves the random
+      // row loads relative to two GatherDot calls.
+      linalg::kernels::GatherDotPair(bvals, cvals, gidx, total,
+                                     engine.step_rows.Row(i), &bsum, &csum);
     } else {
-      // Eqs. (19)/(20): the accepting-masked family carries b, the unmasked
-      // family c; both seed with all-ones.
-      bsum = BlockHadamardDot(engine.step_rows_masked[i], m, column.dense,
-                              column.sparse, nullptr);
-      csum = BlockHadamardDot(engine.step_rows[i], m, column.dense,
-                              column.sparse, nullptr);
+      bsum = linalg::kernels::GatherDot(cvals, gidx, total,
+                                        engine.step_rows_masked.Row(i));
+      csum = linalg::kernels::GatherDot(cvals, gidx, total,
+                                        engine.step_rows.Row(i));
     }
     const double w = support_scale_[i] * s_c;
     out.b_bar[support_[i]] = w * bsum;
@@ -414,10 +388,12 @@ void ReleaseStepContext::DecideMode(const ColumnView& first_column) {
   for (ModelEngine& engine : engines_) {
     // r_s^{(1)} = Cᵀ e_s — the contraction adjoint of the support basis
     // vector, which is exactly LiftInitial (the documented adjoint pair).
-    engine.rows.resize(support_.size());
+    const size_t lifted = engine.model->lifted_size();
+    engine.rows.Reset(support_.size(), lifted);
     for (size_t i = 0; i < support_.size(); ++i) {
-      engine.rows[i] = engine.model->LiftInitial(
+      const linalg::Vector row = engine.model->LiftInitial(
           linalg::Vector::Unit(engine.model->num_states(), support_[i]));
+      std::copy(row.data(), row.data() + lifted, engine.rows.Row(i));
     }
   }
   t_ = 1;
@@ -428,9 +404,11 @@ void ReleaseStepContext::DecideMode(const ColumnView& first_column) {
 
 void ReleaseStepContext::BuildMaskedRows(ModelEngine& engine) {
   const linalg::Vector& mask = engine.model->AcceptingMask();
-  engine.rows_masked.resize(support_.size());
+  const size_t lifted = engine.model->lifted_size();
+  engine.rows_masked.Reset(support_.size(), lifted);
   for (size_t i = 0; i < support_.size(); ++i) {
-    engine.rows_masked[i] = engine.rows[i].Hadamard(mask);
+    linalg::kernels::HadamardInto(engine.rows.Row(i), mask.data(),
+                                  engine.rows_masked.Row(i), lifted);
   }
   engine.step_rows_masked_ready = false;
 }
@@ -485,26 +463,28 @@ void ReleaseStepContext::CommitImpl(const ColumnView& column) {
   }
 
   const double s_c = CandidateScale(column);
-  const auto extend = [&](ModelEngine& engine, linalg::Vector& step_row,
-                          linalg::Vector& row) {
-    if (column.sparse != nullptr) {
-      engine.model->ApplyEmissionInPlace(*column.sparse, step_row);
-    } else {
-      engine.model->ApplyEmissionInPlace(*column.dense, step_row);
-    }
-    if (s_c != 1.0) step_row.ScaleInPlace(s_c);
-    std::swap(row, step_row);
-    ++diagnostics_.prefix_extensions;
-  };
   for (ModelEngine& engine : engines_) {
     const bool has_masked = !engine.rows_masked.empty();
     EnsureStepRows(engine, has_masked);
-    for (size_t i = 0; i < support_.size(); ++i) {
-      extend(engine, engine.step_rows[i], engine.rows[i]);
-      if (has_masked) {
-        extend(engine, engine.step_rows_masked[i], engine.rows_masked[i]);
+    const size_t lifted = engine.model->lifted_size();
+    const auto extend = [&](double* step_row) {
+      if (column.sparse != nullptr) {
+        engine.model->ApplyEmissionSpanInPlace(*column.sparse, step_row);
+      } else {
+        engine.model->ApplyEmissionSpanInPlace(*column.dense, step_row);
       }
+      if (s_c != 1.0) linalg::kernels::Scale(step_row, s_c, lifted);
+      ++diagnostics_.prefix_extensions;
+    };
+    for (size_t i = 0; i < support_.size(); ++i) {
+      extend(engine.step_rows.Row(i));
+      if (has_masked) extend(engine.step_rows_masked.Row(i));
     }
+    // Every support row was just extended in place inside step_rows, so the
+    // commit is an O(1) whole-block swap; the retired `rows` storage becomes
+    // the next step's step_rows scratch.
+    swap(engine.rows, engine.step_rows);
+    if (has_masked) swap(engine.rows_masked, engine.step_rows_masked);
     engine.step_rows_ready = false;
     engine.step_rows_masked_ready = false;
   }
@@ -514,6 +494,9 @@ void ReleaseStepContext::CommitImpl(const ColumnView& column) {
       BuildMaskedRows(engine);
     }
   }
+  // Per-candidate gather staging from the finished step is dead now; recycle
+  // the arena footprint for the next accepted timestamp.
+  arena_.Reset();
 }
 
 ReleaseCheckOutcome ReleaseStepContext::CheckCandidate(

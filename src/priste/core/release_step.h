@@ -3,9 +3,11 @@
 
 #include <vector>
 
+#include "priste/common/arena.h"
 #include "priste/core/event_model.h"
 #include "priste/core/qp_solver.h"
 #include "priste/core/quantifier.h"
+#include "priste/linalg/row_block.h"
 #include "priste/linalg/sparse_vector.h"
 #include "priste/linalg/vector.h"
 
@@ -228,22 +230,20 @@ class ReleaseStepContext {
 
     // Cached-mode state: one lifted row per support cell (u = r_s above),
     // plus the accepting-masked family once the event window has been fully
-    // consumed. step_rows holds StepRow(rows, t_) — computed once per
-    // release step, shared by all candidates and reused by Commit.
-    std::vector<linalg::Vector> rows;
-    std::vector<linalg::Vector> rows_masked;
-    std::vector<linalg::Vector> step_rows;
-    std::vector<linalg::Vector> step_rows_masked;
+    // consumed — each family a single contiguous 64-byte-aligned RowBlock,
+    // so the fused replicate-and-dot kernels stream one flat buffer instead
+    // of chasing per-row heap vectors. step_rows holds StepRow(rows, t_) —
+    // computed once per release step, shared by all candidates, and recycled
+    // back into `rows` by Commit with an O(1) whole-block swap.
+    linalg::RowBlock rows;
+    linalg::RowBlock rows_masked;
+    linalg::RowBlock step_rows;
+    linalg::RowBlock step_rows_masked;
     bool step_rows_ready = false;
     bool step_rows_masked_ready = false;
     // ContractColumn(ones), for the direct t = 1 formula (lazily built).
     linalg::Vector ones_contract;
     bool ones_contract_ready = false;
-    // Dense-prefix scratch: the candidate replicated across the k event
-    // blocks (∘ the event suffix for b̄), rebuilt per candidate, dotted
-    // against every row.
-    linalg::Vector fused_b;
-    linalg::Vector fused_c;
   };
 
   ReleaseCheckOutcome CheckImpl(const ColumnView& column, double epsilon,
@@ -270,6 +270,11 @@ class ReleaseStepContext {
   double CandidateScale(const ColumnView& column) const;
 
   std::vector<ModelEngine> engines_;
+  // Per-candidate transient scratch (sparse-candidate gather staging in
+  // CachedVectors). Pointers never outlive the check that bumped them; the
+  // whole footprint is recycled at every accepted timestamp (CommitImpl), so
+  // steady state allocates nothing.
+  Arena arena_;
   const QpSolver* solver_;
   bool normalize_emissions_;
   ReleaseStepOptions options_;

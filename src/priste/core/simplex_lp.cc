@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <vector>
 
@@ -12,6 +13,21 @@ namespace {
 
 constexpr double kTol = 1e-9;
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// FNV-1a over the bit patterns of b — the SliceBasisMemo key. Bit-level
+// hashing (not value rounding) is deliberate: the memo only ever claims a
+// basis was optimal at *exactly* this RHS, which is what makes reinstating it
+// need no Phase 1 and no dual repair.
+uint64_t RhsKey(const linalg::Vector& b) {
+  uint64_t h = 1469598103934665603ULL;
+  const double* p = b.data();
+  for (size_t i = 0; i < b.size(); ++i) {
+    uint64_t bits;
+    std::memcpy(&bits, p + i, sizeof(bits));
+    h = (h ^ bits) * 1099511628211ULL;
+  }
+  return h;
+}
 
 // Solves the k×k system B y = rhs into the caller's (reused) scratch vector
 // by Gaussian elimination with partial pivoting. Returns false when B is
@@ -198,6 +214,17 @@ class BoundedSimplex {
     warm->at_upper.assign(n_, 0);
     for (size_t j = 0; j < n_; ++j) {
       warm->at_upper[j] = at_upper_[j] ? 1 : 0;
+    }
+  }
+
+  /// Raw copy of the current basis for memoization. Callers must check
+  /// BasisExportable() first (artificial-carrying bases are not memoizable).
+  void ExportBasisRaw(std::vector<size_t>* basis,
+                      std::vector<uint8_t>* at_upper) const {
+    *basis = basis_;
+    at_upper->assign(n_, 0);
+    for (size_t j = 0; j < n_; ++j) {
+      (*at_upper)[j] = at_upper_[j] ? 1 : 0;
     }
   }
 
@@ -540,36 +567,79 @@ SliceLpSolver::~SliceLpSolver() = default;
 LpSolution SliceLpSolver::Solve(const linalg::Vector& b,
                                 const linalg::Vector& c) {
   impl_->simplex.SetRhs(b);
+  const uint64_t key = RhsKey(b);
   const bool had_warm = synced_ || chain_.valid;
+  // Common epilogue: an exportable optimal basis syncs the chain (flushed
+  // lazily by ExportWarm) and is memoized under this solve's exact RHS; any
+  // other exit invalidates both.
+  const auto finish = [&](const LpSolution& sol) {
+    if (sol.outcome == LpSolution::Outcome::kOptimal &&
+        impl_->simplex.BasisExportable()) {
+      synced_ = true;
+      synced_key_ = key;
+      has_synced_key_ = true;
+      chain_.valid = true;
+      chain_dirty_ = true;  // exported lazily by ExportWarm
+      Memoize(key);
+    } else {
+      synced_ = false;
+      has_synced_key_ = false;
+      chain_.valid = false;
+      chain_dirty_ = false;
+    }
+  };
+
   if (synced_) {
     // Between consecutive slices the internal state IS the previous optimal
     // basis — no reinstatement needed: refresh, dual-repair if the RHS step
-    // broke feasibility, Phase 2.
+    // broke feasibility, Phase 2. This beats even an exact-RHS memo hit,
+    // which would have to refactorize the basis from raw indices; the memo
+    // is consulted only where a reinstatement happens anyway (family start,
+    // post-reject), so the synced fast path never touches the map.
     LpSolution sol;
     if (impl_->simplex.ResolveFromCurrentBasis(c, &sol)) {
       ++warm_accepted_;
       chain_.last_accepted = true;
-      if (sol.outcome == LpSolution::Outcome::kOptimal &&
-          impl_->simplex.BasisExportable()) {
-        chain_dirty_ = true;  // exported lazily by ExportWarm
-      } else {
-        synced_ = false;
-        chain_.valid = false;
-        chain_dirty_ = false;
-      }
+      finish(sol);
       return sol;
     }
     // In-place basis unusable (singular / unrepairable): it is the same
     // basis the chain describes, so drop both and go cold below.
     synced_ = false;
+    has_synced_key_ = false;
     chain_.valid = false;
     chain_dirty_ = false;
   }
+
+  const auto memo_it = memo_->entries.find(key);
+  if (memo_it != memo_->entries.end()) {
+    // Reinstatement point with an exact-RHS memo hit (the second condition's
+    // aligned sweep starting where the first swept, the escalation re-sweep,
+    // refinement probes landing on grid points): this basis was optimal at a
+    // bit-identical b, so it reinstates primal-feasible by construction and
+    // needs only the Phase-2 pivots of the new objective — strictly better
+    // than reinstating the adjacent-slice chain basis, which costs the same
+    // refactorization plus a dual repair. A stale-shaped entry is rejected
+    // by TryWarmStart and the solve falls through to the cold path inside
+    // SolveWithChain — outcomes never change, only pivot counts.
+    memo_start_.valid = true;
+    memo_start_.basis = memo_it->second.basis;
+    memo_start_.at_upper = memo_it->second.at_upper;
+    bool accepted = false;
+    LpSolution sol = SolveWithChain(impl_->simplex, c, &memo_start_, &accepted);
+    chain_.last_accepted = accepted;
+    if (accepted) {
+      ++warm_accepted_;
+    } else if (had_warm) {
+      ++warm_rejected_;
+    }
+    finish(sol);
+    return sol;
+  }
+
   bool accepted = false;
   LpSolution sol = SolveWithChain(impl_->simplex, c, &chain_, &accepted);
   chain_.last_accepted = accepted;
-  chain_dirty_ = false;
-  synced_ = sol.outcome == LpSolution::Outcome::kOptimal && chain_.valid;
   if (had_warm) {
     if (accepted) {
       ++warm_accepted_;
@@ -577,12 +647,23 @@ LpSolution SliceLpSolver::Solve(const linalg::Vector& b,
       ++warm_rejected_;
     }
   }
+  finish(sol);
   return sol;
+}
+
+void SliceLpSolver::AttachMemo(SliceBasisMemo* memo) {
+  memo_ = memo != nullptr ? memo : &own_memo_;
+}
+
+void SliceLpSolver::Memoize(uint64_t key) {
+  SliceBasisMemo::Entry& entry = memo_->entries[key];
+  impl_->simplex.ExportBasisRaw(&entry.basis, &entry.at_upper);
 }
 
 void SliceLpSolver::ImportWarm(const LpWarmStart& warm) {
   chain_ = warm;
   synced_ = false;
+  has_synced_key_ = false;
   chain_dirty_ = false;
 }
 

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "priste/linalg/matrix.h"
@@ -46,6 +47,32 @@ struct LpWarmStart {
   bool last_accepted = false;
 };
 
+/// Exact-RHS basis memo for a slice family: maps the bit pattern of a slice's
+/// right-hand side to the optimal basis last found there. Primal feasibility
+/// of a basis depends only on (A, b, upper) — never on the objective — so a
+/// sweep that revisits a bit-identical b (the second Theorem condition's
+/// aligned grid in QpSolver::MaximizePair, the escalation re-sweep whose grid
+/// repeats the base sweep's x values, refinement probes landing on grid
+/// points) can reinstate the memoized basis with NO Phase 1 and NO dual
+/// repair, leaving only the Phase-2 pivots of the new objective. The memo is
+/// consulted only at reinstatement points (family start, post-reject): when
+/// the solver is already synced on the previous slice's basis, the in-place
+/// resolve reuses the live factorization and beats any reinstatement, so the
+/// chained fast path never touches the map. Caller-held
+/// (QpSolver::WarmState carries one across the calls of a release step);
+/// entries are in frame coordinates, so the owner clears the memo whenever
+/// the support frame changes. A stale entry is never unsound — a basis of the
+/// wrong shape is rejected by the usual warm-start validation ladder.
+struct SliceBasisMemo {
+  struct Entry {
+    std::vector<size_t> basis;
+    std::vector<uint8_t> at_upper;
+  };
+  std::unordered_map<uint64_t, Entry> entries;
+
+  void Clear() { entries.clear(); }
+};
+
 /// Two-phase primal simplex with bounded variables and a Bland's-rule
 /// anti-cycling fallback. Exact (up to floating point) for the few-row LPs
 /// the QP solver generates; this is the "LP slice" half of the CPLEX
@@ -79,6 +106,13 @@ class SliceLpSolver {
   /// maximize cᵀx  s.t.  A x = b, 0 ≤ x ≤ upper.
   LpSolution Solve(const linalg::Vector& b, const linalg::Vector& c);
 
+  /// Points the exact-RHS basis memo at caller-held storage (e.g.
+  /// QpSolver::WarmState's), so memoized bases outlive this family and serve
+  /// the next call's bit-identical slices. Null re-points at the family's
+  /// private memo. The memo is read/written in place — the caller must keep
+  /// it alive for the family's lifetime and not share it across threads.
+  void AttachMemo(SliceBasisMemo* memo);
+
   /// Seeds the internal chain from a caller-held basis (e.g. the previous
   /// sweep's final basis, persisted in QpSolver::WarmState).
   void ImportWarm(const LpWarmStart& warm);
@@ -100,6 +134,9 @@ class SliceLpSolver {
   }
 
  private:
+  // Records the current optimal basis under `key` in the attached memo.
+  void Memoize(uint64_t key);
+
   struct Impl;
   std::unique_ptr<Impl> impl_;
   LpWarmStart chain_;
@@ -108,6 +145,16 @@ class SliceLpSolver {
   // skips basis reinstatement entirely.
   bool synced_ = false;
   bool chain_dirty_ = false;
+  // RHS key of the basis the synced simplex state was optimal for; lets
+  // Solve() prefer a bit-identical memo entry over chaining from an adjacent
+  // slice's basis when the two disagree.
+  uint64_t synced_key_ = 0;
+  bool has_synced_key_ = false;
+  SliceBasisMemo own_memo_;
+  SliceBasisMemo* memo_ = &own_memo_;
+  // Scratch warm-start built from a memo hit (kept as a member so repeated
+  // hits reuse its capacity).
+  LpWarmStart memo_start_;
   int warm_accepted_ = 0;
   int warm_rejected_ = 0;
 };

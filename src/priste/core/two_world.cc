@@ -5,6 +5,7 @@
 
 #include "priste/common/check.h"
 #include "priste/common/strings.h"
+#include "priste/linalg/kernels.h"
 #include "priste/linalg/ops.h"
 
 namespace priste::core {
@@ -123,15 +124,20 @@ TwoWorldModel::BlockHandle TwoWorldModel::TransitionAt(int t) const {
 
 void TwoWorldModel::StepRowInto(const linalg::Vector& v, int t,
                                 linalg::Vector& out) const {
+  PRISTE_CHECK(v.size() == 2 * num_states() && out.size() == 2 * num_states());
+  PRISTE_DCHECK(v.data() != out.data());
+  StepRowSpanInto(v.data(), t, out.data());
+}
+
+void TwoWorldModel::StepRowSpanInto(const double* v, int t,
+                                    double* out) const {
   const size_t m = num_states();
   PRISTE_CHECK(t >= 1);
-  PRISTE_CHECK(v.size() == 2 * m && out.size() == 2 * m);
-  PRISTE_DCHECK(v.data() != out.data());
   const markov::TransitionMatrix& base = schedule_.AtStep(t);
-  const double* vf = v.data();
-  const double* vt = v.data() + m;
-  double* of = out.data();
-  double* ot = out.data() + m;
+  const double* vf = v;
+  const double* vt = v + m;
+  double* of = out;
+  double* ot = out + m;
 
   const StepForm form = FormAt(t);
   if (!form.in_window) {
@@ -204,13 +210,7 @@ void TwoWorldModel::ApplyEmissionInPlace(const linalg::Vector& emission,
                                          linalg::Vector& v) const {
   const size_t m = num_states();
   PRISTE_CHECK(emission.size() == m && v.size() == 2 * m);
-  double* vf = v.data();
-  double* vt = v.data() + m;
-  const double* e = emission.data();
-  for (size_t i = 0; i < m; ++i) {
-    vf[i] *= e[i];
-    vt[i] *= e[i];
-  }
+  ApplyEmissionSpanInPlace(emission, v.data());
 }
 
 linalg::Vector TwoWorldModel::StepRow(const linalg::Vector& v, int t) const {

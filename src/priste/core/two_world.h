@@ -95,6 +95,7 @@ class TwoWorldModel : public LiftedEventModel {
   linalg::Vector ApplyEmission(const linalg::Vector& emission,
                                const linalg::Vector& v) const override;
 
+  void StepRowSpanInto(const double* v, int t, double* out) const override;
   void StepRowInto(const linalg::Vector& v, int t,
                    linalg::Vector& out) const override;
   void StepColumnInto(const linalg::Vector& v, int t,

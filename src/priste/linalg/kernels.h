@@ -1,0 +1,281 @@
+#ifndef PRISTE_LINALG_KERNELS_H_
+#define PRISTE_LINALG_KERNELS_H_
+
+#include <cstddef>
+
+namespace priste::linalg::kernels {
+
+/// Hand-vectorized span kernels with runtime dispatch. Every kernel below is
+/// implemented twice — a portable scalar path and an AVX2 path selected once
+/// at startup via cpuid — and the two paths produce BIT-IDENTICAL results:
+/// reductions use fixed-width accumulator blocking (four independent
+/// accumulators, lane j summing elements j, j+4, j+8, …), a fixed reduction
+/// order (acc0+acc2)+(acc1+acc3), and a sequential tail added after the
+/// reduction. The AVX2 path multiplies and adds separately (no FMA), so the
+/// rounding of every intermediate matches the scalar path exactly. This is
+/// what keeps the cache/warm-start equivalence suites and the cross-build
+/// determinism story intact regardless of which path a host selects.
+///
+/// Short spans skip the dispatch table entirely: below kInlineThreshold (and
+/// kGatherInlineThreshold for the gather) the public entry points run the
+/// inline scalar body in the caller's frame, because an indirect call per
+/// ~9-nnz CSR row costs more than the row itself and AVX2 is not profitable
+/// at those lengths anyway. Both dispatch modes share that inline path, and
+/// the table paths are bit-identical to it by construction, so results never
+/// depend on dispatch mode at any size.
+///
+/// Dispatch is controlled by the PRISTE_SIMD environment variable: unset or
+/// "1" selects the widest path the CPU supports, "0" forces the scalar path,
+/// anything else warns and keeps the default. The active path is published
+/// as the `simd.dispatch` gauge (1 = AVX2, 0 = scalar).
+///
+/// Aliasing contract: output spans must not overlap any input span (checked
+/// with PRISTE_DCHECK in debug builds at the call sites that take both).
+
+namespace detail {
+
+/// Below these lengths the inline scalar body beats an indirect table call.
+/// Gathers get a higher cutoff: AVX2 vpgatherqq has enough latency that the
+/// scalar loop wins well past where contiguous loads break even.
+inline constexpr size_t kInlineThreshold = 16;
+inline constexpr size_t kGatherInlineThreshold = 32;
+
+// Scalar bodies, shared verbatim by the inline small-n fast path and the
+// scalar dispatch table (kernels.cc points the table at these same
+// functions, so there is a single source of truth for the FP semantics).
+// Reductions mirror the AVX2 lane structure exactly; a vectorizing compiler
+// may map the accumulators onto lanes, but without -ffast-math it must
+// preserve these exact FP semantics.
+
+inline double ScalarSum(const double* x, size_t n) {
+  double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    a0 += x[i];
+    a1 += x[i + 1];
+    a2 += x[i + 2];
+    a3 += x[i + 3];
+  }
+  double total = (a0 + a2) + (a1 + a3);
+  for (; i < n; ++i) total += x[i];
+  return total;
+}
+
+inline double ScalarDot(const double* a, const double* b, size_t n) {
+  double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    a0 += a[i] * b[i];
+    a1 += a[i + 1] * b[i + 1];
+    a2 += a[i + 2] * b[i + 2];
+    a3 += a[i + 3] * b[i + 3];
+  }
+  double total = (a0 + a2) + (a1 + a3);
+  for (; i < n; ++i) total += a[i] * b[i];
+  return total;
+}
+
+inline double ScalarDotHadamard(const double* a, const double* b,
+                                const double* c, size_t n) {
+  double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    a0 += (a[i] * b[i]) * c[i];
+    a1 += (a[i + 1] * b[i + 1]) * c[i + 1];
+    a2 += (a[i + 2] * b[i + 2]) * c[i + 2];
+    a3 += (a[i + 3] * b[i + 3]) * c[i + 3];
+  }
+  double total = (a0 + a2) + (a1 + a3);
+  for (; i < n; ++i) total += (a[i] * b[i]) * c[i];
+  return total;
+}
+
+inline void ScalarAxpy(double alpha, const double* x, double* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+inline void ScalarScale(double* x, double alpha, size_t n) {
+  for (size_t i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+inline void ScalarHadamardInPlace(const double* x, double* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] *= x[i];
+}
+
+inline void ScalarHadamardInto(const double* a, const double* b, double* out,
+                               size_t n) {
+  for (size_t i = 0; i < n; ++i) out[i] = a[i] * b[i];
+}
+
+inline double ScalarGatherDot(const double* values, const size_t* cols,
+                              size_t nnz, const double* x) {
+  double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+  size_t k = 0;
+  for (; k + 4 <= nnz; k += 4) {
+    a0 += values[k] * x[cols[k]];
+    a1 += values[k + 1] * x[cols[k + 1]];
+    a2 += values[k + 2] * x[cols[k + 2]];
+    a3 += values[k + 3] * x[cols[k + 3]];
+  }
+  double total = (a0 + a2) + (a1 + a3);
+  for (; k < nnz; ++k) total += values[k] * x[cols[k]];
+  return total;
+}
+
+inline void ScalarGatherDotPair(const double* bvals, const double* cvals,
+                                const size_t* cols, size_t nnz,
+                                const double* x, double* b, double* c) {
+  double b0 = 0.0, b1 = 0.0, b2 = 0.0, b3 = 0.0;
+  double c0 = 0.0, c1 = 0.0, c2 = 0.0, c3 = 0.0;
+  size_t k = 0;
+  for (; k + 4 <= nnz; k += 4) {
+    const double x0 = x[cols[k]];
+    const double x1 = x[cols[k + 1]];
+    const double x2 = x[cols[k + 2]];
+    const double x3 = x[cols[k + 3]];
+    b0 += bvals[k] * x0;
+    b1 += bvals[k + 1] * x1;
+    b2 += bvals[k + 2] * x2;
+    b3 += bvals[k + 3] * x3;
+    c0 += cvals[k] * x0;
+    c1 += cvals[k + 1] * x1;
+    c2 += cvals[k + 2] * x2;
+    c3 += cvals[k + 3] * x3;
+  }
+  double bt = (b0 + b2) + (b1 + b3);
+  double ct = (c0 + c2) + (c1 + c3);
+  for (; k < nnz; ++k) {
+    const double xv = x[cols[k]];
+    bt += bvals[k] * xv;
+    ct += cvals[k] * xv;
+  }
+  *b = bt;
+  *c = ct;
+}
+
+// Out-of-line entry points that read the dispatch table (kernels.cc).
+double DispatchSum(const double* x, size_t n);
+double DispatchDot(const double* a, const double* b, size_t n);
+double DispatchDotHadamard(const double* a, const double* b, const double* c,
+                           size_t n);
+void DispatchAxpy(double alpha, const double* x, double* y, size_t n);
+void DispatchScale(double* x, double alpha, size_t n);
+void DispatchHadamardInPlace(const double* x, double* y, size_t n);
+void DispatchHadamardInto(const double* a, const double* b, double* out,
+                          size_t n);
+double DispatchGatherDot(const double* values, const size_t* cols, size_t nnz,
+                         const double* x);
+void DispatchGatherDotPair(const double* bvals, const double* cvals,
+                           const size_t* cols, size_t nnz, const double* x,
+                           double* b, double* c);
+
+}  // namespace detail
+
+/// Σ x[i].
+inline double Sum(const double* x, size_t n) {
+  if (n < detail::kInlineThreshold) return detail::ScalarSum(x, n);
+  return detail::DispatchSum(x, n);
+}
+
+/// Σ a[i]·b[i].
+inline double Dot(const double* a, const double* b, size_t n) {
+  if (n < detail::kInlineThreshold) return detail::ScalarDot(a, b, n);
+  return detail::DispatchDot(a, b, n);
+}
+
+/// Σ (a[i]·b[i])·c[i] — the fused triple-product reduction behind the
+/// Hadamard-then-dot patterns.
+inline double DotHadamard(const double* a, const double* b, const double* c,
+                          size_t n) {
+  if (n < detail::kInlineThreshold) return detail::ScalarDotHadamard(a, b, c, n);
+  return detail::DispatchDotHadamard(a, b, c, n);
+}
+
+/// y[i] += alpha·x[i].
+inline void Axpy(double alpha, const double* x, double* y, size_t n) {
+  if (n < detail::kInlineThreshold) return detail::ScalarAxpy(alpha, x, y, n);
+  detail::DispatchAxpy(alpha, x, y, n);
+}
+
+/// x[i] *= alpha.
+inline void Scale(double* x, double alpha, size_t n) {
+  if (n < detail::kInlineThreshold) return detail::ScalarScale(x, alpha, n);
+  detail::DispatchScale(x, alpha, n);
+}
+
+/// y[i] *= x[i].
+inline void HadamardInPlace(const double* x, double* y, size_t n) {
+  if (n < detail::kInlineThreshold) {
+    return detail::ScalarHadamardInPlace(x, y, n);
+  }
+  detail::DispatchHadamardInPlace(x, y, n);
+}
+
+/// out[i] = a[i]·b[i].
+inline void HadamardInto(const double* a, const double* b, double* out,
+                         size_t n) {
+  if (n < detail::kInlineThreshold) {
+    return detail::ScalarHadamardInto(a, b, out, n);
+  }
+  detail::DispatchHadamardInto(a, b, out, n);
+}
+
+/// Σ_k values[k]·x[cols[k]] — one CSR row of MatVecSpan.
+inline double GatherDot(const double* values, const size_t* cols, size_t nnz,
+                        const double* x) {
+  if (nnz < detail::kGatherInlineThreshold) {
+    return detail::ScalarGatherDot(values, cols, nnz, x);
+  }
+  return detail::DispatchGatherDot(values, cols, nnz, x);
+}
+
+/// b = Σ_k bvals[k]·x[cols[k]] and c = Σ_k cvals[k]·x[cols[k]] in ONE walk of
+/// the gather list — the fused form of the release engine's per-support-row
+/// candidate check, where x is the (large) lifted row and the two staged
+/// value arrays share its random accesses. Each sum uses the same accumulator
+/// blocking as GatherDot, so either result is bit-identical to the two-call
+/// form.
+inline void GatherDotPair(const double* bvals, const double* cvals,
+                          const size_t* cols, size_t nnz, const double* x,
+                          double* b, double* c) {
+  if (nnz < detail::kGatherInlineThreshold) {
+    return detail::ScalarGatherDotPair(bvals, cvals, cols, nnz, x, b, c);
+  }
+  detail::DispatchGatherDotPair(bvals, cvals, cols, nnz, x, b, c);
+}
+
+/// out[cols[k]] += s·values[k] — one CSR row of VecMatSpan. Columns within a
+/// row are unique, so the scatter has no accumulation-order ambiguity. Always
+/// the inline loop: AVX2 has no scatter instruction, so there is no wide path
+/// to dispatch to and the adds are sequential either way.
+inline void ScatterAxpy(double s, const double* values, const size_t* cols,
+                        size_t nnz, double* out) {
+  for (size_t k = 0; k < nnz; ++k) out[cols[k]] += s * values[k];
+}
+
+/// Blocked replicate-and-dot over a lifted row of `blocks`·`m` entries laid
+/// out contiguously: treats `cand` (length m) as replicated across the
+/// blocks without materializing the replication.
+///   ReplicateDot     = Σ_q Σ_j row[q·m+j]·cand[j]
+///   ReplicateDotPair additionally returns Σ_q Σ_j row[q·m+j]·cand[j]·seed[q·m+j]
+/// Per-block partial sums are reduced independently and added in block order,
+/// identically on both paths. Always dispatched: blocks·m is large by
+/// construction (m is the grid size).
+double ReplicateDot(const double* row, size_t blocks, size_t m,
+                    const double* cand);
+void ReplicateDotPair(const double* row, size_t blocks, size_t m,
+                      const double* cand, const double* seed, double* seeded,
+                      double* plain);
+
+/// True when the active dispatch table is the AVX2 one.
+bool SimdActive();
+
+/// Re-points the dispatch table (test/bench hook for in-process
+/// scalar-vs-SIMD comparisons). Returns the previous state. Requesting SIMD
+/// on a host without AVX2 support keeps the scalar table. Not thread-safe
+/// against concurrent kernel calls.
+bool SetSimdEnabledForTest(bool enabled);
+
+}  // namespace priste::linalg::kernels
+
+#endif  // PRISTE_LINALG_KERNELS_H_

@@ -1,0 +1,205 @@
+// AVX2 kernel path. This translation unit is compiled with -mavx2 and only
+// linked into the dispatch table behind a runtime cpuid check (kernels.cc),
+// so no AVX2 instruction executes on a host without the feature.
+//
+// Bit-identity contract with the scalar path (see kernels.h): four-lane
+// accumulators where lane j sums elements j, j+4, j+8, …; reduction order
+// (lane0+lane2)+(lane1+lane3); sequential tail after the reduction; separate
+// multiply and add (no _mm256_fmadd_pd — FMA's single rounding would diverge
+// from the scalar a*b+c).
+
+#include "priste/linalg/kernels_dispatch.h"
+
+#if defined(PRISTE_KERNELS_HAVE_AVX2)
+
+#include <immintrin.h>
+
+namespace priste::linalg::kernels {
+namespace {
+
+// Reduces lanes as (l0+l2)+(l1+l3) — the scalar accumulator order.
+inline double ReduceLanes(__m256d acc) {
+  const __m128d lo = _mm256_castpd256_pd128(acc);     // l0, l1
+  const __m128d hi = _mm256_extractf128_pd(acc, 1);   // l2, l3
+  const __m128d s = _mm_add_pd(lo, hi);               // l0+l2, l1+l3
+  return _mm_cvtsd_f64(s) + _mm_cvtsd_f64(_mm_unpackhi_pd(s, s));
+}
+
+double Avx2Sum(const double* x, size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_add_pd(acc, _mm256_loadu_pd(x + i));
+  }
+  double total = ReduceLanes(acc);
+  for (; i < n; ++i) total += x[i];
+  return total;
+}
+
+double Avx2Dot(const double* a, const double* b, size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_add_pd(
+        acc, _mm256_mul_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i)));
+  }
+  double total = ReduceLanes(acc);
+  for (; i < n; ++i) total += a[i] * b[i];
+  return total;
+}
+
+double Avx2DotHadamard(const double* a, const double* b, const double* c,
+                       size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d ab =
+        _mm256_mul_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(ab, _mm256_loadu_pd(c + i)));
+  }
+  double total = ReduceLanes(acc);
+  for (; i < n; ++i) total += (a[i] * b[i]) * c[i];
+  return total;
+}
+
+void Avx2Axpy(double alpha, const double* x, double* y, size_t n) {
+  const __m256d va = _mm256_set1_pd(alpha);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d prod = _mm256_mul_pd(va, _mm256_loadu_pd(x + i));
+    _mm256_storeu_pd(y + i, _mm256_add_pd(_mm256_loadu_pd(y + i), prod));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void Avx2Scale(double* x, double alpha, size_t n) {
+  const __m256d va = _mm256_set1_pd(alpha);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(x + i, _mm256_mul_pd(_mm256_loadu_pd(x + i), va));
+  }
+  for (; i < n; ++i) x[i] *= alpha;
+}
+
+void Avx2HadamardInPlace(const double* x, double* y, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(
+        y + i, _mm256_mul_pd(_mm256_loadu_pd(y + i), _mm256_loadu_pd(x + i)));
+  }
+  for (; i < n; ++i) y[i] *= x[i];
+}
+
+void Avx2HadamardInto(const double* a, const double* b, double* out,
+                      size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(
+        out + i,
+        _mm256_mul_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i)));
+  }
+  for (; i < n; ++i) out[i] = a[i] * b[i];
+}
+
+double Avx2GatherDot(const double* values, const size_t* cols, size_t nnz,
+                     const double* x) {
+  __m256d acc = _mm256_setzero_pd();
+  size_t k = 0;
+  for (; k + 4 <= nnz; k += 4) {
+    const __m256i idx = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(cols + k));
+    const __m256d gathered = _mm256_i64gather_pd(x, idx, 8);
+    acc = _mm256_add_pd(acc,
+                        _mm256_mul_pd(_mm256_loadu_pd(values + k), gathered));
+  }
+  double total = ReduceLanes(acc);
+  for (; k < nnz; ++k) total += values[k] * x[cols[k]];
+  return total;
+}
+
+void Avx2GatherDotPair(const double* bvals, const double* cvals,
+                       const size_t* cols, size_t nnz, const double* x,
+                       double* b, double* c) {
+  __m256d bacc = _mm256_setzero_pd();
+  __m256d cacc = _mm256_setzero_pd();
+  size_t k = 0;
+  for (; k + 4 <= nnz; k += 4) {
+    const __m256i idx = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(cols + k));
+    const __m256d gathered = _mm256_i64gather_pd(x, idx, 8);
+    bacc = _mm256_add_pd(bacc,
+                         _mm256_mul_pd(_mm256_loadu_pd(bvals + k), gathered));
+    cacc = _mm256_add_pd(cacc,
+                         _mm256_mul_pd(_mm256_loadu_pd(cvals + k), gathered));
+  }
+  double bt = ReduceLanes(bacc);
+  double ct = ReduceLanes(cacc);
+  for (; k < nnz; ++k) {
+    const double xv = x[cols[k]];
+    bt += bvals[k] * xv;
+    ct += cvals[k] * xv;
+  }
+  *b = bt;
+  *c = ct;
+}
+
+double Avx2ReplicateDot(const double* row, size_t blocks, size_t m,
+                        const double* cand) {
+  double total = 0.0;
+  for (size_t q = 0; q < blocks; ++q) {
+    total += Avx2Dot(row + q * m, cand, m);
+  }
+  return total;
+}
+
+void Avx2ReplicateDotPair(const double* row, size_t blocks, size_t m,
+                          const double* cand, const double* seed,
+                          double* seeded, double* plain) {
+  double st = 0.0, pt = 0.0;
+  for (size_t q = 0; q < blocks; ++q) {
+    const double* r = row + q * m;
+    const double* s = seed + q * m;
+    __m256d sacc = _mm256_setzero_pd();
+    __m256d pacc = _mm256_setzero_pd();
+    size_t j = 0;
+    for (; j + 4 <= m; j += 4) {
+      const __m256d rc =
+          _mm256_mul_pd(_mm256_loadu_pd(r + j), _mm256_loadu_pd(cand + j));
+      pacc = _mm256_add_pd(pacc, rc);
+      sacc = _mm256_add_pd(sacc, _mm256_mul_pd(rc, _mm256_loadu_pd(s + j)));
+    }
+    double sp = ReduceLanes(sacc);
+    double pp = ReduceLanes(pacc);
+    for (; j < m; ++j) {
+      const double rc = r[j] * cand[j];
+      pp += rc;
+      sp += rc * s[j];
+    }
+    st += sp;
+    pt += pp;
+  }
+  *seeded = st;
+  *plain = pt;
+}
+
+constexpr KernelTable kAvx2Table = {
+    &Avx2Sum,
+    &Avx2Dot,
+    &Avx2DotHadamard,
+    &Avx2Axpy,
+    &Avx2Scale,
+    &Avx2HadamardInPlace,
+    &Avx2HadamardInto,
+    &Avx2GatherDot,
+    &Avx2GatherDotPair,
+    &Avx2ReplicateDot,
+    &Avx2ReplicateDotPair,
+};
+
+}  // namespace
+
+const KernelTable& Avx2Table() { return kAvx2Table; }
+
+}  // namespace priste::linalg::kernels
+
+#endif  // PRISTE_KERNELS_HAVE_AVX2

@@ -1,15 +1,14 @@
 #include "priste/linalg/ops.h"
 
+#include "priste/linalg/kernels.h"
+
 namespace priste::linalg {
 
 Vector MatVec(const Matrix& m, const Vector& v) {
   PRISTE_CHECK(v.size() == m.cols());
   Vector out(m.rows());
   for (size_t r = 0; r < m.rows(); ++r) {
-    const double* row = m.RowPtr(r);
-    double acc = 0.0;
-    for (size_t c = 0; c < m.cols(); ++c) acc += row[c] * v[c];
-    out[r] = acc;
+    out[r] = kernels::Dot(m.RowPtr(r), v.data(), m.cols());
   }
   return out;
 }
@@ -20,8 +19,7 @@ Vector VecMat(const Vector& v, const Matrix& m) {
   for (size_t r = 0; r < m.rows(); ++r) {
     const double scale = v[r];
     if (scale == 0.0) continue;
-    const double* row = m.RowPtr(r);
-    for (size_t c = 0; c < m.cols(); ++c) out[c] += scale * row[c];
+    kernels::Axpy(scale, m.RowPtr(r), out.data(), m.cols());
   }
   return out;
 }
@@ -35,8 +33,7 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
     for (size_t k = 0; k < a.cols(); ++k) {
       const double aik = arow[k];
       if (aik == 0.0) continue;
-      const double* brow = b.RowPtr(k);
-      for (size_t j = 0; j < b.cols(); ++j) orow[j] += aik * brow[j];
+      kernels::Axpy(aik, b.RowPtr(k), orow, b.cols());
     }
   }
   return out;
@@ -46,8 +43,7 @@ Matrix ScaleColumns(const Matrix& m, const Vector& d) {
   PRISTE_CHECK(d.size() == m.cols());
   Matrix out = m;
   for (size_t r = 0; r < out.rows(); ++r) {
-    double* row = out.RowPtr(r);
-    for (size_t c = 0; c < out.cols(); ++c) row[c] *= d[c];
+    kernels::HadamardInPlace(d.data(), out.RowPtr(r), out.cols());
   }
   return out;
 }
@@ -56,9 +52,7 @@ Matrix ScaleRows(const Vector& d, const Matrix& m) {
   PRISTE_CHECK(d.size() == m.rows());
   Matrix out = m;
   for (size_t r = 0; r < out.rows(); ++r) {
-    const double scale = d[r];
-    double* row = out.RowPtr(r);
-    for (size_t c = 0; c < out.cols(); ++c) row[c] *= scale;
+    kernels::Scale(out.RowPtr(r), d[r], out.cols());
   }
   return out;
 }
@@ -90,10 +84,7 @@ double QuadraticForm(const Vector& pi, const Matrix& m) {
   for (size_t r = 0; r < m.rows(); ++r) {
     const double pr = pi[r];
     if (pr == 0.0) continue;
-    const double* row = m.RowPtr(r);
-    double acc = 0.0;
-    for (size_t c = 0; c < m.cols(); ++c) acc += row[c] * pi[c];
-    total += pr * acc;
+    total += pr * kernels::Dot(m.RowPtr(r), pi.data(), m.cols());
   }
   return total;
 }

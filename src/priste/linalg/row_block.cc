@@ -1,0 +1,65 @@
+#include "priste/linalg/row_block.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+namespace priste::linalg {
+
+namespace {
+constexpr size_t kDoublesPerLine = RowBlock::kAlignment / sizeof(double);
+}  // namespace
+
+RowBlock::~RowBlock() { Release(); }
+
+RowBlock::RowBlock(RowBlock&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      rows_(std::exchange(other.rows_, 0)),
+      cols_(std::exchange(other.cols_, 0)),
+      stride_(std::exchange(other.stride_, 0)) {}
+
+RowBlock& RowBlock::operator=(RowBlock&& other) noexcept {
+  if (this != &other) {
+    Release();
+    data_ = std::exchange(other.data_, nullptr);
+    rows_ = std::exchange(other.rows_, 0);
+    cols_ = std::exchange(other.cols_, 0);
+    stride_ = std::exchange(other.stride_, 0);
+  }
+  return *this;
+}
+
+void RowBlock::Release() {
+  std::free(data_);
+  data_ = nullptr;
+  rows_ = cols_ = stride_ = 0;
+}
+
+void RowBlock::Reset(size_t rows, size_t cols) {
+  const size_t stride =
+      (cols + kDoublesPerLine - 1) / kDoublesPerLine * kDoublesPerLine;
+  if (rows == 0 || cols == 0) {
+    Release();
+    return;
+  }
+  if (rows != rows_ || stride != stride_) {
+    Release();
+    // aligned_alloc requires the size to be a multiple of the alignment;
+    // stride is a multiple of 8 doubles, so rows*stride*8 already is.
+    data_ = static_cast<double*>(
+        std::aligned_alloc(kAlignment, rows * stride * sizeof(double)));
+    PRISTE_CHECK(data_ != nullptr);
+  }
+  rows_ = rows;
+  cols_ = cols;
+  stride_ = stride;
+  Clear();
+}
+
+void RowBlock::Clear() {
+  if (data_ != nullptr) {
+    std::memset(data_, 0, rows_ * stride_ * sizeof(double));
+  }
+}
+
+}  // namespace priste::linalg

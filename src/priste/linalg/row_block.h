@@ -1,0 +1,80 @@
+#ifndef PRISTE_LINALG_ROW_BLOCK_H_
+#define PRISTE_LINALG_ROW_BLOCK_H_
+
+#include <cstddef>
+#include <utility>
+
+#include "priste/common/check.h"
+
+namespace priste::linalg {
+
+/// Contiguous row-major blocked storage for families of equal-length rows —
+/// the dense-prefix row chains of the release engine, where a
+/// std::vector<Vector> of per-row heap buffers defeats both the prefetcher
+/// and the vector units.
+///
+/// Layout contract:
+///  * one flat allocation aligned to kAlignment (64 bytes = one cache line);
+///  * row stride padded up to a multiple of 8 doubles, so every Row(i)
+///    pointer is itself 64-byte aligned;
+///  * padding lanes are zero-initialized and kept zero by every kernel that
+///    writes through Row(i) up to cols() — kernels may safely read (but not
+///    accumulate) past cols() up to stride().
+class RowBlock {
+ public:
+  static constexpr size_t kAlignment = 64;
+
+  RowBlock() = default;
+  RowBlock(size_t rows, size_t cols) { Reset(rows, cols); }
+  ~RowBlock();
+
+  RowBlock(const RowBlock&) = delete;
+  RowBlock& operator=(const RowBlock&) = delete;
+  RowBlock(RowBlock&& other) noexcept;
+  RowBlock& operator=(RowBlock&& other) noexcept;
+
+  /// Reallocates to rows × cols and zero-fills (padding included). A 0×0
+  /// reset releases the buffer.
+  void Reset(size_t rows, size_t cols);
+
+  /// Zero-fills the existing buffer without reallocating.
+  void Clear();
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  /// Doubles between consecutive rows (cols rounded up to a multiple of 8).
+  size_t stride() const { return stride_; }
+  bool empty() const { return rows_ == 0; }
+
+  double* Row(size_t i) {
+    PRISTE_DCHECK(i < rows_);
+    return data_ + i * stride_;
+  }
+  const double* Row(size_t i) const {
+    PRISTE_DCHECK(i < rows_);
+    return data_ + i * stride_;
+  }
+
+  double* data() { return data_; }
+  const double* data() const { return data_; }
+
+  friend void swap(RowBlock& a, RowBlock& b) noexcept {
+    using std::swap;
+    swap(a.data_, b.data_);
+    swap(a.rows_, b.rows_);
+    swap(a.cols_, b.cols_);
+    swap(a.stride_, b.stride_);
+  }
+
+ private:
+  void Release();
+
+  double* data_ = nullptr;
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  size_t stride_ = 0;
+};
+
+}  // namespace priste::linalg
+
+#endif  // PRISTE_LINALG_ROW_BLOCK_H_

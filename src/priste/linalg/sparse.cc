@@ -1,9 +1,23 @@
 #include "priste/linalg/sparse.h"
 
 #include <cmath>
+#include <cstdint>
 #include <cstring>
 
+#include "priste/linalg/kernels.h"
+
 namespace priste::linalg {
+
+namespace {
+// Debug-mode aliasing guard: the span kernels assume non-overlapping in/out
+// buffers; an overlap would be silent corruption, not an error.
+[[maybe_unused]] bool SpansOverlap(const double* a, size_t an, const double* b,
+                                   size_t bn) {
+  const auto ai = reinterpret_cast<uintptr_t>(a);
+  const auto bi = reinterpret_cast<uintptr_t>(b);
+  return ai < bi + bn * sizeof(double) && bi < ai + an * sizeof(double);
+}
+}  // namespace
 
 SparseMatrix SparseMatrix::FromDense(const Matrix& m, double prune_tol) {
   SparseMatrix out;
@@ -38,25 +52,25 @@ double SparseMatrix::density() const {
 }
 
 void SparseMatrix::MatVecSpan(const double* x, double* out) const {
-  PRISTE_DCHECK(x != out);
+  PRISTE_DCHECK(!SpansOverlap(x, cols_, out, rows_));
   for (size_t r = 0; r < rows_; ++r) {
-    double acc = 0.0;
-    for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-      acc += values_[k] * x[col_idx_[k]];
-    }
-    out[r] = acc;
+    const size_t begin = row_ptr_[r];
+    out[r] = kernels::GatherDot(values_.data() + begin,
+                                col_idx_.data() + begin,
+                                row_ptr_[r + 1] - begin, x);
   }
 }
 
 void SparseMatrix::VecMatSpan(const double* x, double* out) const {
-  PRISTE_DCHECK(x != out);
+  PRISTE_DCHECK(!SpansOverlap(x, rows_, out, cols_));
   std::memset(out, 0, cols_ * sizeof(double));
   for (size_t r = 0; r < rows_; ++r) {
     const double scale = x[r];
     if (scale == 0.0) continue;
-    for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-      out[col_idx_[k]] += scale * values_[k];
-    }
+    const size_t begin = row_ptr_[r];
+    kernels::ScatterAxpy(scale, values_.data() + begin,
+                         col_idx_.data() + begin, row_ptr_[r + 1] - begin,
+                         out);
   }
 }
 
@@ -86,25 +100,18 @@ void SparseMatrix::VecMatHadamardInto(const Vector& x, const Vector& h,
                                       Vector& out) const {
   PRISTE_CHECK(x.size() == rows_ && h.size() == cols_ && out.size() == cols_);
   VecMatSpan(x.data(), out.data());
-  double* o = out.data();
-  const double* hp = h.data();
-  for (size_t c = 0; c < cols_; ++c) o[c] *= hp[c];
+  kernels::HadamardInPlace(h.data(), out.data(), cols_);
 }
 
 void SparseMatrix::MatVecHadamardInto(const Vector& h, const Vector& x,
                                       Vector& out) const {
   PRISTE_CHECK(x.size() == cols_ && h.size() == cols_ && out.size() == rows_);
-  const double* xp = x.data();
-  const double* hp = h.data();
-  double* o = out.data();
-  for (size_t r = 0; r < rows_; ++r) {
-    double acc = 0.0;
-    for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-      const size_t c = col_idx_[k];
-      acc += values_[k] * hp[c] * xp[c];
-    }
-    o[r] = acc;
-  }
+  // One vectorized h∘x pass, then each row is a plain gather dot — cheaper
+  // than the per-entry triple product once rows share columns.
+  static thread_local std::vector<double> scratch;
+  if (scratch.size() < cols_) scratch.resize(cols_, 0.0);
+  kernels::HadamardInto(h.data(), x.data(), scratch.data(), cols_);
+  MatVecSpan(scratch.data(), out.data());
 }
 
 void SparseMatrix::VecMatHadamardInto(const Vector& x, const SparseVector& h,

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "priste/common/strings.h"
+#include "priste/linalg/kernels.h"
 
 namespace priste::linalg {
 
@@ -19,17 +20,11 @@ Vector Vector::UniformProbability(size_t size) {
   return Vector(size, 1.0 / static_cast<double>(size));
 }
 
-double Vector::Sum() const {
-  double total = 0.0;
-  for (double x : data_) total += x;
-  return total;
-}
+double Vector::Sum() const { return kernels::Sum(data_.data(), data_.size()); }
 
 double Vector::Dot(const Vector& other) const {
   PRISTE_CHECK(size() == other.size());
-  double total = 0.0;
-  for (size_t i = 0; i < data_.size(); ++i) total += data_[i] * other.data_[i];
-  return total;
+  return kernels::Dot(data_.data(), other.data_.data(), data_.size());
 }
 
 Vector Vector::Hadamard(const Vector& other) const {
@@ -40,7 +35,7 @@ Vector Vector::Hadamard(const Vector& other) const {
 
 void Vector::HadamardInPlace(const Vector& other) {
   PRISTE_CHECK(size() == other.size());
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+  kernels::HadamardInPlace(other.data_.data(), data_.data(), data_.size());
 }
 
 Vector Vector::Scaled(double scalar) const {
@@ -50,7 +45,7 @@ Vector Vector::Scaled(double scalar) const {
 }
 
 void Vector::ScaleInPlace(double scalar) {
-  for (double& x : data_) x *= scalar;
+  kernels::Scale(data_.data(), scalar, data_.size());
 }
 
 Vector Vector::Plus(const Vector& other) const {

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <initializer_list>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -54,6 +55,11 @@ class Vector {
   const double* data() const { return data_.data(); }
   double* data() { return data_.data(); }
   const std::vector<double>& as_std() const { return data_; }
+
+  /// The contiguous storage as one span — the unit the linalg::kernels
+  /// layer consumes, so call sites stop re-deriving data()/size() pairs.
+  std::span<const double> span() const { return {data_.data(), data_.size()}; }
+  std::span<double> span() { return {data_.data(), data_.size()}; }
 
   auto begin() const { return data_.begin(); }
   auto end() const { return data_.end(); }

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "priste/common/strings.h"
+#include "priste/linalg/kernels.h"
 #include "priste/linalg/ops.h"
 
 namespace priste::markov {
@@ -80,8 +81,7 @@ void TransitionMatrix::PropagateSpan(const double* p, double* out) const {
   for (size_t r = 0; r < m; ++r) {
     const double scale = p[r];
     if (scale == 0.0) continue;
-    const double* row = matrix_.RowPtr(r);
-    for (size_t c = 0; c < m; ++c) out[c] += scale * row[c];
+    linalg::kernels::Axpy(scale, matrix_.RowPtr(r), out, m);
   }
 }
 
@@ -92,10 +92,7 @@ void TransitionMatrix::BackwardSpan(const double* v, double* out) const {
   }
   const size_t m = num_states();
   for (size_t r = 0; r < m; ++r) {
-    const double* row = matrix_.RowPtr(r);
-    double acc = 0.0;
-    for (size_t c = 0; c < m; ++c) acc += row[c] * v[c];
-    out[r] = acc;
+    out[r] = linalg::kernels::Dot(matrix_.RowPtr(r), v, m);
   }
 }
 
@@ -163,10 +160,7 @@ void TransitionMatrix::BackwardHadamardInto(const linalg::Vector& h,
   const double* vp = v.data();
   double* o = out.data();
   for (size_t r = 0; r < m; ++r) {
-    const double* row = matrix_.RowPtr(r);
-    double acc = 0.0;
-    for (size_t c = 0; c < m; ++c) acc += row[c] * hp[c] * vp[c];
-    o[r] = acc;
+    o[r] = linalg::kernels::DotHadamard(matrix_.RowPtr(r), hp, vp, m);
   }
 }
 

@@ -1,0 +1,204 @@
+#include "priste/linalg/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "priste/common/random.h"
+
+namespace priste::linalg::kernels {
+namespace {
+
+std::vector<double> RandomSpan(size_t n, Rng& rng) {
+  std::vector<double> v(n);
+  for (size_t i = 0; i < n; ++i) v[i] = rng.Uniform(-1.0, 1.0);
+  return v;
+}
+
+// Restores the dispatch table on scope exit so a failing assertion cannot
+// leak a forced-scalar table into later tests.
+class ScopedSimd {
+ public:
+  explicit ScopedSimd(bool enabled) : previous_(SetSimdEnabledForTest(enabled)) {}
+  ~ScopedSimd() { SetSimdEnabledForTest(previous_); }
+
+ private:
+  bool previous_;
+};
+
+TEST(KernelsTest, SumKnownValues) {
+  const double x[] = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(Sum(x, 5), 15.0);
+  EXPECT_DOUBLE_EQ(Sum(x, 0), 0.0);
+}
+
+TEST(KernelsTest, DotKnownValues) {
+  const double a[] = {1.0, 2.0, 3.0};
+  const double b[] = {4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(Dot(a, b, 3), 32.0);
+}
+
+TEST(KernelsTest, DotHadamardKnownValues) {
+  const double a[] = {1.0, 2.0};
+  const double b[] = {3.0, 4.0};
+  const double c[] = {5.0, 6.0};
+  EXPECT_DOUBLE_EQ(DotHadamard(a, b, c, 2), 15.0 + 48.0);
+}
+
+TEST(KernelsTest, AxpyScaleHadamard) {
+  double y[] = {1.0, 1.0, 1.0};
+  const double x[] = {1.0, 2.0, 3.0};
+  Axpy(2.0, x, y, 3);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[2], 7.0);
+  Scale(y, 0.5, 3);
+  EXPECT_DOUBLE_EQ(y[0], 1.5);
+  HadamardInPlace(x, y, 3);
+  EXPECT_DOUBLE_EQ(y[2], 3.5 * 3.0);
+  double out[3];
+  HadamardInto(x, x, out, 3);
+  EXPECT_DOUBLE_EQ(out[1], 4.0);
+}
+
+TEST(KernelsTest, GatherScatterKnownValues) {
+  const double values[] = {2.0, 3.0};
+  const size_t cols[] = {1, 4};
+  const double x[] = {0.0, 10.0, 0.0, 0.0, 100.0};
+  EXPECT_DOUBLE_EQ(GatherDot(values, cols, 2, x), 320.0);
+  double out[5] = {0.0};
+  ScatterAxpy(2.0, values, cols, 2, out);
+  EXPECT_DOUBLE_EQ(out[1], 4.0);
+  EXPECT_DOUBLE_EQ(out[4], 6.0);
+}
+
+TEST(KernelsTest, GatherDotPairMatchesTwoGatherDots) {
+  Rng rng(31);
+  for (const size_t n : {0ul, 2ul, 5ul, 9ul, 40ul}) {
+    const std::vector<double> bvals = RandomSpan(n, rng);
+    const std::vector<double> cvals = RandomSpan(n, rng);
+    const std::vector<double> x = RandomSpan(64, rng);
+    std::vector<size_t> cols(n);
+    for (size_t i = 0; i < n; ++i) cols[i] = (i * 13) % 64;
+    double b = -1.0, c = -1.0;
+    GatherDotPair(bvals.data(), cvals.data(), cols.data(), n, x.data(), &b,
+                  &c);
+    // Each fused sum uses GatherDot's accumulator blocking, so the fused and
+    // two-call forms are bit-identical, not merely close.
+    EXPECT_EQ(b, GatherDot(bvals.data(), cols.data(), n, x.data()));
+    EXPECT_EQ(c, GatherDot(cvals.data(), cols.data(), n, x.data()));
+  }
+}
+
+TEST(KernelsTest, ReplicateDotMatchesMaterializedReplication) {
+  Rng rng(7);
+  const size_t blocks = 3, m = 11;
+  const std::vector<double> row = RandomSpan(blocks * m, rng);
+  const std::vector<double> cand = RandomSpan(m, rng);
+  const std::vector<double> seed = RandomSpan(blocks * m, rng);
+  double expect_plain = 0.0, expect_seeded = 0.0;
+  for (size_t q = 0; q < blocks; ++q) {
+    for (size_t j = 0; j < m; ++j) {
+      expect_plain += row[q * m + j] * cand[j];
+      expect_seeded += row[q * m + j] * cand[j] * seed[q * m + j];
+    }
+  }
+  EXPECT_NEAR(ReplicateDot(row.data(), blocks, m, cand.data()), expect_plain,
+              1e-12);
+  double seeded = 0.0, plain = 0.0;
+  ReplicateDotPair(row.data(), blocks, m, cand.data(), seed.data(), &seeded,
+                   &plain);
+  EXPECT_NEAR(seeded, expect_seeded, 1e-12);
+  EXPECT_NEAR(plain, expect_plain, 1e-12);
+}
+
+// The central contract: whatever path the host dispatches, every kernel's
+// result is BIT-identical to the scalar path — sizes straddle the vector
+// width so full blocks, tails, and sub-width spans are all covered. On a
+// host without AVX2 both runs use the scalar table and the test is trivially
+// green.
+TEST(KernelsTest, ScalarAndSimdPathsAreBitIdentical) {
+  Rng rng(123);
+  for (const size_t n : {0ul, 1ul, 3ul, 4ul, 7ul, 8ul, 15ul, 16ul, 33ul, 100ul}) {
+    const std::vector<double> a = RandomSpan(n, rng);
+    const std::vector<double> b = RandomSpan(n, rng);
+    const std::vector<double> c = RandomSpan(n, rng);
+    std::vector<size_t> cols(n);
+    for (size_t i = 0; i < n; ++i) cols[i] = (i * 7) % (n > 0 ? n : 1);
+
+    double sum_s, dot_s, dh_s, gd_s, gpb_s, gpc_s;
+    std::vector<double> axpy_s = a, scale_s = a, hip_s = a, hi_s(n), sc_s(n, 0.0);
+    {
+      ScopedSimd scalar(false);
+      ASSERT_FALSE(SimdActive());
+      sum_s = Sum(a.data(), n);
+      dot_s = Dot(a.data(), b.data(), n);
+      dh_s = DotHadamard(a.data(), b.data(), c.data(), n);
+      gd_s = GatherDot(a.data(), cols.data(), n, b.data());
+      GatherDotPair(a.data(), c.data(), cols.data(), n, b.data(), &gpb_s,
+                    &gpc_s);
+      Axpy(1.7, b.data(), axpy_s.data(), n);
+      Scale(scale_s.data(), 0.3, n);
+      HadamardInPlace(b.data(), hip_s.data(), n);
+      HadamardInto(a.data(), b.data(), hi_s.data(), n);
+      ScatterAxpy(1.3, a.data(), cols.data(), n, sc_s.data());
+    }
+    ScopedSimd simd(true);
+    EXPECT_EQ(Sum(a.data(), n), sum_s);
+    EXPECT_EQ(Dot(a.data(), b.data(), n), dot_s);
+    EXPECT_EQ(DotHadamard(a.data(), b.data(), c.data(), n), dh_s);
+    EXPECT_EQ(GatherDot(a.data(), cols.data(), n, b.data()), gd_s);
+    double gpb_v, gpc_v;
+    GatherDotPair(a.data(), c.data(), cols.data(), n, b.data(), &gpb_v,
+                  &gpc_v);
+    EXPECT_EQ(gpb_v, gpb_s);
+    EXPECT_EQ(gpc_v, gpc_s);
+    std::vector<double> axpy_v = a, scale_v = a, hip_v = a, hi_v(n), sc_v(n, 0.0);
+    Axpy(1.7, b.data(), axpy_v.data(), n);
+    Scale(scale_v.data(), 0.3, n);
+    HadamardInPlace(b.data(), hip_v.data(), n);
+    HadamardInto(a.data(), b.data(), hi_v.data(), n);
+    ScatterAxpy(1.3, a.data(), cols.data(), n, sc_v.data());
+    EXPECT_EQ(axpy_v, axpy_s);
+    EXPECT_EQ(scale_v, scale_s);
+    EXPECT_EQ(hip_v, hip_s);
+    EXPECT_EQ(hi_v, hi_s);
+    EXPECT_EQ(sc_v, sc_s);
+  }
+}
+
+TEST(KernelsTest, ReplicateKernelsAreBitIdenticalAcrossPaths) {
+  Rng rng(321);
+  for (const size_t m : {1ul, 5ul, 8ul, 13ul, 32ul}) {
+    for (const size_t blocks : {1ul, 2ul, 4ul}) {
+      const std::vector<double> row = RandomSpan(blocks * m, rng);
+      const std::vector<double> cand = RandomSpan(m, rng);
+      const std::vector<double> seed = RandomSpan(blocks * m, rng);
+      double plain_s, seeded_s, pair_plain_s;
+      {
+        ScopedSimd scalar(false);
+        plain_s = ReplicateDot(row.data(), blocks, m, cand.data());
+        ReplicateDotPair(row.data(), blocks, m, cand.data(), seed.data(),
+                         &seeded_s, &pair_plain_s);
+      }
+      ScopedSimd simd(true);
+      EXPECT_EQ(ReplicateDot(row.data(), blocks, m, cand.data()), plain_s);
+      double seeded_v, pair_plain_v;
+      ReplicateDotPair(row.data(), blocks, m, cand.data(), seed.data(),
+                       &seeded_v, &pair_plain_v);
+      EXPECT_EQ(seeded_v, seeded_s);
+      EXPECT_EQ(pair_plain_v, pair_plain_s);
+    }
+  }
+}
+
+TEST(KernelsTest, SetSimdEnabledForTestReturnsPreviousState) {
+  const bool initial = SimdActive();
+  const bool prev = SetSimdEnabledForTest(false);
+  EXPECT_EQ(prev, initial);
+  EXPECT_FALSE(SimdActive());
+  SetSimdEnabledForTest(prev);
+  EXPECT_EQ(SimdActive(), initial);
+}
+
+}  // namespace
+}  // namespace priste::linalg::kernels

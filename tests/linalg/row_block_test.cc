@@ -1,0 +1,77 @@
+#include "priste/linalg/row_block.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+
+namespace priste::linalg {
+namespace {
+
+TEST(RowBlockTest, StrideRoundsUpToEightDoubles) {
+  EXPECT_EQ(RowBlock(2, 1).stride(), 8u);
+  EXPECT_EQ(RowBlock(2, 8).stride(), 8u);
+  EXPECT_EQ(RowBlock(2, 9).stride(), 16u);
+  EXPECT_EQ(RowBlock(2, 16).stride(), 16u);
+}
+
+TEST(RowBlockTest, EveryRowPointerIsCacheLineAligned) {
+  RowBlock block(5, 13);
+  for (size_t i = 0; i < block.rows(); ++i) {
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(block.Row(i)) % RowBlock::kAlignment,
+              0u)
+        << "row " << i;
+  }
+}
+
+TEST(RowBlockTest, ResetZeroFillsIncludingPadding) {
+  RowBlock block(3, 5);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < block.stride(); ++j) {
+      EXPECT_EQ(block.Row(i)[j], 0.0);
+    }
+  }
+  block.Row(1)[2] = 7.0;
+  block.Reset(3, 5);
+  EXPECT_EQ(block.Row(1)[2], 0.0);
+}
+
+TEST(RowBlockTest, ClearZeroesWithoutReallocating) {
+  RowBlock block(2, 4);
+  const double* before = block.data();
+  block.Row(0)[3] = 1.5;
+  block.Clear();
+  EXPECT_EQ(block.data(), before);
+  EXPECT_EQ(block.Row(0)[3], 0.0);
+}
+
+TEST(RowBlockTest, ZeroByZeroResetReleasesBuffer) {
+  RowBlock block(4, 4);
+  block.Reset(0, 0);
+  EXPECT_TRUE(block.empty());
+  EXPECT_EQ(block.data(), nullptr);
+}
+
+TEST(RowBlockTest, MoveAndSwapTransferOwnership) {
+  RowBlock a(2, 3);
+  a.Row(1)[0] = 42.0;
+  RowBlock b = std::move(a);
+  EXPECT_EQ(b.Row(1)[0], 42.0);
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move): moved-from spec
+
+  RowBlock c(1, 1);
+  c.Row(0)[0] = -1.0;
+  swap(b, c);
+  EXPECT_EQ(c.Row(1)[0], 42.0);
+  EXPECT_EQ(b.Row(0)[0], -1.0);
+  EXPECT_EQ(b.rows(), 1u);
+  EXPECT_EQ(c.rows(), 2u);
+}
+
+TEST(RowBlockTest, RowsAreStrideApart) {
+  RowBlock block(3, 10);
+  EXPECT_EQ(block.Row(2), block.data() + 2 * block.stride());
+}
+
+}  // namespace
+}  // namespace priste::linalg
