@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""clang-tidy ratchet: warning counts may only go down.
+
+Runs run-clang-tidy over the first-party TUs in compile_commands.json,
+aggregates warnings per check, and compares against the checked-in baseline
+(tools/lint/clang_tidy_baseline.json):
+
+  - a check whose count EXCEEDS its baseline fails the build;
+  - a check absent from the baseline with a nonzero count fails the build
+    (new checks start at zero allowance);
+  - counts BELOW baseline print a reminder to ratchet down.
+
+Usage:
+  scripts/clang_tidy_ratchet.py --compile-commands build/compile_commands.json
+  scripts/clang_tidy_ratchet.py ... --update   # rewrite baseline to current
+
+The baseline ships at all-zeros: the tree is tidy-clean under the profile in
+.clang-tidy, and this script exists so it stays that way. Raising a baseline
+number is a code-review decision, never an automated one.
+"""
+
+import argparse
+import collections
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+BASELINE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        os.pardir, "tools", "lint",
+                        "clang_tidy_baseline.json")
+
+# clang-tidy diagnostic line:  path:line:col: warning: ... [check-name]
+DIAG_RE = re.compile(r"^(?P<path>[^:\s][^:]*):\d+:\d+:\s+warning:.*"
+                     r"\[(?P<check>[A-Za-z0-9.,\-]+)\]\s*$")
+
+
+def find_runner():
+    for name in ("run-clang-tidy", "run-clang-tidy.py",
+                 "run-clang-tidy-18", "run-clang-tidy-17",
+                 "run-clang-tidy-16", "run-clang-tidy-15",
+                 "run-clang-tidy-14"):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def collect_counts(compile_commands, src_filter):
+    runner = find_runner()
+    build_dir = os.path.dirname(os.path.abspath(compile_commands))
+    if runner:
+        cmd = [runner, "-p", build_dir, "-quiet", src_filter]
+    else:
+        tidy = shutil.which("clang-tidy")
+        if not tidy:
+            print("clang_tidy_ratchet: clang-tidy not found on PATH",
+                  file=sys.stderr)
+            return None
+        with open(compile_commands, encoding="utf-8") as f:
+            db = json.load(f)
+        files = sorted({e["file"] for e in db
+                        if re.search(src_filter, e["file"])})
+        cmd = [tidy, "-p", build_dir, "-quiet"] + files
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    counts = collections.Counter()
+    seen = set()  # (path, line, check) dedup: headers repeat across TUs
+    for line in proc.stdout.splitlines():
+        m = DIAG_RE.match(line)
+        if not m:
+            continue
+        key = (m.group("path"), line, m.group("check"))
+        if key in seen:
+            continue
+        seen.add(key)
+        for check in m.group("check").split(","):
+            counts[check] += 1
+    # run-clang-tidy exits nonzero when any warning fired; only a hard
+    # infrastructure failure (no output at all AND nonzero exit) is an error.
+    if proc.returncode != 0 and not proc.stdout.strip():
+        print(proc.stderr, file=sys.stderr)
+        print("clang_tidy_ratchet: clang-tidy failed to run",
+              file=sys.stderr)
+        return None
+    return counts
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--compile-commands", required=True)
+    parser.add_argument("--src-filter", default=r"src/priste/.*\.cc$")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline to current counts")
+    args = parser.parse_args()
+
+    counts = collect_counts(args.compile_commands, args.src_filter)
+    if counts is None:
+        return 2
+
+    with open(BASELINE, encoding="utf-8") as f:
+        baseline = json.load(f)["allowed"]
+
+    if args.update:
+        payload = {
+            "_comment": "Per-check clang-tidy warning allowance. Counts only "
+                        "go DOWN; raising one is a code-review decision.",
+            "allowed": {k: v for k, v in sorted(counts.items())},
+        }
+        with open(BASELINE, "w", encoding="utf-8") as f:
+            json.dump(payload, f, indent=2)
+            f.write("\n")
+        print(f"clang_tidy_ratchet: baseline rewritten "
+              f"({sum(counts.values())} warnings)")
+        return 0
+
+    failed = False
+    for check, n in sorted(counts.items()):
+        allowed = baseline.get(check, 0)
+        if n > allowed:
+            print(f"RATCHET FAIL {check}: {n} > allowed {allowed}")
+            failed = True
+        elif n < allowed:
+            print(f"ratchet: {check} improved ({n} < {allowed}) — "
+                  f"run with --update to lock it in")
+    for check, allowed in sorted(baseline.items()):
+        if allowed > 0 and counts.get(check, 0) < allowed and check not in counts:
+            print(f"ratchet: {check} now clean (0 < {allowed}) — "
+                  f"run with --update to lock it in")
+    if failed:
+        return 1
+    print(f"clang_tidy_ratchet: OK "
+          f"({sum(counts.values())} warnings within baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

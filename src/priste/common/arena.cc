@@ -13,6 +13,7 @@ Arena::~Arena() {
 }
 
 void* Arena::Allocate(size_t bytes, size_t align) {
+  affinity_.Check();
   PRISTE_DCHECK(align != 0 && (align & (align - 1)) == 0);
   PRISTE_DCHECK(align <= kMaxAlign);
   if (bytes == 0) bytes = 1;
@@ -58,6 +59,7 @@ double* Arena::AllocateDoubles(size_t n) {
 }
 
 void Arena::Reset() {
+  affinity_.Check();
   if (blocks_.empty()) return;
   // Steady-state goal: one block covering the whole step footprint, so the
   // next pass is pure pointer bumps. When the high-water mark outgrew the

@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "priste/common/thread_affinity.h"
+
 namespace priste {
 
 /// Chunked bump allocator for transient per-step scratch (the LevelDB/Prism
@@ -16,7 +18,13 @@ namespace priste {
 /// Lifetime contract: pointers are valid until the next Reset() or the
 /// arena's destruction. No destructors run — allocate trivially destructible
 /// payloads only (the release engine stores raw double spans).
-/// Not thread-safe; one arena per owning context.
+///
+/// Thread affinity: NOT thread-safe, and not merely "synchronize externally"
+/// — an Arena belongs to exactly one thread at a time (its owning
+/// ReleaseStepContext, which is itself single-threaded). The owner is
+/// latched on the first Allocate/Reset and every later call DCHECKs it in
+/// debug builds; a future executor that migrates a context between workers
+/// must call ReleaseThreadAffinity() at the handoff point.
 class Arena {
  public:
   Arena() = default;
@@ -42,6 +50,9 @@ class Arena {
   /// Total block bytes currently owned (resident footprint).
   size_t bytes_owned() const { return bytes_owned_; }
 
+  /// Unlatches the owner thread (debug builds only; see the class comment).
+  void ReleaseThreadAffinity() { affinity_.Release(); }
+
   static constexpr size_t kMaxAlign = 64;
   static constexpr size_t kMinBlockBytes = 4096;
 
@@ -53,6 +64,7 @@ class Arena {
 
   char* AllocateSlow(size_t bytes, size_t align);
 
+  ThreadAffinity affinity_;
   std::vector<Block> blocks_;
   char* ptr_ = nullptr;   // bump cursor within the active (last) block
   char* end_ = nullptr;   // one past the active block

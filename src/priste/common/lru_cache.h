@@ -5,7 +5,6 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -13,6 +12,8 @@
 
 #include "priste/common/check.h"
 #include "priste/common/metrics.h"
+#include "priste/common/mutex.h"
+#include "priste/common/thread_annotations.h"
 
 namespace priste {
 
@@ -64,7 +65,7 @@ class ShardedLruCache {
       return nullptr;
     }
     Shard& shard = ShardFor(key);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     const auto it = shard.index.find(key);
     if (it == shard.index.end()) {
       misses_.Increment();
@@ -83,7 +84,7 @@ class ShardedLruCache {
     Handle handle = std::make_shared<const Value>(std::move(value));
     if (!enabled()) return handle;
     Shard& shard = ShardFor(key);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     const auto it = shard.index.find(key);
     if (it != shard.index.end()) {
       // Replace in place (concurrent builders racing the same key land here;
@@ -120,7 +121,7 @@ class ShardedLruCache {
   /// the bench harness use this to re-create cold-cache conditions.
   void Clear() {
     for (Shard& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard.mu);
+      MutexLock lock(&shard.mu);
       bytes_.Add(-static_cast<long>(shard.charge));
       shard.charge = 0;
       shard.index.clear();
@@ -150,7 +151,7 @@ class ShardedLruCache {
   size_t TotalChargeBytes() const {
     size_t total = 0;
     for (const Shard& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard.mu);
+      MutexLock lock(&shard.mu);
       total += shard.charge;
     }
     return total;
@@ -164,18 +165,21 @@ class ShardedLruCache {
     Handle value;
     size_t charge = 0;
   };
+  /// Per-shard state. Everything mutable is guarded by the shard's own
+  /// mutex — -Wthread-safety rejects any access outside a MutexLock on it.
   struct Shard {
-    mutable std::mutex mu;
-    std::list<Entry> lru;  // front = MRU
-    std::unordered_map<Key, typename std::list<Entry>::iterator, Hash> index;
-    size_t charge = 0;
+    mutable Mutex mu;
+    std::list<Entry> lru PRISTE_GUARDED_BY(mu);  // front = MRU
+    std::unordered_map<Key, typename std::list<Entry>::iterator, Hash> index
+        PRISTE_GUARDED_BY(mu);
+    size_t charge PRISTE_GUARDED_BY(mu) = 0;
   };
 
   Shard& ShardFor(const Key& key) {
     return shards_[Hash{}(key) % shards_.size()];
   }
 
-  void EvictOverCapacityLocked(Shard& shard) {
+  void EvictOverCapacityLocked(Shard& shard) PRISTE_REQUIRES(shard.mu) {
     const size_t shard_capacity = capacity_bytes() / shards_.size();
     while (shard.charge > shard_capacity && !shard.lru.empty()) {
       const Entry& victim = shard.lru.back();

@@ -5,10 +5,11 @@
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 
 #include "priste/common/check.h"
+#include "priste/common/mutex.h"
 #include "priste/common/strings.h"
+#include "priste/common/thread_annotations.h"
 
 namespace priste {
 
@@ -87,12 +88,17 @@ void Histogram::ResetForTest() {
 struct MetricsRegistry::Impl {
   // std::map keeps snapshots name-sorted for free; metrics are held by
   // unique_ptr so references survive rehashing-free and map growth alike.
-  std::mutex mu;
-  std::map<std::string, std::unique_ptr<Counter>> counters;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+  // The registration maps are mu-guarded (machine-checked); the metrics
+  // themselves are lock-free and are written through the handed-out
+  // references with no lock held — only the DIRECTORY is guarded.
+  Mutex mu;
+  std::map<std::string, std::unique_ptr<Counter>> counters
+      PRISTE_GUARDED_BY(mu);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges PRISTE_GUARDED_BY(mu);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms
+      PRISTE_GUARDED_BY(mu);
 
-  bool NameTaken(const std::string& name) const {
+  bool NameTaken(const std::string& name) const PRISTE_REQUIRES(mu) {
     return counters.count(name) + gauges.count(name) + histograms.count(name) >
            0;
   }
@@ -109,7 +115,7 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter& MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(&impl_->mu);
   auto it = impl_->counters.find(name);
   if (it == impl_->counters.end()) {
     PRISTE_CHECK_MSG(!impl_->NameTaken(name),
@@ -120,7 +126,7 @@ Counter& MetricsRegistry::GetCounter(const std::string& name) {
 }
 
 Gauge& MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(&impl_->mu);
   auto it = impl_->gauges.find(name);
   if (it == impl_->gauges.end()) {
     PRISTE_CHECK_MSG(!impl_->NameTaken(name),
@@ -131,7 +137,7 @@ Gauge& MetricsRegistry::GetGauge(const std::string& name) {
 }
 
 Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(&impl_->mu);
   auto it = impl_->histograms.find(name);
   if (it == impl_->histograms.end()) {
     PRISTE_CHECK_MSG(!impl_->NameTaken(name),
@@ -142,7 +148,7 @@ Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
 }
 
 MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(&impl_->mu);
   Snapshot snap;
   snap.counters.reserve(impl_->counters.size());
   for (const auto& [name, counter] : impl_->counters) {
@@ -196,7 +202,7 @@ std::string MetricsRegistry::Render() const {
 }
 
 void MetricsRegistry::ResetForTest() {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(&impl_->mu);
   for (auto& [name, counter] : impl_->counters) counter->ResetForTest();
   for (auto& [name, gauge] : impl_->gauges) gauge->ResetForTest();
   for (auto& [name, histogram] : impl_->histograms) histogram->ResetForTest();

@@ -1,0 +1,105 @@
+#ifndef PRISTE_COMMON_THREAD_ANNOTATIONS_H_
+#define PRISTE_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety-analysis annotations (the Abseil/LevelDB macro set,
+/// PRISTE-prefixed). Under Clang with -Wthread-safety these turn the lock
+/// discipline documented in comments into compile errors: a field declared
+/// PRISTE_GUARDED_BY(mu) cannot be read or written without holding `mu`, a
+/// function declared PRISTE_REQUIRES(mu) cannot be called without it, and so
+/// on. Under every other compiler they expand to nothing, so GCC builds are
+/// unaffected.
+///
+/// The analysis only understands capability-annotated lock types —
+/// std::mutex from libstdc++ carries no annotations — so guarded state must
+/// be protected by priste::Mutex / priste::MutexLock (common/mutex.h), not
+/// raw std::mutex. The CI `lint` job compiles the tree with
+/// clang -Wthread-safety -Werror; keeping that gate green is part of tier 1
+/// for any change that touches a mutex.
+///
+/// PRISTE_HOT_PATH is not a thread-safety annotation: it marks a function
+/// body as allocation-free by contract (see tools/lint/priste_lint.py, rule
+/// `hot-path-alloc`). The linter rejects direct `new`/`malloc` and
+/// std-container growth inside marked bodies; under Clang the marker also
+/// leaves an `annotate("priste_hot_path")` attribute in the AST for
+/// libclang-based tooling.
+
+#if defined(__clang__) && !defined(SWIG)
+#define PRISTE_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define PRISTE_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op
+#endif
+
+/// Declares a type to be a lockable capability ("mutex").
+#define PRISTE_CAPABILITY(x) PRISTE_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Declares an RAII type that acquires a capability at construction and
+/// releases it at destruction.
+#define PRISTE_SCOPED_CAPABILITY \
+  PRISTE_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// A data member that may only be accessed while holding the given mutex.
+#define PRISTE_GUARDED_BY(x) PRISTE_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// A pointer member whose *pointee* is guarded by the given mutex.
+#define PRISTE_PT_GUARDED_BY(x) \
+  PRISTE_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// Lock-ordering declarations (deadlock detection).
+#define PRISTE_ACQUIRED_BEFORE(...) \
+  PRISTE_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+#define PRISTE_ACQUIRED_AFTER(...) \
+  PRISTE_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+/// The function may only be called while holding the listed capabilities
+/// exclusively (resp. shared); it does not release them.
+#define PRISTE_REQUIRES(...) \
+  PRISTE_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+#define PRISTE_REQUIRES_SHARED(...) \
+  PRISTE_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires (resp. releases) the listed capabilities.
+#define PRISTE_ACQUIRE(...) \
+  PRISTE_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define PRISTE_ACQUIRE_SHARED(...) \
+  PRISTE_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+#define PRISTE_RELEASE(...) \
+  PRISTE_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+#define PRISTE_RELEASE_SHARED(...) \
+  PRISTE_THREAD_ANNOTATION_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns the given value.
+#define PRISTE_TRY_ACQUIRE(...) \
+  PRISTE_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+/// The function may not be called while holding the listed capabilities
+/// (self-deadlock prevention for non-reentrant locks).
+#define PRISTE_EXCLUDES(...) \
+  PRISTE_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Asserts (at runtime, for the analysis' benefit) that the calling thread
+/// already holds the capability.
+#define PRISTE_ASSERT_CAPABILITY(x) \
+  PRISTE_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+/// The function returns a reference to the given capability.
+#define PRISTE_RETURN_CAPABILITY(x) \
+  PRISTE_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Escape hatch: the function intentionally violates the declared discipline
+/// (e.g. a test poking at internals). Every use needs a comment saying why.
+#define PRISTE_NO_THREAD_SAFETY_ANALYSIS \
+  PRISTE_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+/// Marks a function whose lexical body must stay free of direct heap
+/// allocation: no `new`/`malloc`-family calls and no std-container growth
+/// (push_back/resize/reserve/...). Enforced by tools/lint/priste_lint.py
+/// (rule `hot-path-alloc`); arena allocation (priste::Arena) and writes into
+/// preallocated buffers are the sanctioned alternatives. The contract is
+/// lexical, not transitive — callees are checked only if themselves marked.
+#if defined(__clang__)
+#define PRISTE_HOT_PATH __attribute__((annotate("priste_hot_path")))
+#else
+#define PRISTE_HOT_PATH
+#endif
+
+#endif  // PRISTE_COMMON_THREAD_ANNOTATIONS_H_

@@ -5,6 +5,7 @@
 
 #include "priste/common/metrics.h"
 #include "priste/common/strings.h"
+#include "priste/common/thread_annotations.h"
 
 namespace priste {
 
@@ -17,10 +18,10 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
-  cv_.notify_all();
+  cv_.SignalAll();
   for (auto& worker : workers_) worker.join();
 }
 
@@ -29,18 +30,18 @@ void ThreadPool::Submit(std::function<void()> fn) {
       MetricsRegistry::Global().GetCounter("pool.tasks_submitted");
   submitted.Increment();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     queue_.push_back(std::move(fn));
   }
-  cv_.notify_one();
+  cv_.Signal();
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!shutdown_ && queue_.empty()) cv_.Wait(&mu_);
       if (queue_.empty()) return;  // shutdown with a drained queue
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -69,6 +70,8 @@ namespace {
 /// State shared between the caller and its helper tasks. Helpers hold a
 /// shared_ptr so the caller may return as soon as all iterations finished,
 /// even if some posted helpers are still queued (they no-op on arrival).
+/// `next`/`done` are lock-free; the mutex exists only to pair with the
+/// completion condvar the caller blocks on.
 struct LoopState {
   explicit LoopState(size_t n, const std::function<void(size_t)>& f)
       : total(n), fn(f) {}
@@ -77,8 +80,8 @@ struct LoopState {
   std::function<void(size_t)> fn;  // copied: outlives the caller's frame
   std::atomic<size_t> next{0};
   std::atomic<size_t> done{0};
-  std::mutex mu;
-  std::condition_variable cv;
+  Mutex mu;
+  CondVar cv;
 
   // Claims and runs iterations until the index space is exhausted.
   void Drain() {
@@ -87,8 +90,8 @@ struct LoopState {
       if (i >= total) return;
       fn(i);
       if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == total) {
-        std::lock_guard<std::mutex> lock(mu);
-        cv.notify_all();
+        MutexLock lock(&mu);
+        cv.SignalAll();
       }
     }
   }
@@ -111,10 +114,10 @@ void ParallelFor(ThreadPool& pool, size_t n, const std::function<void(size_t)>& 
     pool.Submit([state] { state->Drain(); });
   }
   state->Drain();
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->cv.wait(lock, [&] {
-    return state->done.load(std::memory_order_acquire) == state->total;
-  });
+  MutexLock lock(&state->mu);
+  while (state->done.load(std::memory_order_acquire) != state->total) {
+    state->cv.Wait(&state->mu);
+  }
 }
 
 void ParallelFor(size_t n, const std::function<void(size_t)>& fn) {

@@ -1,13 +1,14 @@
 #ifndef PRISTE_COMMON_THREAD_POOL_H_
 #define PRISTE_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "priste/common/mutex.h"
+#include "priste/common/thread_annotations.h"
 
 namespace priste {
 
@@ -22,6 +23,8 @@ namespace priste {
 ///  * Determinism is the caller's contract: iterations must write to
 ///    disjoint state, so results are independent of the thread count (see
 ///    thread_pool_test.cc).
+///  * Lock discipline is machine-checked: the queue and shutdown flag are
+///    PRISTE_GUARDED_BY(mu_), enforced by clang -Wthread-safety in CI.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers; 0 is valid and means "callers run
@@ -35,7 +38,7 @@ class ThreadPool {
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
   /// Enqueues `fn` for execution on a worker thread.
-  void Submit(std::function<void()> fn);
+  void Submit(std::function<void()> fn) PRISTE_EXCLUDES(mu_);
 
   /// The process-wide pool, sized by the PRISTE_THREADS environment variable
   /// (read once, at first use; default DefaultThreadCount()). Never
@@ -47,12 +50,12 @@ class ThreadPool {
   static int DefaultThreadCount();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() PRISTE_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool shutdown_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ PRISTE_GUARDED_BY(mu_);
+  bool shutdown_ PRISTE_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

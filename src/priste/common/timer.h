@@ -26,6 +26,15 @@ class Timer {
 
 /// A wall-clock budget. `Deadline::Infinite()` never expires; used by the
 /// QP solver's conservative-release threshold (paper Section IV-C).
+///
+/// Thread affinity: a Deadline is IMMUTABLE after construction — Expired()
+/// and is_infinite() only read const state — so, unlike Arena and
+/// SliceBasisMemo (whose single-threadedness is enforced with owner-thread
+/// DCHECKs), one Deadline may be shared by value or const reference across
+/// threads. The quantifier's cold path relies on this: both Theorem-condition
+/// maximizations of one check read the SAME deadline from ParallelFor
+/// workers. Keep it that way — any future mutating API (e.g. Extend()) must
+/// either take ownership semantics or copy-on-write, not mutate in place.
 class Deadline {
  public:
   /// A deadline `seconds` from now. Non-positive values (including NaN)

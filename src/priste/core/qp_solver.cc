@@ -256,7 +256,7 @@ QpSolver::Result MaximizeCore(const QpSolver::Objective& objective,
   Rng rng(options.seed);
   const auto project = [&](linalg::Vector* pi) {
     if (simplex) {
-      *pi = ProjectOntoCappedSimplex(*pi, upper);
+      ProjectOntoCappedSimplexInPlace(*pi, upper);
     } else {
       ClipToBox(upper, pi);
     }
@@ -443,6 +443,13 @@ linalg::Vector ProjectOntoCappedSimplex(const linalg::Vector& v) {
 
 linalg::Vector ProjectOntoCappedSimplex(const linalg::Vector& v,
                                         const linalg::Vector& upper) {
+  linalg::Vector out = v;
+  ProjectOntoCappedSimplexInPlace(out, upper);
+  return out;
+}
+
+PRISTE_HOT_PATH void ProjectOntoCappedSimplexInPlace(
+    linalg::Vector& v, const linalg::Vector& upper) {
   const size_t n = v.size();
   PRISTE_CHECK(n > 0 && upper.size() == n);
   double total_cap = 0.0;
@@ -452,7 +459,10 @@ linalg::Vector ProjectOntoCappedSimplex(const linalg::Vector& v,
   }
   PRISTE_CHECK_MSG(total_cap >= 1.0 - 1e-12,
                    "caps cannot carry unit mass — feasible set is empty");
-  if (total_cap <= 1.0) return upper;  // the unique feasible point
+  if (total_cap <= 1.0) {  // the unique feasible point
+    v = upper;
+    return;
+  }
 
   // Find τ with Σ clamp(v_i − τ, 0, u_i) = 1 exactly: mass(τ) is
   // non-increasing piecewise linear with breakpoints at v_i (coordinate i
@@ -471,10 +481,13 @@ linalg::Vector ProjectOntoCappedSimplex(const linalg::Vector& v,
   // (thousands per Maximize), so the per-call allocation was measurable.
   static thread_local std::vector<Breakpoint> breaks;
   breaks.clear();
+  // priste-lint: allow(hot-path-alloc) thread_local scratch, amortized O(1)
   breaks.reserve(2 * n);
   for (size_t i = 0; i < n; ++i) {
     if (upper[i] == 0.0) continue;  // never contributes
+    // priste-lint: allow(hot-path-alloc) within reserved thread_local scratch
     breaks.push_back({v[i], true, i});
+    // priste-lint: allow(hot-path-alloc) within reserved thread_local scratch
     breaks.push_back({v[i] - upper[i], false, i});
   }
   std::sort(breaks.begin(), breaks.end(),
@@ -514,30 +527,29 @@ linalg::Vector ProjectOntoCappedSimplex(const linalg::Vector& v,
     }
   }
   PRISTE_CHECK_MSG(solved, "capped-simplex projection found no crossing");
-  linalg::Vector out(n);
-  for (size_t i = 0; i < n; ++i) out[i] = std::clamp(v[i] - tau, 0.0, upper[i]);
+  // In-place from here: the sweep above was the last read of the raw input.
+  for (size_t i = 0; i < n; ++i) v[i] = std::clamp(v[i] - tau, 0.0, upper[i]);
 
   // Restore the unit sum exactly — but only through coordinates with room in
   // the needed direction, so no entry ever leaves [0, u_i]. (The old global
   // 1/Σ rescale could push capped coordinates past their cap and returned
   // the zero vector when Σ underflowed to 0.)
-  double residual = 1.0 - out.Sum();
+  double residual = 1.0 - v.Sum();
   for (int pass = 0; pass < 8 && residual != 0.0; ++pass) {
     size_t room = 0;
     for (size_t i = 0; i < n; ++i) {
-      if (residual > 0.0 ? out[i] < upper[i] : out[i] > 0.0) ++room;
+      if (residual > 0.0 ? v[i] < upper[i] : v[i] > 0.0) ++room;
     }
     if (room == 0) break;
     const double share = residual / static_cast<double>(room);
     for (size_t i = 0; i < n; ++i) {
-      const bool has_room = residual > 0.0 ? out[i] < upper[i] : out[i] > 0.0;
+      const bool has_room = residual > 0.0 ? v[i] < upper[i] : v[i] > 0.0;
       if (!has_room) continue;
-      const double nv = std::clamp(out[i] + share, 0.0, upper[i]);
-      residual -= nv - out[i];
-      out[i] = nv;
+      const double nv = std::clamp(v[i] + share, 0.0, upper[i]);
+      residual -= nv - v[i];
+      v[i] = nv;
     }
   }
-  return out;
 }
 
 QpSolver::Result QpSolver::Maximize(const Objective& objective,

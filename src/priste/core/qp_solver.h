@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "priste/common/thread_annotations.h"
 #include "priste/common/timer.h"
 #include "priste/core/simplex_lp.h"
 #include "priste/linalg/vector.h"
@@ -222,6 +223,14 @@ linalg::Vector ProjectOntoCappedSimplex(const linalg::Vector& v);
 /// with a slack coordinate capped at the number of off-support cells.
 linalg::Vector ProjectOntoCappedSimplex(const linalg::Vector& v,
                                         const linalg::Vector& upper);
+
+/// In-place core of the per-coordinate-cap projection. The PGA inner loop
+/// calls this once per backtrack step, so it must not allocate: the result
+/// overwrites `v` and the only scratch is a thread-local breakpoint buffer
+/// whose capacity is amortized across calls. Both returning overloads
+/// delegate here.
+PRISTE_HOT_PATH void ProjectOntoCappedSimplexInPlace(
+    linalg::Vector& v, const linalg::Vector& upper);
 
 }  // namespace priste::core
 

@@ -7,6 +7,7 @@
 
 #include "priste/common/check.h"
 #include "priste/common/metrics.h"
+#include "priste/common/thread_annotations.h"
 #include "priste/common/strings.h"
 #include "priste/common/timer.h"
 #include "priste/linalg/kernels.h"
@@ -118,8 +119,8 @@ void ReleaseStepContext::EnsureStepRows(ModelEngine& engine, bool need_masked) {
   }
 }
 
-TheoremVectors ReleaseStepContext::CachedVectors(ModelEngine& engine,
-                                                 const ColumnView& column) {
+PRISTE_HOT_PATH TheoremVectors ReleaseStepContext::CachedVectors(
+    ModelEngine& engine, const ColumnView& column) {
   const LiftedEventModel& model = *engine.model;
   const size_t m = model.num_states();
   const int t = t_ + 1;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "priste/common/check.h"
+#include "priste/common/thread_annotations.h"
 
 namespace priste::core {
 namespace {
@@ -564,8 +565,8 @@ SliceLpSolver::SliceLpSolver(linalg::Matrix a, linalg::Vector upper)
 
 SliceLpSolver::~SliceLpSolver() = default;
 
-LpSolution SliceLpSolver::Solve(const linalg::Vector& b,
-                                const linalg::Vector& c) {
+PRISTE_HOT_PATH LpSolution SliceLpSolver::Solve(
+    const linalg::Vector& b, const linalg::Vector& c) {
   impl_->simplex.SetRhs(b);
   const uint64_t key = RhsKey(b);
   const bool had_warm = synced_ || chain_.valid;
@@ -611,6 +612,7 @@ LpSolution SliceLpSolver::Solve(const linalg::Vector& b,
     chain_dirty_ = false;
   }
 
+  memo_->affinity.Check();
   const auto memo_it = memo_->entries.find(key);
   if (memo_it != memo_->entries.end()) {
     // Reinstatement point with an exact-RHS memo hit (the second condition's
@@ -656,6 +658,7 @@ void SliceLpSolver::AttachMemo(SliceBasisMemo* memo) {
 }
 
 void SliceLpSolver::Memoize(uint64_t key) {
+  memo_->affinity.Check();
   SliceBasisMemo::Entry& entry = memo_->entries[key];
   impl_->simplex.ExportBasisRaw(&entry.basis, &entry.at_upper);
 }

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "priste/common/thread_affinity.h"
 #include "priste/linalg/matrix.h"
 #include "priste/linalg/vector.h"
 
@@ -63,14 +64,25 @@ struct LpWarmStart {
 /// entries are in frame coordinates, so the owner clears the memo whenever
 /// the support frame changes. A stale entry is never unsound — a basis of the
 /// wrong shape is rejected by the usual warm-start validation ladder.
+///
+/// Thread affinity: single-threaded by contract, like the WarmState that
+/// carries it — one memo belongs to one release-step engine on one thread.
+/// The owner thread is latched on first access and every later consult or
+/// store DCHECKs it in debug builds (SliceLpSolver calls affinity.Check() at
+/// every memo consult/store); an executor that migrates warm state between
+/// workers must call affinity.Release() at the handoff.
 struct SliceBasisMemo {
   struct Entry {
     std::vector<size_t> basis;
     std::vector<uint8_t> at_upper;
   };
   std::unordered_map<uint64_t, Entry> entries;
+  ThreadAffinity affinity;
 
-  void Clear() { entries.clear(); }
+  void Clear() {
+    affinity.Check();
+    entries.clear();
+  }
 };
 
 /// Two-phase primal simplex with bounded variables and a Bland's-rule

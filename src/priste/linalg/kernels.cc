@@ -1,5 +1,7 @@
 #include "priste/linalg/kernels.h"
 
+#include "priste/common/thread_annotations.h"
+
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -19,7 +21,7 @@ namespace {
 // the grid size) have their scalar bodies here.
 // ---------------------------------------------------------------------------
 
-double ScalarReplicateDot(const double* row, size_t blocks, size_t m,
+PRISTE_HOT_PATH double ScalarReplicateDot(const double* row, size_t blocks, size_t m,
                           const double* cand) {
   double total = 0.0;
   for (size_t q = 0; q < blocks; ++q) {
@@ -28,7 +30,7 @@ double ScalarReplicateDot(const double* row, size_t blocks, size_t m,
   return total;
 }
 
-void ScalarReplicateDotPair(const double* row, size_t blocks, size_t m,
+PRISTE_HOT_PATH void ScalarReplicateDotPair(const double* row, size_t blocks, size_t m,
                             const double* cand, const double* seed,
                             double* seeded, double* plain) {
   double st = 0.0, pt = 0.0;

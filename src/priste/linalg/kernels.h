@@ -3,6 +3,8 @@
 
 #include <cstddef>
 
+#include "priste/common/thread_annotations.h"
+
 namespace priste::linalg::kernels {
 
 /// Hand-vectorized span kernels with runtime dispatch. Every kernel below is
@@ -47,7 +49,7 @@ inline constexpr size_t kGatherInlineThreshold = 32;
 // may map the accumulators onto lanes, but without -ffast-math it must
 // preserve these exact FP semantics.
 
-inline double ScalarSum(const double* x, size_t n) {
+PRISTE_HOT_PATH inline double ScalarSum(const double* x, size_t n) {
   double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
   size_t i = 0;
   for (; i + 4 <= n; i += 4) {
@@ -61,7 +63,7 @@ inline double ScalarSum(const double* x, size_t n) {
   return total;
 }
 
-inline double ScalarDot(const double* a, const double* b, size_t n) {
+PRISTE_HOT_PATH inline double ScalarDot(const double* a, const double* b, size_t n) {
   double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
   size_t i = 0;
   for (; i + 4 <= n; i += 4) {
@@ -75,7 +77,7 @@ inline double ScalarDot(const double* a, const double* b, size_t n) {
   return total;
 }
 
-inline double ScalarDotHadamard(const double* a, const double* b,
+PRISTE_HOT_PATH inline double ScalarDotHadamard(const double* a, const double* b,
                                 const double* c, size_t n) {
   double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
   size_t i = 0;
@@ -90,24 +92,24 @@ inline double ScalarDotHadamard(const double* a, const double* b,
   return total;
 }
 
-inline void ScalarAxpy(double alpha, const double* x, double* y, size_t n) {
+PRISTE_HOT_PATH inline void ScalarAxpy(double alpha, const double* x, double* y, size_t n) {
   for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
 }
 
-inline void ScalarScale(double* x, double alpha, size_t n) {
+PRISTE_HOT_PATH inline void ScalarScale(double* x, double alpha, size_t n) {
   for (size_t i = 0; i < n; ++i) x[i] *= alpha;
 }
 
-inline void ScalarHadamardInPlace(const double* x, double* y, size_t n) {
+PRISTE_HOT_PATH inline void ScalarHadamardInPlace(const double* x, double* y, size_t n) {
   for (size_t i = 0; i < n; ++i) y[i] *= x[i];
 }
 
-inline void ScalarHadamardInto(const double* a, const double* b, double* out,
+PRISTE_HOT_PATH inline void ScalarHadamardInto(const double* a, const double* b, double* out,
                                size_t n) {
   for (size_t i = 0; i < n; ++i) out[i] = a[i] * b[i];
 }
 
-inline double ScalarGatherDot(const double* values, const size_t* cols,
+PRISTE_HOT_PATH inline double ScalarGatherDot(const double* values, const size_t* cols,
                               size_t nnz, const double* x) {
   double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
   size_t k = 0;
@@ -122,7 +124,7 @@ inline double ScalarGatherDot(const double* values, const size_t* cols,
   return total;
 }
 
-inline void ScalarGatherDotPair(const double* bvals, const double* cvals,
+PRISTE_HOT_PATH inline void ScalarGatherDotPair(const double* bvals, const double* cvals,
                                 const size_t* cols, size_t nnz,
                                 const double* x, double* b, double* c) {
   double b0 = 0.0, b1 = 0.0, b2 = 0.0, b3 = 0.0;
@@ -172,39 +174,39 @@ void DispatchGatherDotPair(const double* bvals, const double* cvals,
 }  // namespace detail
 
 /// Σ x[i].
-inline double Sum(const double* x, size_t n) {
+PRISTE_HOT_PATH inline double Sum(const double* x, size_t n) {
   if (n < detail::kInlineThreshold) return detail::ScalarSum(x, n);
   return detail::DispatchSum(x, n);
 }
 
 /// Σ a[i]·b[i].
-inline double Dot(const double* a, const double* b, size_t n) {
+PRISTE_HOT_PATH inline double Dot(const double* a, const double* b, size_t n) {
   if (n < detail::kInlineThreshold) return detail::ScalarDot(a, b, n);
   return detail::DispatchDot(a, b, n);
 }
 
 /// Σ (a[i]·b[i])·c[i] — the fused triple-product reduction behind the
 /// Hadamard-then-dot patterns.
-inline double DotHadamard(const double* a, const double* b, const double* c,
+PRISTE_HOT_PATH inline double DotHadamard(const double* a, const double* b, const double* c,
                           size_t n) {
   if (n < detail::kInlineThreshold) return detail::ScalarDotHadamard(a, b, c, n);
   return detail::DispatchDotHadamard(a, b, c, n);
 }
 
 /// y[i] += alpha·x[i].
-inline void Axpy(double alpha, const double* x, double* y, size_t n) {
+PRISTE_HOT_PATH inline void Axpy(double alpha, const double* x, double* y, size_t n) {
   if (n < detail::kInlineThreshold) return detail::ScalarAxpy(alpha, x, y, n);
   detail::DispatchAxpy(alpha, x, y, n);
 }
 
 /// x[i] *= alpha.
-inline void Scale(double* x, double alpha, size_t n) {
+PRISTE_HOT_PATH inline void Scale(double* x, double alpha, size_t n) {
   if (n < detail::kInlineThreshold) return detail::ScalarScale(x, alpha, n);
   detail::DispatchScale(x, alpha, n);
 }
 
 /// y[i] *= x[i].
-inline void HadamardInPlace(const double* x, double* y, size_t n) {
+PRISTE_HOT_PATH inline void HadamardInPlace(const double* x, double* y, size_t n) {
   if (n < detail::kInlineThreshold) {
     return detail::ScalarHadamardInPlace(x, y, n);
   }
@@ -212,7 +214,7 @@ inline void HadamardInPlace(const double* x, double* y, size_t n) {
 }
 
 /// out[i] = a[i]·b[i].
-inline void HadamardInto(const double* a, const double* b, double* out,
+PRISTE_HOT_PATH inline void HadamardInto(const double* a, const double* b, double* out,
                          size_t n) {
   if (n < detail::kInlineThreshold) {
     return detail::ScalarHadamardInto(a, b, out, n);
@@ -221,7 +223,7 @@ inline void HadamardInto(const double* a, const double* b, double* out,
 }
 
 /// Σ_k values[k]·x[cols[k]] — one CSR row of MatVecSpan.
-inline double GatherDot(const double* values, const size_t* cols, size_t nnz,
+PRISTE_HOT_PATH inline double GatherDot(const double* values, const size_t* cols, size_t nnz,
                         const double* x) {
   if (nnz < detail::kGatherInlineThreshold) {
     return detail::ScalarGatherDot(values, cols, nnz, x);
@@ -235,7 +237,7 @@ inline double GatherDot(const double* values, const size_t* cols, size_t nnz,
 /// value arrays share its random accesses. Each sum uses the same accumulator
 /// blocking as GatherDot, so either result is bit-identical to the two-call
 /// form.
-inline void GatherDotPair(const double* bvals, const double* cvals,
+PRISTE_HOT_PATH inline void GatherDotPair(const double* bvals, const double* cvals,
                           const size_t* cols, size_t nnz, const double* x,
                           double* b, double* c) {
   if (nnz < detail::kGatherInlineThreshold) {
@@ -248,7 +250,7 @@ inline void GatherDotPair(const double* bvals, const double* cvals,
 /// row are unique, so the scatter has no accumulation-order ambiguity. Always
 /// the inline loop: AVX2 has no scatter instruction, so there is no wide path
 /// to dispatch to and the adds are sequential either way.
-inline void ScatterAxpy(double s, const double* values, const size_t* cols,
+PRISTE_HOT_PATH inline void ScatterAxpy(double s, const double* values, const size_t* cols,
                         size_t nnz, double* out) {
   for (size_t k = 0; k < nnz; ++k) out[cols[k]] += s * values[k];
 }
@@ -261,11 +263,12 @@ inline void ScatterAxpy(double s, const double* values, const size_t* cols,
 /// Per-block partial sums are reduced independently and added in block order,
 /// identically on both paths. Always dispatched: blocks·m is large by
 /// construction (m is the grid size).
-double ReplicateDot(const double* row, size_t blocks, size_t m,
-                    const double* cand);
-void ReplicateDotPair(const double* row, size_t blocks, size_t m,
-                      const double* cand, const double* seed, double* seeded,
-                      double* plain);
+PRISTE_HOT_PATH double ReplicateDot(const double* row, size_t blocks,
+                                    size_t m, const double* cand);
+PRISTE_HOT_PATH void ReplicateDotPair(const double* row, size_t blocks,
+                                      size_t m, const double* cand,
+                                      const double* seed, double* seeded,
+                                      double* plain);
 
 /// True when the active dispatch table is the AVX2 one.
 bool SimdActive();

@@ -9,6 +9,7 @@
 // from the scalar a*b+c).
 
 #include "priste/linalg/kernels_dispatch.h"
+#include "priste/common/thread_annotations.h"
 
 #if defined(PRISTE_KERNELS_HAVE_AVX2)
 
@@ -25,7 +26,7 @@ inline double ReduceLanes(__m256d acc) {
   return _mm_cvtsd_f64(s) + _mm_cvtsd_f64(_mm_unpackhi_pd(s, s));
 }
 
-double Avx2Sum(const double* x, size_t n) {
+PRISTE_HOT_PATH double Avx2Sum(const double* x, size_t n) {
   __m256d acc = _mm256_setzero_pd();
   size_t i = 0;
   for (; i + 4 <= n; i += 4) {
@@ -36,7 +37,7 @@ double Avx2Sum(const double* x, size_t n) {
   return total;
 }
 
-double Avx2Dot(const double* a, const double* b, size_t n) {
+PRISTE_HOT_PATH double Avx2Dot(const double* a, const double* b, size_t n) {
   __m256d acc = _mm256_setzero_pd();
   size_t i = 0;
   for (; i + 4 <= n; i += 4) {
@@ -48,7 +49,7 @@ double Avx2Dot(const double* a, const double* b, size_t n) {
   return total;
 }
 
-double Avx2DotHadamard(const double* a, const double* b, const double* c,
+PRISTE_HOT_PATH double Avx2DotHadamard(const double* a, const double* b, const double* c,
                        size_t n) {
   __m256d acc = _mm256_setzero_pd();
   size_t i = 0;
@@ -62,7 +63,7 @@ double Avx2DotHadamard(const double* a, const double* b, const double* c,
   return total;
 }
 
-void Avx2Axpy(double alpha, const double* x, double* y, size_t n) {
+PRISTE_HOT_PATH void Avx2Axpy(double alpha, const double* x, double* y, size_t n) {
   const __m256d va = _mm256_set1_pd(alpha);
   size_t i = 0;
   for (; i + 4 <= n; i += 4) {
@@ -72,7 +73,7 @@ void Avx2Axpy(double alpha, const double* x, double* y, size_t n) {
   for (; i < n; ++i) y[i] += alpha * x[i];
 }
 
-void Avx2Scale(double* x, double alpha, size_t n) {
+PRISTE_HOT_PATH void Avx2Scale(double* x, double alpha, size_t n) {
   const __m256d va = _mm256_set1_pd(alpha);
   size_t i = 0;
   for (; i + 4 <= n; i += 4) {
@@ -81,7 +82,7 @@ void Avx2Scale(double* x, double alpha, size_t n) {
   for (; i < n; ++i) x[i] *= alpha;
 }
 
-void Avx2HadamardInPlace(const double* x, double* y, size_t n) {
+PRISTE_HOT_PATH void Avx2HadamardInPlace(const double* x, double* y, size_t n) {
   size_t i = 0;
   for (; i + 4 <= n; i += 4) {
     _mm256_storeu_pd(
@@ -90,7 +91,7 @@ void Avx2HadamardInPlace(const double* x, double* y, size_t n) {
   for (; i < n; ++i) y[i] *= x[i];
 }
 
-void Avx2HadamardInto(const double* a, const double* b, double* out,
+PRISTE_HOT_PATH void Avx2HadamardInto(const double* a, const double* b, double* out,
                       size_t n) {
   size_t i = 0;
   for (; i + 4 <= n; i += 4) {
@@ -101,7 +102,7 @@ void Avx2HadamardInto(const double* a, const double* b, double* out,
   for (; i < n; ++i) out[i] = a[i] * b[i];
 }
 
-double Avx2GatherDot(const double* values, const size_t* cols, size_t nnz,
+PRISTE_HOT_PATH double Avx2GatherDot(const double* values, const size_t* cols, size_t nnz,
                      const double* x) {
   __m256d acc = _mm256_setzero_pd();
   size_t k = 0;
@@ -117,7 +118,7 @@ double Avx2GatherDot(const double* values, const size_t* cols, size_t nnz,
   return total;
 }
 
-void Avx2GatherDotPair(const double* bvals, const double* cvals,
+PRISTE_HOT_PATH void Avx2GatherDotPair(const double* bvals, const double* cvals,
                        const size_t* cols, size_t nnz, const double* x,
                        double* b, double* c) {
   __m256d bacc = _mm256_setzero_pd();
@@ -143,7 +144,7 @@ void Avx2GatherDotPair(const double* bvals, const double* cvals,
   *c = ct;
 }
 
-double Avx2ReplicateDot(const double* row, size_t blocks, size_t m,
+PRISTE_HOT_PATH double Avx2ReplicateDot(const double* row, size_t blocks, size_t m,
                         const double* cand) {
   double total = 0.0;
   for (size_t q = 0; q < blocks; ++q) {
@@ -152,7 +153,7 @@ double Avx2ReplicateDot(const double* row, size_t blocks, size_t m,
   return total;
 }
 
-void Avx2ReplicateDotPair(const double* row, size_t blocks, size_t m,
+PRISTE_HOT_PATH void Avx2ReplicateDotPair(const double* row, size_t blocks, size_t m,
                           const double* cand, const double* seed,
                           double* seeded, double* plain) {
   double st = 0.0, pt = 0.0;

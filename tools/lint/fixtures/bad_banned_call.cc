@@ -1,0 +1,21 @@
+// Seeded-violation fixture for priste_lint --self-test. NOT compiled.
+// Expected findings: 3x banned-call.
+#include <cstdlib>
+#include <ctime>
+
+int ParsePort(const char* s) {
+  return atoi(s);  // banned-call #1: atoi
+}
+
+double ParseBudget(const char* s) {
+  char* end = nullptr;
+  return strtod(s, &end);  // banned-call #2: raw strtod outside strings.cc
+}
+
+unsigned Seed() {
+  return static_cast<unsigned>(time(nullptr));  // banned-call #3: time()
+}
+
+// Mentions inside comments and strings must NOT fire:
+//   atoi(s), strtod(s, &end), time(nullptr), std::random_device
+const char* kDoc = "call atoi(x) or time(NULL) at your peril";

@@ -1,0 +1,33 @@
+// Seeded-violation fixture for priste_lint --self-test. NOT compiled.
+// Expected findings: 3x hot-path-alloc.
+#include <cstdlib>
+#include <vector>
+
+#define PRISTE_HOT_PATH
+
+PRISTE_HOT_PATH double Accumulate(const std::vector<double>& xs) {
+  std::vector<double> copy;
+  copy.reserve(xs.size());  // hot-path-alloc #1: container growth
+  double sum = 0.0;
+  for (double x : xs) {
+    copy.push_back(x);  // hot-path-alloc #2: container growth
+    sum += x;
+  }
+  double* scratch =
+      static_cast<double*>(malloc(sizeof(double)));  // hot-path-alloc #3
+  *scratch = sum;
+  sum = *scratch;
+  free(scratch);
+  return sum;
+}
+
+// Identical code OUTSIDE a marked body must NOT fire.
+double Cold(const std::vector<double>& xs) {
+  std::vector<double> copy;
+  copy.reserve(xs.size());
+  for (double x : xs) copy.push_back(x);
+  return static_cast<double>(copy.size());
+}
+
+// A marked declaration with the body elsewhere must NOT fire.
+PRISTE_HOT_PATH double DeclaredOnly(const std::vector<double>& xs);

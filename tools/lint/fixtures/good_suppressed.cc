@@ -1,0 +1,19 @@
+// Suppression fixture for priste_lint --self-test. NOT compiled.
+// Every would-be finding here carries a `priste-lint: allow(...)` waiver,
+// so the expected finding count is ZERO.
+#include <cstdlib>
+#include <vector>
+
+#define PRISTE_HOT_PATH
+
+int LegacyParse(const char* s) {
+  // priste-lint: allow(banned-call) exercising the suppression syntax
+  return atoi(s);
+}
+
+PRISTE_HOT_PATH double Warmup(std::vector<double>* scratch) {
+  // priste-lint: allow(hot-path-alloc) one-time thread_local warm-up growth
+  scratch->reserve(64);
+  scratch->push_back(1.0);  // priste-lint: allow(hot-path-alloc) amortized
+  return scratch->back();
+}

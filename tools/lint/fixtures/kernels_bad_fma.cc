@@ -1,0 +1,19 @@
+// Seeded-violation fixture for priste_lint --self-test. NOT compiled.
+// Poses as src/priste/linalg/kernels_bad_fma.cc so the kernel-TU scope
+// applies. Expected findings: 2x fma-pattern.
+#include <cmath>
+
+double FusedDot(const double* a, const double* b, int n) {
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) {
+    acc = std::fma(a[i], b[i], acc);  // fma-pattern #1
+  }
+  return acc;
+}
+
+double FusedStep(double x, double m, double c) {
+  return fma(x, m, c);  // fma-pattern #2: C fma()
+}
+
+// std::fmax / fmax are NOT fma and must not fire:
+double Clip(double x, double lo) { return std::fmax(x, lo); }

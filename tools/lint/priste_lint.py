@@ -1,0 +1,485 @@
+#!/usr/bin/env python3
+"""priste_lint: project-invariant linter for the PriSTE tree.
+
+Enforces three families of invariants that ordinary compiler warnings cannot
+express:
+
+  banned-call      Locale-dependent / non-deterministic calls are forbidden in
+                   src/: atoi, atof, raw strtod, rand, time(), and
+                   std::random_device. Determinism is a paper-level contract
+                   (the experiment harness replays byte-identical runs), and
+                   locale-dependent parsing corrupts release tables on
+                   non-C locales. The strict parser itself
+                   (src/priste/common/strings.cc) is the sanctioned home of
+                   strtod and is exempt.
+
+  hot-path-alloc   Functions marked PRISTE_HOT_PATH must not allocate: no
+                   new / malloc-family calls and no allocating container
+                   growth (push_back, emplace_back, resize, reserve, insert,
+                   emplace) lexically inside the marked function body. The
+                   check is LEXICAL and body-only — it does not chase callees
+                   — which keeps it honest in both libclang and regex modes;
+                   the contract note lives in README.md. Amortized
+                   thread-local scratch growth may be waived line-by-line
+                   with `// priste-lint: allow(hot-path-alloc)`.
+
+  fma-pattern      The kernel TUs (src/priste/linalg/kernels*) carry a
+                   scalar/AVX2 bit-identity contract: every multiply and add
+                   must round separately, so fused multiply-add — std::fma,
+                   C fma(), or the _mm256_f{n}madd/f{n}msub intrinsics — is
+                   forbidden there. (FP contraction is separately pinned off
+                   via -ffp-contract=off in the CMakeLists.)
+
+Usage:
+  priste_lint.py --compile-commands build/compile_commands.json [--src-root .]
+  priste_lint.py --self-test        # run against the seeded fixtures
+
+The linter prefers libclang (python3-clang + compile_commands.json) for exact
+function-extent resolution of PRISTE_HOT_PATH bodies; when libclang is not
+importable it falls back to a brace-matching regex scanner over the same file
+set. Both modes honor the same suppression comment:
+
+  // priste-lint: allow(<rule>) <justification>
+
+which waives <rule> on that line and the following line.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+# --- Rule tables -----------------------------------------------------------
+
+# Files where `strtod` is sanctioned: the strict parser wraps it once, under
+# an explicit errno/endptr protocol, and everything else goes through that
+# wrapper.
+SANCTIONED_FILES = {
+    "src/priste/common/strings.cc",
+}
+
+# banned-call: token -> reason. Matched as a whole identifier followed by an
+# open paren (or, for random_device, as a type use).
+BANNED_CALLS = [
+    (re.compile(r"(?<![\w:.>])atoi\s*\("),
+     "atoi: no error reporting and locale-dependent; use priste::ParseInt"),
+    (re.compile(r"(?<![\w:.>])atof\s*\("),
+     "atof: no error reporting and locale-dependent; use priste::ParseDouble"),
+    (re.compile(r"(?<![\w:.>])strtod\s*\("),
+     "raw strtod: locale-dependent; use priste::ParseDouble "
+     "(sanctioned only inside common/strings.cc)"),
+    (re.compile(r"(?<![\w:.>])rand\s*\(\s*\)"),
+     "rand(): hidden global state breaks replayable experiments; "
+     "use a seeded std::mt19937_64"),
+    (re.compile(r"(?<![\w:.>])time\s*\(\s*(?:NULL|nullptr|0|&\w+)?\s*\)"),
+     "time(): wall-clock in library code breaks determinism; "
+     "take a Deadline or a seed from the caller"),
+    (re.compile(r"std::random_device"),
+     "std::random_device: non-deterministic seeding; "
+     "seeds must come from config so runs replay"),
+]
+
+# hot-path-alloc: allocation tokens forbidden inside PRISTE_HOT_PATH bodies.
+HOT_PATH_ALLOC = [
+    (re.compile(r"(?<![\w:])new\s+[A-Za-z_:<]"), "operator new"),
+    (re.compile(r"(?<![\w:.>])(?:malloc|calloc|realloc|aligned_alloc)\s*\("),
+     "malloc-family call"),
+    (re.compile(r"(?:\.|->)\s*(?:push_back|emplace_back|resize|reserve|"
+                r"insert|emplace)\s*\("),
+     "allocating container growth"),
+    (re.compile(r"std::make_(?:unique|shared)\s*<"), "heap-allocating factory"),
+]
+
+# fma-pattern: fused multiply-add spellings forbidden in kernel TUs.
+FMA_PATTERNS = [
+    (re.compile(r"std::fma[f]?\s*\("), "std::fma"),
+    (re.compile(r"(?<![\w:.>])fma[f]?\s*\("), "C fma()"),
+    (re.compile(r"_mm(?:256|512)?_fn?m(?:add|sub)"), "FMA intrinsic"),
+]
+
+KERNEL_FILE_RE = re.compile(r"src/priste/linalg/kernels[^/]*\.(?:h|cc)$")
+
+SUPPRESS_RE = re.compile(r"//\s*priste-lint:\s*allow\(([a-z-]+)\)")
+
+HOT_PATH_MARKER = "PRISTE_HOT_PATH"
+
+# Only first-party code is linted; third-party/test trees are out of scope.
+LINT_EXTENSIONS = (".h", ".cc")
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+# --- Shared lexical helpers ------------------------------------------------
+
+
+def strip_comments_and_strings(text):
+    """Blanks out comments and string/char literals, preserving offsets and
+    newlines, EXCEPT that line comments are preserved (suppressions and the
+    hot-path marker never appear in strings, but suppressions DO live in
+    line comments — we keep those readable and blank everything else)."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            if j == -1:
+                j = n
+            out.append(text[i:j])  # keep line comments (suppressions)
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.append(re.sub(r"[^\n]", " ", text[i:j]))
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == quote:
+                    j += 1
+                    break
+                if text[j] == "\n":  # unterminated (raw string etc.) — bail
+                    break
+                j += 1
+            out.append(quote + " " * max(0, j - i - 2) +
+                       (quote if j <= n and j - i >= 2 else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def suppressed_lines(lines):
+    """Map rule -> set of 1-based line numbers waived by allow() comments.
+    A suppression covers its own line and the next line."""
+    waived = {}
+    for idx, line in enumerate(lines, start=1):
+        for m in SUPPRESS_RE.finditer(line):
+            rule = m.group(1)
+            waived.setdefault(rule, set()).update({idx, idx + 1})
+    return waived
+
+
+def find_hot_path_extents_regex(clean_text):
+    """Yields (start_line, end_line) for each function body following a
+    PRISTE_HOT_PATH marker, by brace matching from the first '{' after the
+    marker. Lexical by design."""
+    extents = []
+    for m in re.finditer(re.escape(HOT_PATH_MARKER), clean_text):
+        # Skip the macro's own definition and mentions in comments.
+        line_start = clean_text.rfind("\n", 0, m.start()) + 1
+        line = clean_text[line_start:clean_text.find("\n", m.start())]
+        if "#define" in line or line.lstrip().startswith("//"):
+            continue
+        open_brace = clean_text.find("{", m.end())
+        semi = clean_text.find(";", m.end())
+        if open_brace == -1 or (semi != -1 and semi < open_brace):
+            continue  # declaration only — body lives elsewhere
+        depth = 0
+        i = open_brace
+        n = len(clean_text)
+        while i < n:
+            if clean_text[i] == "{":
+                depth += 1
+            elif clean_text[i] == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        start_line = clean_text.count("\n", 0, open_brace) + 1
+        end_line = clean_text.count("\n", 0, i) + 1
+        extents.append((start_line, end_line))
+    return extents
+
+
+# --- File-level checks ------------------------------------------------------
+
+
+def relpath(path, src_root):
+    try:
+        return os.path.relpath(path, src_root).replace(os.sep, "/")
+    except ValueError:
+        return path.replace(os.sep, "/")
+
+
+def lint_file(path, src_root):
+    rel = relpath(path, src_root)
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            text = f.read()
+    except OSError as e:
+        return [Finding(rel, 0, "io", str(e))]
+
+    clean = strip_comments_and_strings(text)
+    lines = clean.split("\n")
+    waived = suppressed_lines(text.split("\n"))
+    findings = []
+
+    # banned-call over all of src/ (minus sanctioned files).
+    if rel not in SANCTIONED_FILES:
+        for idx, line in enumerate(lines, start=1):
+            code = line.split("//", 1)[0]
+            for pattern, why in BANNED_CALLS:
+                if pattern.search(code):
+                    if idx in waived.get("banned-call", ()):
+                        continue
+                    findings.append(Finding(rel, idx, "banned-call", why))
+
+    # fma-pattern in kernel TUs only.
+    if KERNEL_FILE_RE.search(rel):
+        for idx, line in enumerate(lines, start=1):
+            code = line.split("//", 1)[0]
+            for pattern, why in FMA_PATTERNS:
+                if pattern.search(code):
+                    if idx in waived.get("fma-pattern", ()):
+                        continue
+                    findings.append(Finding(
+                        rel, idx, "fma-pattern",
+                        f"{why} breaks the scalar/AVX2 bit-identity "
+                        "contract (see linalg/CMakeLists.txt)"))
+
+    # hot-path-alloc inside PRISTE_HOT_PATH extents.
+    if HOT_PATH_MARKER in clean:
+        for start, end in find_hot_path_extents_regex(clean):
+            for idx in range(start, end + 1):
+                if idx - 1 >= len(lines):
+                    break
+                code = lines[idx - 1].split("//", 1)[0]
+                for pattern, why in HOT_PATH_ALLOC:
+                    if pattern.search(code):
+                        if idx in waived.get("hot-path-alloc", ()):
+                            continue
+                        findings.append(Finding(
+                            rel, idx, "hot-path-alloc",
+                            f"{why} inside a PRISTE_HOT_PATH body "
+                            "(lexical, body-only check)"))
+    return findings
+
+
+# --- libclang mode ----------------------------------------------------------
+
+
+def try_libclang():
+    try:
+        from clang import cindex  # noqa: F401
+        idx = cindex.Index.create()
+        return cindex, idx
+    except Exception:
+        return None, None
+
+
+def hot_path_extents_libclang(cindex, index, entry):
+    """Exact function extents for PRISTE_HOT_PATH via the annotate attribute.
+    Returns {abspath: [(start, end), ...]} or None when parsing fails."""
+    args = []
+    raw = entry.get("arguments")
+    if raw:
+        args = list(raw[1:])
+    else:
+        # Crude shlex-free split is fine for CMake-generated commands.
+        args = entry.get("command", "").split()[1:]
+    args = [a for a in args if a not in ("-c",)]
+    # Drop the -o <obj> pair and the source file itself.
+    pruned = []
+    skip = False
+    for a in args:
+        if skip:
+            skip = False
+            continue
+        if a == "-o":
+            skip = True
+            continue
+        pruned.append(a)
+    src = entry["file"]
+    if pruned and pruned[-1].endswith(src.split("/")[-1]):
+        pruned = pruned[:-1]
+    try:
+        tu = index.parse(src, args=pruned)
+    except Exception:
+        return None
+    if any(d.severity >= 4 for d in tu.diagnostics):
+        return None
+    out = {}
+
+    def visit(node):
+        if node.kind in (cindex.CursorKind.FUNCTION_DECL,
+                         cindex.CursorKind.CXX_METHOD,
+                         cindex.CursorKind.FUNCTION_TEMPLATE) and \
+                node.is_definition():
+            for child in node.get_children():
+                if child.kind == cindex.CursorKind.ANNOTATE_ATTR and \
+                        child.spelling == "priste_hot_path":
+                    ext = node.extent
+                    out.setdefault(os.path.abspath(ext.start.file.name),
+                                   []).append(
+                        (ext.start.line, ext.end.line))
+        for child in node.get_children():
+            visit(child)
+
+    visit(tu.cursor)
+    return out
+
+
+# --- Drivers ----------------------------------------------------------------
+
+
+def collect_sources(compile_commands, src_root):
+    """First-party files named by the compilation DB, plus their headers."""
+    files = set()
+    with open(compile_commands, encoding="utf-8") as f:
+        db = json.load(f)
+    for entry in db:
+        src = entry["file"]
+        if not os.path.isabs(src):
+            src = os.path.join(entry.get("directory", ""), src)
+        src = os.path.abspath(src)
+        rel = relpath(src, src_root)
+        if rel.startswith("src/") and rel.endswith(LINT_EXTENSIONS):
+            files.add(src)
+    # Headers are not compile_commands entries; walk src/ for them.
+    for root, _dirs, names in os.walk(os.path.join(src_root, "src")):
+        for name in names:
+            if name.endswith(".h"):
+                files.add(os.path.abspath(os.path.join(root, name)))
+    return sorted(files), db
+
+
+def run(compile_commands, src_root):
+    files, db = collect_sources(compile_commands, src_root)
+    cindex, index = try_libclang()
+    mode = "libclang" if cindex else "regex"
+    print(f"priste_lint: {len(files)} files, mode={mode}", file=sys.stderr)
+    findings = []
+    for path in files:
+        findings.extend(lint_file(path, src_root))
+    # libclang refines nothing today beyond the lexical pass (the lexical
+    # extents already cover every marked body), but we still parse one TU to
+    # verify the annotate attribute survives the build flags — a macro
+    # regression (e.g. PRISTE_HOT_PATH redefined empty under Clang) would
+    # otherwise silently disable the rule.
+    if cindex:
+        marked = [e for e in db
+                  if "kernels" in e["file"] or "qp_solver" in e["file"]]
+        for entry in marked[:1]:
+            extents = hot_path_extents_libclang(cindex, index, entry)
+            if extents is not None and not extents:
+                print("priste_lint: WARNING: libclang saw no priste_hot_path "
+                      "annotations in a kernel TU — marker may be disabled",
+                      file=sys.stderr)
+    return findings
+
+
+def run_self_test(src_root):
+    """Negative test: the seeded fixtures MUST produce these findings, and
+    the allow() fixture must produce none."""
+    fixtures = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                            "fixtures")
+    expectations = {
+        "bad_banned_call.cc": {"banned-call": 3},
+        "bad_hot_path_alloc.cc": {"hot-path-alloc": 3},
+        "kernels_bad_fma.cc": {"fma-pattern": 2},
+        "good_suppressed.cc": {},
+    }
+    failures = []
+    for name, expected in expectations.items():
+        path = os.path.join(fixtures, name)
+        # Fixtures pose as src/ files so the path-scoped rules fire; the
+        # fma fixture poses as a kernel TU.
+        if name.startswith("kernels_"):
+            rel = f"src/priste/linalg/{name}"
+        else:
+            rel = f"src/priste/fixture/{name}"
+        findings = lint_fixture(path, rel)
+        got = {}
+        for f in findings:
+            got[f.rule] = got.get(f.rule, 0) + 1
+        if got != expected:
+            failures.append(f"{name}: expected {expected}, got {got}")
+            for f in findings:
+                print(f"  {f}", file=sys.stderr)
+    if failures:
+        for f in failures:
+            print(f"priste_lint self-test FAILED: {f}", file=sys.stderr)
+        return 1
+    print(f"priste_lint self-test OK ({len(expectations)} fixtures)",
+          file=sys.stderr)
+    return 0
+
+
+def lint_fixture(path, rel):
+    """lint_file, but with the repo-relative identity overridden so fixtures
+    exercise the path-scoped rules from their quarantine directory."""
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    clean = strip_comments_and_strings(text)
+    lines = clean.split("\n")
+    waived = suppressed_lines(text.split("\n"))
+    findings = []
+    if rel not in SANCTIONED_FILES:
+        for idx, line in enumerate(lines, start=1):
+            code = line.split("//", 1)[0]
+            for pattern, why in BANNED_CALLS:
+                if pattern.search(code) and \
+                        idx not in waived.get("banned-call", ()):
+                    findings.append(Finding(rel, idx, "banned-call", why))
+    if KERNEL_FILE_RE.search(rel):
+        for idx, line in enumerate(lines, start=1):
+            code = line.split("//", 1)[0]
+            for pattern, why in FMA_PATTERNS:
+                if pattern.search(code) and \
+                        idx not in waived.get("fma-pattern", ()):
+                    findings.append(Finding(rel, idx, "fma-pattern", why))
+    for start, end in find_hot_path_extents_regex(clean):
+        for idx in range(start, end + 1):
+            if idx - 1 >= len(lines):
+                break
+            code = lines[idx - 1].split("//", 1)[0]
+            for pattern, why in HOT_PATH_ALLOC:
+                if pattern.search(code) and \
+                        idx not in waived.get("hot-path-alloc", ()):
+                    findings.append(Finding(rel, idx, "hot-path-alloc", why))
+    return findings
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--compile-commands",
+                        help="path to compile_commands.json")
+    parser.add_argument("--src-root", default=".",
+                        help="repository root (default: cwd)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the seeded-fixture negative test")
+    args = parser.parse_args()
+
+    src_root = os.path.abspath(args.src_root)
+    if args.self_test:
+        return run_self_test(src_root)
+    if not args.compile_commands:
+        parser.error("--compile-commands is required (or use --self-test)")
+    findings = run(args.compile_commands, src_root)
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"priste_lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("priste_lint: clean", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
