@@ -5,8 +5,10 @@
 #                 forced off (PRISTE_MAX_CACHE_SUPPORT=0), on top of the
 #                 always-on <suite>.coldcache ctest entries
 #   --lint        after the suite, run the project-invariant linter
-#                 (tools/lint/priste_lint.py) over the build's
-#                 compile_commands.json — same pass as the CI lint job
+#                 (tools/lint/priste_lint.py) AND the whole-program
+#                 call-graph pass (tools/lint/priste_callgraph.py) over the
+#                 build's compile_commands.json — same passes as the CI
+#                 lint job
 #   build-dir     defaults to build
 set -eu
 
@@ -37,4 +39,6 @@ if [ "$RUN_LINT" = "1" ]; then
   ROOT="$(dirname "$0")/.."
   python3 "$ROOT/tools/lint/priste_lint.py" --self-test
   python3 "$ROOT/tools/lint/priste_lint.py"     --compile-commands "$BUILD_DIR/compile_commands.json" --src-root "$ROOT"
+  python3 "$ROOT/tools/lint/priste_callgraph.py" --self-test
+  python3 "$ROOT/tools/lint/priste_callgraph.py" --compile-commands "$BUILD_DIR/compile_commands.json" --src-root "$ROOT"
 fi

@@ -21,6 +21,7 @@ void* Arena::Allocate(size_t bytes, size_t align) {
   uintptr_t aligned = (p + align - 1) & ~(uintptr_t{align} - 1);
   const size_t needed = bytes + (aligned - p);
   if (ptr_ == nullptr || needed > static_cast<size_t>(end_ - ptr_)) {
+    // priste-lint: allow(hot-path-alloc-transitive) amortized geometric refill
     char* out = AllocateSlow(bytes, align);
     bytes_used_ += bytes;
     return out;

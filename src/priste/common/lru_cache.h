@@ -59,7 +59,7 @@ class ShardedLruCache {
 
   /// The cached value, or nullptr on miss. A hit moves the entry to the
   /// shard's MRU position.
-  Handle Lookup(const Key& key) {
+  [[nodiscard]] Handle Lookup(const Key& key) {
     if (!enabled()) {
       misses_.Increment();
       return nullptr;
@@ -80,7 +80,8 @@ class ShardedLruCache {
   /// handle to it (replacing any previous entry for the key). May evict LRU
   /// entries of the same shard; an over-capacity value is still returned to
   /// the caller but immediately evicted from the cache itself.
-  Handle Insert(const Key& key, Value value, size_t charge_bytes) {
+  [[nodiscard]] Handle Insert(const Key& key, Value value,
+                              size_t charge_bytes) {
     Handle handle = std::make_shared<const Value>(std::move(value));
     if (!enabled()) return handle;
     Shard& shard = ShardFor(key);
@@ -109,8 +110,8 @@ class ShardedLruCache {
   /// key may both build; the values are deterministic duplicates and the
   /// second insert simply replaces the first, so correctness is unaffected.
   template <typename BuildFn, typename ChargeFn>
-  Handle GetOrBuild(const Key& key, const BuildFn& build,
-                    const ChargeFn& charge_bytes) {
+  [[nodiscard]] Handle GetOrBuild(const Key& key, const BuildFn& build,
+                                  const ChargeFn& charge_bytes) {
     if (Handle cached = Lookup(key)) return cached;
     Value built = build();
     const size_t charge = charge_bytes(built);

@@ -2,6 +2,7 @@
 #define PRISTE_COMMON_STATUS_H_
 
 #include <cstdint>
+#include <expected>
 #include <optional>
 #include <ostream>
 #include <string>
@@ -135,6 +136,103 @@ void StatusOr<T>::AbortIfError() const {
   if (!ok()) internal_status::DieBadStatusAccess(status_);
 }
 
+/// The error payload of Result<T>: a code plus a human-readable message.
+/// Unlike Status there is no OK state — an Error always denotes failure, so
+/// Result<T> never stores a "success error" the way StatusOr stores an OK
+/// Status alongside its value.
+struct Error {
+  StatusCode code = StatusCode::kInternal;
+  std::string message;
+
+  /// Renders "<code>: <message>" ("invalid_argument: bad lat field").
+  std::string ToString() const {
+    std::string out = StatusCodeToString(code);
+    if (!message.empty()) {
+      out += ": ";
+      out += message;
+    }
+    return out;
+  }
+
+  friend bool operator==(const Error& a, const Error& b) = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Error& error) {
+  return os << error.ToString();
+}
+
+/// Converts between the two error layers. Converting an OK Status is a
+/// programming error; it is normalized to kInternal so the bug is visible in
+/// the rendered message instead of silently fabricating success.
+inline Error ToError(const Status& status) {
+  if (status.ok()) return Error{StatusCode::kInternal, "ToError(OK status)"};
+  return Error{status.code(), status.message()};
+}
+inline Status ToStatus(const Error& error) {
+  return Status(error.code, error.message);
+}
+
+/// Helpers producing an `std::unexpected<Error>` that implicitly converts to
+/// any Result<T>; the serving-boundary analogue of the Status factories:
+///
+///   Result<int> ParseInt(...) {
+///     if (bad) return err::InvalidArgument("int field: " + token);
+///     ...
+///   }
+namespace err {
+// Named MakeUnexpected (not Make) deliberately: the call-graph analysis
+// resolves calls by simple name, and a helper called Make would alias every
+// factory Make in the tree, dragging their CHECKs into no-abort paths.
+inline std::unexpected<Error> MakeUnexpected(StatusCode code,
+                                             std::string msg) {
+  return std::unexpected(Error{code, std::move(msg)});
+}
+inline std::unexpected<Error> InvalidArgument(std::string msg) {
+  return MakeUnexpected(StatusCode::kInvalidArgument, std::move(msg));
+}
+inline std::unexpected<Error> FailedPrecondition(std::string msg) {
+  return MakeUnexpected(StatusCode::kFailedPrecondition, std::move(msg));
+}
+inline std::unexpected<Error> OutOfRange(std::string msg) {
+  return MakeUnexpected(StatusCode::kOutOfRange, std::move(msg));
+}
+inline std::unexpected<Error> NotFound(std::string msg) {
+  return MakeUnexpected(StatusCode::kNotFound, std::move(msg));
+}
+inline std::unexpected<Error> ResourceExhausted(std::string msg) {
+  return MakeUnexpected(StatusCode::kResourceExhausted, std::move(msg));
+}
+inline std::unexpected<Error> Internal(std::string msg) {
+  return MakeUnexpected(StatusCode::kInternal, std::move(msg));
+}
+inline std::unexpected<Error> Unimplemented(std::string msg) {
+  return MakeUnexpected(StatusCode::kUnimplemented, std::move(msg));
+}
+}  // namespace err
+
+/// Either a value of type T or an Error, built on C++23 std::expected.
+/// Accessing the value of an error Result via value() throws
+/// std::bad_expected_access (std::expected's contract); serving-boundary code
+/// annotated PRISTE_NO_ABORT must use PRISTE_TRY / has_value() instead.
+///
+/// The ok()/status() shims keep Result drop-in compatible with call sites
+/// written against StatusOr, so the serving boundary migrates without
+/// rewriting every caller.
+template <typename T>
+class [[nodiscard]] Result : public std::expected<T, Error> {
+  using base = std::expected<T, Error>;
+
+ public:
+  using base::base;
+
+  bool ok() const { return this->has_value(); }
+
+  /// Status view of the error state, for StatusOr-compatible call sites.
+  Status status() const {
+    return this->has_value() ? Status() : ToStatus(this->error());
+  }
+};
+
 }  // namespace priste
 
 /// Evaluates `expr` (a Status expression); returns it from the enclosing
@@ -158,5 +256,42 @@ void StatusOr<T>::AbortIfError() const {
 
 #define PRISTE_STATUS_CONCAT_(a, b) PRISTE_STATUS_CONCAT_IMPL_(a, b)
 #define PRISTE_STATUS_CONCAT_IMPL_(a, b) a##b
+
+/// Evaluates `rexpr` (a Result<T> expression); on success moves the value
+/// into `lhs`, otherwise propagates the Error from the enclosing function.
+/// The enclosing function may return Result<U> for any U — the
+/// std::unexpected<Error> converts.
+#define PRISTE_TRY(lhs, rexpr)                                     \
+  PRISTE_TRY_IMPL_(PRISTE_STATUS_CONCAT_(priste_result_, __LINE__), \
+                   lhs, rexpr)
+
+#define PRISTE_TRY_IMPL_(result, lhs, rexpr)                        \
+  auto result = (rexpr);                                            \
+  if (!result.has_value())                                          \
+    return ::std::unexpected(::std::move(result).error());          \
+  lhs = *::std::move(result)
+
+/// Evaluates `expr` (a Result<T> expression whose value is not needed);
+/// propagates the Error from the enclosing function on failure.
+#define PRISTE_TRY_VOID(expr)                                       \
+  do {                                                              \
+    auto priste_result_tmp_ = (expr);                               \
+    if (!priste_result_tmp_.has_value())                            \
+      return ::std::unexpected(::std::move(priste_result_tmp_).error()); \
+  } while (false)
+
+/// Bridge for Result-returning functions calling StatusOr-returning
+/// internals: on success moves the value into `lhs`, otherwise propagates the
+/// Status as an Error. The ok() check precedes value(), so the StatusOr abort
+/// path is provably dead here.
+#define PRISTE_TRY_FROM_STATUS(lhs, rexpr)                          \
+  PRISTE_TRY_FROM_STATUS_IMPL_(                                     \
+      PRISTE_STATUS_CONCAT_(priste_statusor_, __LINE__), lhs, rexpr)
+
+#define PRISTE_TRY_FROM_STATUS_IMPL_(statusor, lhs, rexpr)          \
+  auto statusor = (rexpr);                                          \
+  if (!statusor.ok())                                               \
+    return ::std::unexpected(::priste::ToError(statusor.status())); \
+  lhs = ::std::move(statusor).value()
 
 #endif  // PRISTE_COMMON_STATUS_H_

@@ -23,11 +23,11 @@ std::string FormatDouble(double value, int digits = 6);
 /// int. Returns false (leaving *out untouched) on invalid input. This is the
 /// parser behind every environment knob; std::atoi's silent prefix parsing
 /// ("4x" → 4) and silent zero ("abc" → 0) are exactly what it replaces.
-bool ParseInt32(const std::string& s, int* out);
+[[nodiscard]] bool ParseInt32(const std::string& s, int* out);
 
 /// Strict full-string base-10 parser for unsigned 64-bit values (RNG seeds):
 /// digits only, no sign/whitespace/garbage, must fit in uint64_t.
-bool ParseUint64(const std::string& s, uint64_t* out);
+[[nodiscard]] bool ParseUint64(const std::string& s, uint64_t* out);
 
 /// Strict full-string parser for FINITE decimal doubles: optional sign,
 /// decimal digits with optional fraction and decimal exponent ("1", "-0.5",
@@ -36,7 +36,7 @@ bool ParseUint64(const std::string& s, uint64_t* out);
 /// parse), hex-floats ("0x1p3"), whitespace, trailing garbage ("1.5z"), and
 /// values that overflow to infinity. Returns false (leaving *out untouched)
 /// on invalid input.
-bool ParseDouble(const std::string& s, double* out);
+[[nodiscard]] bool ParseDouble(const std::string& s, double* out);
 
 /// Reads environment variable `name` through the strict parser. Unset or
 /// empty → `fallback` silently; set but invalid (garbage, negative, overflow,

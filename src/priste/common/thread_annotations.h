@@ -90,16 +90,32 @@
 #define PRISTE_NO_THREAD_SAFETY_ANALYSIS \
   PRISTE_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
 
-/// Marks a function whose lexical body must stay free of direct heap
-/// allocation: no `new`/`malloc`-family calls and no std-container growth
-/// (push_back/resize/reserve/...). Enforced by tools/lint/priste_lint.py
-/// (rule `hot-path-alloc`); arena allocation (priste::Arena) and writes into
-/// preallocated buffers are the sanctioned alternatives. The contract is
-/// lexical, not transitive — callees are checked only if themselves marked.
+/// Marks a function whose body must stay free of direct heap allocation: no
+/// `new`/`malloc`-family calls and no std-container growth
+/// (push_back/resize/reserve/...). Enforced at two depths: the lexical body
+/// rule `hot-path-alloc` (tools/lint/priste_lint.py) and the whole-program
+/// transitive rule `hot-path-alloc-transitive`
+/// (tools/lint/priste_callgraph.py), which follows every call path out of the
+/// marked body and flags allocations in unmarked helpers too. Arena
+/// allocation (priste::Arena) and writes into preallocated buffers are the
+/// sanctioned alternatives; amortized scratch growth carries a
+/// `// priste-lint: allow(...)` waiver at the allocation or call edge.
 #if defined(__clang__)
 #define PRISTE_HOT_PATH __attribute__((annotate("priste_hot_path")))
 #else
 #define PRISTE_HOT_PATH
+#endif
+
+/// Marks a serving-boundary entry point that must return a typed error
+/// (priste::Result / priste::Status) instead of terminating the process on
+/// bad input: no path from the annotated body may reach PRISTE_CHECK,
+/// abort/exit, std::terminate, or a throw. PRISTE_DCHECK is permitted — it
+/// compiles away in NDEBUG serving builds. Enforced transitively by
+/// tools/lint/priste_callgraph.py (rule `no-abort-reachable`).
+#if defined(__clang__)
+#define PRISTE_NO_ABORT __attribute__((annotate("priste_no_abort")))
+#else
+#define PRISTE_NO_ABORT
 #endif
 
 #endif  // PRISTE_COMMON_THREAD_ANNOTATIONS_H_

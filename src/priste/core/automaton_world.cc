@@ -86,6 +86,7 @@ void AutomatonWorldModel::StepRowSpanInto(const double* v, int t,
 
   std::memset(out, 0, lifted_size() * sizeof(double));
   static thread_local std::vector<double> u;
+  // priste-lint: allow(hot-path-alloc) amortized thread_local scratch growth
   u.resize(m);
   for (int q = 0; q < k; ++q) {
     const double* vq = v + static_cast<size_t>(q) * m;

@@ -1,10 +1,14 @@
 #ifndef PRISTE_CORE_PRISTE_H_
 #define PRISTE_CORE_PRISTE_H_
 
+#include <memory>
 #include <vector>
 
+#include "priste/common/status.h"
+#include "priste/core/event_model.h"
 #include "priste/core/qp_solver.h"
 #include "priste/core/release_step.h"
+#include "priste/geo/grid.h"
 #include "priste/geo/trajectory.h"
 
 namespace priste::core {
@@ -66,6 +70,16 @@ struct RunResult {
   /// Release-step engine counters (cache hits, warm-start accepts/rejects).
   ReleaseStepDiagnostics release_diagnostics;
 };
+
+/// Shared input-validation prelude of the PriSTE drivers' Run methods: the
+/// trajectory must be non-empty, cover every protected event's window, and
+/// visit only cells of `grid`. Annotated PRISTE_NO_ABORT (definition) — bad
+/// serving input yields a typed Error, never a process abort; the drivers'
+/// hot loops may then downgrade their per-step checks to PRISTE_DCHECK.
+Result<void> ValidateRunInput(
+    const geo::Grid& grid,
+    const std::vector<std::shared_ptr<const LiftedEventModel>>& models,
+    const geo::Trajectory& trajectory);
 
 }  // namespace priste::core
 

@@ -30,17 +30,10 @@ PristeDeltaLoc::PristeDeltaLoc(geo::Grid grid, markov::TransitionMatrix chain,
   }
 }
 
-StatusOr<RunResult> PristeDeltaLoc::Run(const geo::Trajectory& true_trajectory,
-                                        Rng& rng) const {
+Result<RunResult> PristeDeltaLoc::Run(const geo::Trajectory& true_trajectory,
+                                      Rng& rng) const {
+  PRISTE_TRY_VOID(ValidateRunInput(grid_, models_, true_trajectory));
   const int T = true_trajectory.length();
-  if (T < 1) return Status::InvalidArgument("empty trajectory");
-  for (const auto& model : models_) {
-    if (model->event_end() > T) {
-      return Status::InvalidArgument(StrFormat(
-          "trajectory length %d does not cover event window ending at %d", T,
-          model->event_end()));
-    }
-  }
 
   Timer run_timer;
   RunResult result;
@@ -66,12 +59,12 @@ StatusOr<RunResult> PristeDeltaLoc::Run(const geo::Trajectory& true_trajectory,
   for (int t = 1; t <= T; ++t) {
     const Timer step_timer;
     const int true_cell = true_trajectory.At(t);
-    PRISTE_CHECK(grid_.ContainsCell(true_cell));
+    PRISTE_DCHECK(grid_.ContainsCell(true_cell));  // validated in the prelude
 
     // Line 2: Markov prediction; line 3: δ-location set.
     const linalg::Vector predicted = chain_.Propagate(posterior);
-    PRISTE_ASSIGN_OR_RETURN(geo::Region location_set,
-                            lppm::DeltaLocationSet(predicted, delta_));
+    PRISTE_TRY_FROM_STATUS(geo::Region location_set,
+                           lppm::DeltaLocationSet(predicted, delta_));
 
     StepRecord step;
     step.t = t;
@@ -118,8 +111,8 @@ StatusOr<RunResult> PristeDeltaLoc::Run(const geo::Trajectory& true_trajectory,
     }
 
     // Line 8 / Eq. (21): posterior update from the released observation.
-    PRISTE_ASSIGN_OR_RETURN(posterior,
-                            hmm::PosteriorUpdate(predicted, released_column));
+    PRISTE_TRY_FROM_STATUS(posterior,
+                           hmm::PosteriorUpdate(predicted, released_column));
 
     halvings_counter.Increment(step.halvings);
     step_seconds.Record(step_timer.ElapsedSeconds());

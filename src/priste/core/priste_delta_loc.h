@@ -32,7 +32,7 @@ class PristeDeltaLoc {
   double delta() const { return delta_; }
 
   /// See PristeGeoInd::Run; additionally maintains the δ-location-set state.
-  StatusOr<RunResult> Run(const geo::Trajectory& true_trajectory, Rng& rng) const;
+  Result<RunResult> Run(const geo::Trajectory& true_trajectory, Rng& rng) const;
 
  private:
   geo::Grid grid_;

@@ -54,17 +54,10 @@ std::unique_ptr<lppm::Lppm> PristeGeoInd::MechanismFor(double alpha) const {
   return family_->Instantiate(alpha);
 }
 
-StatusOr<RunResult> PristeGeoInd::Run(const geo::Trajectory& true_trajectory,
-                                      Rng& rng) const {
+Result<RunResult> PristeGeoInd::Run(const geo::Trajectory& true_trajectory,
+                                    Rng& rng) const {
+  PRISTE_TRY_VOID(ValidateRunInput(grid_, models_, true_trajectory));
   const int T = true_trajectory.length();
-  if (T < 1) return Status::InvalidArgument("empty trajectory");
-  for (const auto& model : models_) {
-    if (model->event_end() > T) {
-      return Status::InvalidArgument(StrFormat(
-          "trajectory length %d does not cover event window ending at %d", T,
-          model->event_end()));
-    }
-  }
 
   Timer run_timer;
   RunResult result;
@@ -89,7 +82,7 @@ StatusOr<RunResult> PristeGeoInd::Run(const geo::Trajectory& true_trajectory,
   for (int t = 1; t <= T; ++t) {
     const Timer step_timer;
     const int true_cell = true_trajectory.At(t);
-    PRISTE_CHECK(grid_.ContainsCell(true_cell));
+    PRISTE_DCHECK(grid_.ContainsCell(true_cell));  // validated in the prelude
 
     StepRecord step;
     step.t = t;

@@ -46,11 +46,14 @@ class PristeGeoInd {
   const lppm::MechanismFamily& family() const { return *family_; }
 
   /// Releases a perturbed location per timestamp of `true_trajectory`
-  /// (length T >= every event's end). Thread-safe: concurrent Run calls on
-  /// one instance share only immutable state plus the process-wide emission
-  /// cache, and each run's randomness comes only from its own `rng` — the
-  /// parallel experiment driver relies on both.
-  StatusOr<RunResult> Run(const geo::Trajectory& true_trajectory, Rng& rng) const;
+  /// (length T >= every event's end). Bad input — an empty trajectory, one
+  /// shorter than an event window, or out-of-grid cells — yields a typed
+  /// Error from the PRISTE_NO_ABORT validation prelude, never an abort.
+  /// Thread-safe: concurrent Run calls on one instance share only immutable
+  /// state plus the process-wide emission cache, and each run's randomness
+  /// comes only from its own `rng` — the parallel experiment driver relies
+  /// on both.
+  Result<RunResult> Run(const geo::Trajectory& true_trajectory, Rng& rng) const;
 
  private:
   /// The family member at `alpha`. Construction is cheap on the ladder's

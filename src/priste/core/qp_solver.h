@@ -185,8 +185,9 @@ class QpSolver {
   /// never below the cold path's, and matches it to floating-point noise in
   /// practice. A lower bound can only get tighter: warm starts can flip a
   /// check toward detecting a violation, never toward certifying one away.
-  Result Maximize(const Objective& objective, const Deadline& deadline,
-                  WarmState* warm = nullptr) const;
+  [[nodiscard]] Result Maximize(const Objective& objective,
+                                const Deadline& deadline,
+                                WarmState* warm = nullptr) const;
 
   /// Two-objective resolve for objectives sharing the same bilinear factor
   /// `a` — the two Theorem IV.1 conditions, which differ only in (d, l).

@@ -150,7 +150,9 @@ void TwoWorldModel::StepRowSpanInto(const double* v, int t,
   // Window step: both blocks of each world-row are column rescalings of the
   // base product, so two base products cover the whole 2m×2m operator.
   static thread_local std::vector<double> u, w;
+  // priste-lint: allow(hot-path-alloc) amortized thread_local scratch growth
   u.resize(m);
+  // priste-lint: allow(hot-path-alloc) amortized thread_local scratch growth
   w.resize(m);
   base.PropagateSpan(vf, u.data());  // u = v_F · M
   base.PropagateSpan(vt, w.data());  // w = v_T · M

@@ -70,9 +70,9 @@ RepeatedRunStats RepeatRuns(const markov::MarkovChain& chain, const geo::Grid& g
   ParallelFor(static_cast<size_t>(runs), [&](size_t r) {
     Rng run_rng = run_rngs[r];
     const geo::Trajectory truth(chain.Sample(horizon, run_rng));
-    const StatusOr<core::RunResult> result = run_fn(truth, run_rng);
-    PRISTE_CHECK_OK(result.status().ok() ? Status::Ok() : result.status());
-    const core::RunResult& run = result.value();
+    const Result<core::RunResult> result = run_fn(truth, run_rng);
+    PRISTE_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+    const core::RunResult& run = *result;
     per_run[r].alpha_series = AlphaSeries(run);
     per_run[r].mean_budget = MeanReleasedAlpha(run);
     per_run[r].euclid_km = MeanEuclideanErrorKm(truth, run, grid);

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "priste/common/strings.h"
+#include "priste/common/thread_annotations.h"
 
 namespace priste::io {
 namespace {
@@ -51,28 +52,28 @@ std::vector<std::string> SplitFields(const std::string& line) {
   return fields;
 }
 
-StatusOr<double> ParseDouble(const std::string& field) {
+Result<double> ParseDouble(const std::string& field) {
   // The strict common parser: plain finite decimals only. strtod's extras —
   // "inf"/"nan" coordinates, hex-floats like "0x1p3" — are malformed data in
   // a trajectory CSV, not numbers.
   double value = 0.0;
   if (!priste::ParseDouble(field, &value)) {
-    return Status::InvalidArgument(StrFormat("cannot parse number '%s'",
-                                             field.c_str()));
+    return err::InvalidArgument(
+        StrFormat("cannot parse number '%s'", field.c_str()));
   }
   return value;
 }
 
 // Parses a field that must hold an integer: fractional values are rejected
 // instead of silently truncated (t=1.9 used to pass as t=1).
-StatusOr<int> ParseInteger(const std::string& field, const char* what) {
-  PRISTE_ASSIGN_OR_RETURN(const double value, ParseDouble(field));
+Result<int> ParseInteger(const std::string& field, const char* what) {
+  PRISTE_TRY(const double value, ParseDouble(field));
   if (value != std::floor(value)) {
-    return Status::InvalidArgument(
+    return err::InvalidArgument(
         StrFormat("%s '%s' is not an integer", what, field.c_str()));
   }
   if (std::fabs(value) > 1e9) {  // guards the int cast below
-    return Status::InvalidArgument(
+    return err::InvalidArgument(
         StrFormat("%s '%s' is out of range", what, field.c_str()));
   }
   return static_cast<int>(value);
@@ -80,10 +81,11 @@ StatusOr<int> ParseInteger(const std::string& field, const char* what) {
 
 }  // namespace
 
-StatusOr<geo::Trajectory> ParseTrajectoryCsv(const std::string& csv,
-                                             const geo::Grid& grid) {
+PRISTE_NO_ABORT
+Result<geo::Trajectory> ParseTrajectoryCsv(const std::string& csv,
+                                           const geo::Grid& grid) {
   const std::vector<CsvLine> lines = SplitLines(csv);
-  if (lines.empty()) return Status::InvalidArgument("empty CSV");
+  if (lines.empty()) return err::InvalidArgument("empty CSV");
 
   const std::vector<std::string> header = SplitFields(lines[0].text);
   bool discrete;
@@ -93,8 +95,7 @@ StatusOr<geo::Trajectory> ParseTrajectoryCsv(const std::string& csv,
              header[2] == "y_km") {
     discrete = false;
   } else {
-    return Status::InvalidArgument(
-        "CSV header must be 't,cell' or 't,x_km,y_km'");
+    return err::InvalidArgument("CSV header must be 't,cell' or 't,x_km,y_km'");
   }
 
   geo::Trajectory trajectory;
@@ -103,45 +104,45 @@ StatusOr<geo::Trajectory> ParseTrajectoryCsv(const std::string& csv,
     const size_t lineno = lines[i].number;
     const std::vector<std::string> fields = SplitFields(lines[i].text);
     if (fields.size() != header.size()) {
-      return Status::InvalidArgument(
+      return err::InvalidArgument(
           StrFormat("line %zu has %zu fields, expected %zu", lineno,
                     fields.size(), header.size()));
     }
-    const StatusOr<int> t_value = ParseInteger(fields[0], "timestamp");
+    const Result<int> t_value = ParseInteger(fields[0], "timestamp");
     if (!t_value.ok()) {
-      return Status::InvalidArgument(
-          StrFormat("line %zu: %s", lineno, t_value.status().message().c_str()));
+      return err::InvalidArgument(StrFormat(
+          "line %zu: %s", lineno, t_value.error().message.c_str()));
     }
     if (*t_value != expected_t) {
-      return Status::InvalidArgument(
+      return err::InvalidArgument(
           StrFormat("line %zu: timestamp %d out of order (expected %d)", lineno,
                     *t_value, expected_t));
     }
     ++expected_t;
 
     if (discrete) {
-      const StatusOr<int> cell = ParseInteger(fields[1], "cell");
+      const Result<int> cell = ParseInteger(fields[1], "cell");
       if (!cell.ok()) {
-        return Status::InvalidArgument(
-            StrFormat("line %zu: %s", lineno, cell.status().message().c_str()));
+        return err::InvalidArgument(StrFormat(
+            "line %zu: %s", lineno, cell.error().message.c_str()));
       }
       if (!grid.ContainsCell(*cell)) {
-        return Status::OutOfRange(
+        return err::OutOfRange(
             StrFormat("line %zu: cell %d outside the %zu-cell grid", lineno,
                       *cell, grid.num_cells()));
       }
       trajectory.Append(*cell);
     } else {
-      const StatusOr<double> x = ParseDouble(fields[1]);
-      const StatusOr<double> y = x.ok() ? ParseDouble(fields[2]) : x;
+      const Result<double> x = ParseDouble(fields[1]);
+      const Result<double> y = x.ok() ? ParseDouble(fields[2]) : x;
       if (!y.ok()) {
-        return Status::InvalidArgument(
-            StrFormat("line %zu: %s", lineno, y.status().message().c_str()));
+        return err::InvalidArgument(StrFormat(
+            "line %zu: %s", lineno, y.error().message.c_str()));
       }
       trajectory.Append(grid.CellContaining(geo::PointKm{*x, *y}));
     }
   }
-  if (trajectory.empty()) return Status::InvalidArgument("CSV has no data rows");
+  if (trajectory.empty()) return err::InvalidArgument("CSV has no data rows");
   return trajectory;
 }
 
@@ -164,31 +165,35 @@ std::string RunResultToCsv(const core::RunResult& run) {
   return out;
 }
 
-StatusOr<geo::Trajectory> ReadTrajectoryFile(const std::string& path,
-                                             const geo::Grid& grid) {
-  PRISTE_ASSIGN_OR_RETURN(const std::string contents, ReadTextFile(path));
+PRISTE_NO_ABORT
+Result<geo::Trajectory> ReadTrajectoryFile(const std::string& path,
+                                           const geo::Grid& grid) {
+  PRISTE_TRY(const std::string contents, ReadTextFile(path));
   return ParseTrajectoryCsv(contents, grid);
 }
 
-Status WriteTextFile(const std::string& path, const std::string& contents) {
+PRISTE_NO_ABORT
+Result<void> WriteTextFile(const std::string& path,
+                           const std::string& contents) {
   std::FILE* file = std::fopen(path.c_str(), "w");
   if (file == nullptr) {
-    return Status::NotFound(StrFormat("cannot open '%s' for writing: %s",
-                                      path.c_str(), std::strerror(errno)));
+    return err::NotFound(StrFormat("cannot open '%s' for writing: %s",
+                                   path.c_str(), std::strerror(errno)));
   }
   const size_t written = std::fwrite(contents.data(), 1, contents.size(), file);
   std::fclose(file);
   if (written != contents.size()) {
-    return Status::Internal(StrFormat("short write to '%s'", path.c_str()));
+    return err::Internal(StrFormat("short write to '%s'", path.c_str()));
   }
-  return Status::Ok();
+  return {};
 }
 
-StatusOr<std::string> ReadTextFile(const std::string& path) {
+PRISTE_NO_ABORT
+Result<std::string> ReadTextFile(const std::string& path) {
   std::FILE* file = std::fopen(path.c_str(), "r");
   if (file == nullptr) {
-    return Status::NotFound(StrFormat("cannot open '%s': %s", path.c_str(),
-                                      std::strerror(errno)));
+    return err::NotFound(
+        StrFormat("cannot open '%s': %s", path.c_str(), std::strerror(errno)));
   }
   std::string contents;
   char buffer[4096];

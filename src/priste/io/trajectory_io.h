@@ -25,10 +25,14 @@ namespace priste::io {
 /// so whitespace inside a field is malformed; blank lines are skipped, and
 /// error messages cite 1-based physical line numbers.
 
+/// All fallible entry points below sit on the serving boundary: they are
+/// annotated PRISTE_NO_ABORT (enforced by tools/lint/priste_callgraph.py) and
+/// return a typed priste::Result instead of terminating on malformed input.
+
 /// Parses a trajectory from CSV text (either format, detected from the
 /// header). `grid` validates cell ids and maps coordinates.
-StatusOr<geo::Trajectory> ParseTrajectoryCsv(const std::string& csv,
-                                             const geo::Grid& grid);
+Result<geo::Trajectory> ParseTrajectoryCsv(const std::string& csv,
+                                           const geo::Grid& grid);
 
 /// Serializes a trajectory in the discrete format.
 std::string TrajectoryToCsv(const geo::Trajectory& trajectory);
@@ -38,10 +42,11 @@ std::string TrajectoryToCsv(const geo::Trajectory& trajectory);
 std::string RunResultToCsv(const core::RunResult& run);
 
 /// File helpers.
-StatusOr<geo::Trajectory> ReadTrajectoryFile(const std::string& path,
-                                             const geo::Grid& grid);
-Status WriteTextFile(const std::string& path, const std::string& contents);
-StatusOr<std::string> ReadTextFile(const std::string& path);
+Result<geo::Trajectory> ReadTrajectoryFile(const std::string& path,
+                                           const geo::Grid& grid);
+Result<void> WriteTextFile(const std::string& path,
+                           const std::string& contents);
+Result<std::string> ReadTextFile(const std::string& path);
 
 }  // namespace priste::io
 

@@ -49,10 +49,10 @@ TEST(ShardedLruCacheTest, GetOrBuildBuildsOnceThenServes) {
 TEST(ShardedLruCacheTest, EvictsLeastRecentlyUsedWithinShard) {
   // One shard so recency ordering is global; capacity fits two entries.
   IntCache cache("t.evict", 128, 1);
-  cache.Insert(1, MakeValue(1), 64);
-  cache.Insert(2, MakeValue(2), 64);
+  (void)cache.Insert(1, MakeValue(1), 64);
+  (void)cache.Insert(2, MakeValue(2), 64);
   ASSERT_NE(cache.Lookup(1), nullptr);  // 1 becomes MRU, 2 is now LRU
-  cache.Insert(3, MakeValue(3), 64);    // over capacity → evict 2
+  (void)cache.Insert(3, MakeValue(3), 64);  // over capacity → evict 2
   EXPECT_EQ(cache.Lookup(2), nullptr);
   EXPECT_NE(cache.Lookup(1), nullptr);
   EXPECT_NE(cache.Lookup(3), nullptr);
@@ -61,7 +61,7 @@ TEST(ShardedLruCacheTest, EvictsLeastRecentlyUsedWithinShard) {
 TEST(ShardedLruCacheTest, HandleOutlivesEviction) {
   IntCache cache("t.pin", 64, 1);
   const IntCache::Handle pinned = cache.Insert(1, MakeValue(1), 64);
-  cache.Insert(2, MakeValue(2), 64);  // evicts key 1
+  (void)cache.Insert(2, MakeValue(2), 64);  // evicts key 1
   EXPECT_EQ(cache.Lookup(1), nullptr);
   // The evicted entry's storage is still alive through the handle.
   EXPECT_EQ(*pinned, MakeValue(1));
@@ -90,7 +90,7 @@ TEST(ShardedLruCacheTest, DisabledCacheNeverRetains) {
 TEST(ShardedLruCacheTest, ZeroCapacityBehavesDisabled) {
   IntCache cache("t.zero", 0, 4);
   EXPECT_FALSE(cache.enabled());
-  cache.Insert(1, MakeValue(1), 64);
+  (void)cache.Insert(1, MakeValue(1), 64);
   EXPECT_EQ(cache.Lookup(1), nullptr);
 }
 
@@ -114,14 +114,14 @@ TEST(ShardedLruCacheTest, PublishesCounters) {
   const long misses0 = misses.value();
   const long evictions0 = evictions.value();
 
-  cache.Lookup(1);                    // miss
-  cache.Insert(1, MakeValue(1), 64);  // bytes += 64
-  cache.Lookup(1);                    // hit
+  (void)cache.Lookup(1);                    // miss
+  (void)cache.Insert(1, MakeValue(1), 64);  // bytes += 64
+  (void)cache.Lookup(1);                    // hit
   EXPECT_EQ(misses.value() - misses0, 1);
   EXPECT_EQ(hits.value() - hits0, 1);
   EXPECT_EQ(bytes.value(), 64);
-  cache.Insert(2, MakeValue(2), 64);
-  cache.Insert(3, MakeValue(3), 64);  // evicts the LRU entry
+  (void)cache.Insert(2, MakeValue(2), 64);
+  (void)cache.Insert(3, MakeValue(3), 64);  // evicts the LRU entry
   EXPECT_GE(evictions.value() - evictions0, 1);
   EXPECT_LE(cache.TotalChargeBytes(), 128u);
   cache.Clear();
@@ -146,7 +146,7 @@ TEST(ShardedLruCacheTest, ConcurrentMixedOperationsStayConsistent) {
           key, [key] { return MakeValue(key, 32); },
           [](const std::vector<double>& v) { return v.size() * sizeof(double); });
       if (h == nullptr || *h != MakeValue(key, 32)) mismatches.fetch_add(1);
-      if (i % 16 == 0) cache.Lookup(key);
+      if (i % 16 == 0) (void)cache.Lookup(key);
     }
   });
   EXPECT_EQ(mismatches.load(), 0);
@@ -180,11 +180,11 @@ TEST(ShardedLruCacheTest, ConcurrentEvictionKeepsHeldHandlesAlive) {
 
 TEST(ShardedLruCacheTest, SetCapacityAppliesOnNextInsert) {
   IntCache cache("t.resize", 1 << 20, 1);
-  cache.Insert(1, MakeValue(1), 64);
-  cache.Insert(2, MakeValue(2), 64);
+  (void)cache.Insert(1, MakeValue(1), 64);
+  (void)cache.Insert(2, MakeValue(2), 64);
   cache.SetCapacityBytes(64);
   EXPECT_EQ(cache.capacity_bytes(), 64u);
-  cache.Insert(3, MakeValue(3), 64);  // triggers eviction down to capacity
+  (void)cache.Insert(3, MakeValue(3), 64);  // triggers eviction down to capacity
   EXPECT_LE(cache.TotalChargeBytes(), 64u);
 }
 

@@ -1,5 +1,8 @@
 #include "priste/common/status.h"
 
+#include <sstream>
+#include <string>
+
 #include <gtest/gtest.h>
 
 namespace priste {
@@ -99,6 +102,114 @@ Status UseReturnIfError(bool fail) {
 TEST(StatusMacrosTest, ReturnIfError) {
   EXPECT_TRUE(UseReturnIfError(false).ok());
   EXPECT_EQ(UseReturnIfError(true).code(), StatusCode::kInternal);
+}
+
+TEST(ErrorTest, FormatsCodeAndMessage) {
+  const Error e{StatusCode::kInvalidArgument, "bad lat field"};
+  EXPECT_EQ(e.ToString(), "invalid_argument: bad lat field");
+  std::ostringstream os;
+  os << e;
+  EXPECT_EQ(os.str(), "invalid_argument: bad lat field");
+}
+
+TEST(ErrorTest, EmptyMessageRendersCodeOnly) {
+  const Error e{StatusCode::kNotFound, ""};
+  EXPECT_EQ(e.ToString(), "not_found");
+}
+
+TEST(ErrorTest, ConvertsToAndFromStatus) {
+  const Error e{StatusCode::kOutOfRange, "cell 99"};
+  const Status s = ToStatus(e);
+  EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(s.message(), "cell 99");
+  EXPECT_EQ(ToError(s), e);
+  // Converting an OK status is a bug; it must surface as an error, not as
+  // fabricated success.
+  EXPECT_EQ(ToError(Status::Ok()).code, StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  const Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  const Result<int> r = err::NotFound("missing");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, StatusCode::kNotFound);
+  EXPECT_EQ(r.error().message, "missing");
+  // The StatusOr-compatible shim renders the same diagnostic.
+  EXPECT_EQ(r.status().ToString(), "not_found: missing");
+}
+
+TEST(ResultTest, VoidSpecializationWorks) {
+  const Result<void> good{};
+  EXPECT_TRUE(good.ok());
+  const Result<void> bad = err::Internal("boom");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code, StatusCode::kInternal);
+}
+
+Result<int> TryParsePositive(int x) {
+  if (x <= 0) return err::InvalidArgument("not positive");
+  return x;
+}
+
+Result<int> UseTry(int x) {
+  PRISTE_TRY(const int value, TryParsePositive(x));
+  return value * 2;
+}
+
+TEST(ResultMacrosTest, TryPropagatesError) {
+  const Result<int> good = UseTry(3);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 6);
+  const Result<int> bad = UseTry(-1);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code, StatusCode::kInvalidArgument);
+  EXPECT_EQ(bad.error().message, "not positive");
+}
+
+// PRISTE_TRY must propagate into a DIFFERENT Result<U> — the unexpected
+// converts.
+Result<std::string> UseTryAcrossTypes(int x) {
+  PRISTE_TRY(const int value, TryParsePositive(x));
+  return std::string(static_cast<size_t>(value), 'x');
+}
+
+TEST(ResultMacrosTest, TryConvertsAcrossValueTypes) {
+  const Result<std::string> good = UseTryAcrossTypes(3);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, "xxx");
+  EXPECT_EQ(UseTryAcrossTypes(0).error().code, StatusCode::kInvalidArgument);
+}
+
+Result<void> UseTryVoid(int x) {
+  PRISTE_TRY_VOID(TryParsePositive(x));
+  return {};
+}
+
+TEST(ResultMacrosTest, TryVoidPropagatesError) {
+  EXPECT_TRUE(UseTryVoid(1).ok());
+  EXPECT_EQ(UseTryVoid(-2).error().message, "not positive");
+}
+
+Result<int> UseTryFromStatus(int x) {
+  PRISTE_TRY_FROM_STATUS(const int value, ParsePositive(x));
+  return value + 1;
+}
+
+TEST(ResultMacrosTest, TryFromStatusBridgesStatusOr) {
+  const Result<int> good = UseTryFromStatus(4);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 5);
+  const Result<int> bad = UseTryFromStatus(-1);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code, StatusCode::kInvalidArgument);
+  EXPECT_EQ(bad.error().message, "not positive");
 }
 
 }  // namespace

@@ -1,6 +1,8 @@
 // Smoke test for tools/priste_cli: runs the binary on a tiny generated CSV
 // trajectory and checks the released output CSV round-trips through
 // io/trajectory_io. The binary path arrives via PRISTE_CLI_BIN, set by CTest.
+#include <sys/wait.h>
+
 #include <cstdlib>
 #include <string>
 #include <vector>
@@ -119,6 +121,33 @@ TEST(CliSmokeTest, MalformedFlagValuesExitNonZero) {
                                 " --input cli_smoke_unused.csv 2>/dev/null";
     EXPECT_NE(std::system(command.c_str()), 0) << "accepted: " << flags;
   }
+}
+
+TEST(CliSmokeTest, MalformedCsvExitsNonZeroNamingTheField) {
+  const char* cli_bin = std::getenv("PRISTE_CLI_BIN");
+  ASSERT_NE(cli_bin, nullptr);
+
+  // A CSV whose second row carries a non-numeric cell: the CLI must exit
+  // non-zero with a diagnostic naming the offending field and line — the
+  // typed-Error path, not an abort (an abort would exit via SIGABRT and
+  // print nothing useful on stderr).
+  const std::string input_path = "cli_malformed_input.csv";
+  const std::string stderr_path = "cli_malformed_stderr.txt";
+  ASSERT_TRUE(io::WriteTextFile(input_path, "t,cell\n1,0\n2,xyz\n").ok());
+
+  const std::string command = std::string(cli_bin) +
+                              " --input " + input_path +
+                              " --output cli_malformed_unused.csv"
+                              " --grid 4x4 2> " + stderr_path;
+  const int rc = std::system(command.c_str());
+  EXPECT_NE(rc, 0);
+  ASSERT_TRUE(WIFEXITED(rc)) << "CLI terminated by signal, not a clean exit";
+  EXPECT_EQ(WEXITSTATUS(rc), 1);
+
+  const auto diagnostic = io::ReadTextFile(stderr_path);
+  ASSERT_TRUE(diagnostic.ok()) << diagnostic.status().ToString();
+  EXPECT_NE(diagnostic->find("xyz"), std::string::npos) << *diagnostic;
+  EXPECT_NE(diagnostic->find("line 3"), std::string::npos) << *diagnostic;
 }
 
 TEST(CliSmokeTest, MetricsFlagDumpsRuntimeCounters) {

@@ -161,5 +161,31 @@ TEST(TrajectoryIoTest, MissingFileIsNotFound) {
   EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
 }
 
+TEST(TrajectoryIoTest, MalformedInputYieldsTypedErrorNotAbort) {
+  // The serving-boundary contract (PRISTE_NO_ABORT): every malformed input
+  // comes back as a typed Error whose message names the offending field —
+  // the process must never terminate.
+  const Result<geo::Trajectory> bad_cell =
+      ParseTrajectoryCsv("t,cell\n1,xyz\n", kGrid);
+  ASSERT_FALSE(bad_cell.ok());
+  EXPECT_EQ(bad_cell.error().code, StatusCode::kInvalidArgument);
+  EXPECT_NE(bad_cell.error().message.find("xyz"), std::string::npos)
+      << bad_cell.error();
+
+  const Result<geo::Trajectory> out_of_grid =
+      ParseTrajectoryCsv("t,cell\n1,99\n", kGrid);
+  ASSERT_FALSE(out_of_grid.ok());
+  EXPECT_EQ(out_of_grid.error().code, StatusCode::kOutOfRange);
+  EXPECT_NE(out_of_grid.error().message.find("99"), std::string::npos)
+      << out_of_grid.error();
+
+  const Result<void> bad_write = WriteTextFile("/nonexistent/dir/x.csv", "x");
+  ASSERT_FALSE(bad_write.ok());
+  EXPECT_EQ(bad_write.error().code, StatusCode::kNotFound);
+  EXPECT_NE(bad_write.error().message.find("/nonexistent/dir/x.csv"),
+            std::string::npos)
+      << bad_write.error();
+}
+
 }  // namespace
 }  // namespace priste::io

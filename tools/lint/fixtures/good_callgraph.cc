@@ -1,0 +1,61 @@
+// Seeded-good fixture for priste_callgraph --self-test: every pattern below
+// is the sanctioned form of something the bad_* fixtures flag. Expected:
+// ZERO findings.
+#include <vector>
+
+#define PRISTE_HOT_PATH __attribute__((annotate("priste_hot_path")))
+#define PRISTE_NO_ABORT __attribute__((annotate("priste_no_abort")))
+
+namespace fixture {
+
+struct Status {
+  bool ok() const { return true; }
+};
+
+std::vector<double>& Scratch();
+
+// Amortized thread_local scratch growth carries the existing lexical waiver;
+// the transitive rule honors it in callees too.
+double GrowWaived(std::vector<double>& v, double x) {
+  // priste-lint: allow(hot-path-alloc) amortized thread_local scratch
+  v.push_back(x);
+  return v.back();
+}
+
+// A genuinely allocation-free helper.
+double Accumulate(const double* a, int n) {
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) acc += a[i];
+  return acc;
+}
+
+PRISTE_HOT_PATH double CleanKernel(const double* a, int n) {
+  return Accumulate(a, n) + GrowWaived(Scratch(), 1.0);
+}
+
+// An edge waiver cuts a path the analysis cannot prove cold: the callee
+// allocates only on a branch this caller never takes.
+double MaybeGrow(std::vector<double>& v, double x, bool grow) {
+  if (grow) v.push_back(x);
+  return x;
+}
+
+PRISTE_HOT_PATH double EdgeWaivedKernel(const double* a, int n) {
+  // priste-lint: allow(hot-path-alloc-transitive) grow=false on this path
+  return MaybeGrow(Scratch(), Accumulate(a, n), false);
+}
+
+// No-abort entry whose callees return typed errors instead of CHECKing.
+Status ParseCell(const char* s, int* out) {
+  if (s == nullptr) return Status{};
+  *out = *s - '0';
+  return Status{};
+}
+
+PRISTE_NO_ABORT Status LoadRecord(const char* s, int* out) {
+  Status st = ParseCell(s, out);
+  if (!st.ok()) return st;
+  return Status{};
+}
+
+}  // namespace fixture

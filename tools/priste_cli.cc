@@ -26,6 +26,7 @@
 
 #include "priste/common/metrics.h"
 #include "priste/common/strings.h"
+#include "priste/common/thread_annotations.h"
 #include "priste/core/priste_delta_loc.h"
 #include "priste/core/priste_geo_ind.h"
 #include "priste/event/presence.h"
@@ -55,6 +56,9 @@ struct CliArgs {
 
 // Strict parse helpers: each names the offending flag and value on stderr,
 // so "--grid 8xfoo" fails loudly instead of running on a truncated grid.
+// All of them sit on the serving boundary and are PRISTE_NO_ABORT: malformed
+// flags exit through main's usage path, never a CHECK.
+PRISTE_NO_ABORT
 bool ParseDoubleFlag(const std::string& flag, const std::string& value,
                      double* out) {
   if (!ParseDouble(value, out)) {
@@ -65,6 +69,7 @@ bool ParseDoubleFlag(const std::string& flag, const std::string& value,
   return true;
 }
 
+PRISTE_NO_ABORT
 bool ParseIntFlag(const std::string& flag, const std::string& value, int* out) {
   if (!ParseInt32(value, out)) {
     std::fprintf(stderr, "%s: cannot parse '%s' as a non-negative integer\n",
@@ -74,6 +79,7 @@ bool ParseIntFlag(const std::string& flag, const std::string& value, int* out) {
   return true;
 }
 
+PRISTE_NO_ABORT
 bool ParseIntPair(const std::string& flag, const std::string& value, char sep,
                   int* a, int* b) {
   const size_t pos = value.find(sep);
@@ -86,6 +92,7 @@ bool ParseIntPair(const std::string& flag, const std::string& value, char sep,
          ParseIntFlag(flag, value.substr(pos + 1), b);
 }
 
+PRISTE_NO_ABORT
 bool ParseIntList(const std::string& flag, const std::string& value,
                   std::vector<int>* out) {
   out->clear();
@@ -107,6 +114,7 @@ bool ParseIntList(const std::string& flag, const std::string& value,
   return current.empty() ? true : flush();
 }
 
+PRISTE_NO_ABORT
 bool ParseArgs(int argc, char** argv, CliArgs* args) {
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -172,7 +180,7 @@ int main(int argc, char** argv) {
   const geo::Grid grid(args.grid_w, args.grid_h, args.cell_km);
   const auto trajectory = io::ReadTrajectoryFile(args.input, grid);
   if (!trajectory.ok()) {
-    std::fprintf(stderr, "input: %s\n", trajectory.status().ToString().c_str());
+    std::fprintf(stderr, "input: %s\n", trajectory.error().ToString().c_str());
     return 1;
   }
 
@@ -193,7 +201,7 @@ int main(int argc, char** argv) {
   options.initial_alpha = args.alpha;
 
   Rng rng(args.seed);
-  StatusOr<core::RunResult> result = [&]() -> StatusOr<core::RunResult> {
+  Result<core::RunResult> result = [&]() -> Result<core::RunResult> {
     if (args.delta >= 0.0) {
       const core::PristeDeltaLoc priste(
           grid, mobility.transition(), {event}, args.delta,
@@ -205,13 +213,14 @@ int main(int argc, char** argv) {
     return priste.Run(*trajectory, rng);
   }();
   if (!result.ok()) {
-    std::fprintf(stderr, "run: %s\n", result.status().ToString().c_str());
+    std::fprintf(stderr, "run: %s\n", result.error().ToString().c_str());
     return 1;
   }
 
-  const Status write = io::WriteTextFile(args.output, io::RunResultToCsv(*result));
+  const Result<void> write =
+      io::WriteTextFile(args.output, io::RunResultToCsv(*result));
   if (!write.ok()) {
-    std::fprintf(stderr, "output: %s\n", write.ToString().c_str());
+    std::fprintf(stderr, "output: %s\n", write.error().ToString().c_str());
     return 1;
   }
   std::printf("protected %s; released %d locations -> %s (%d conservative)\n",
