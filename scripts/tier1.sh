@@ -5,10 +5,14 @@
 #                 forced off (PRISTE_MAX_CACHE_SUPPORT=0), on top of the
 #                 always-on <suite>.coldcache ctest entries
 #   --lint        after the suite, run the project-invariant linter
-#                 (tools/lint/priste_lint.py) AND the whole-program
-#                 call-graph pass (tools/lint/priste_callgraph.py) over the
-#                 build's compile_commands.json — same passes as the CI
-#                 lint job
+#                 (tools/lint/priste_lint.py), the whole-program call-graph
+#                 pass (tools/lint/priste_callgraph.py) and the concurrency
+#                 contract pass (tools/lint/priste_concurrency.py, which
+#                 also writes <build-dir>/lock_order.json) over the build's
+#                 compile_commands.json — same passes as the CI lint job.
+#                 The two call-graph passes share a content-hash graph
+#                 cache (<build-dir>/lint_graph_cache.json) so the tree is
+#                 parsed once, and each pass prints its wall time.
 #   build-dir     defaults to build
 set -eu
 
@@ -41,4 +45,6 @@ if [ "$RUN_LINT" = "1" ]; then
   python3 "$ROOT/tools/lint/priste_lint.py"     --compile-commands "$BUILD_DIR/compile_commands.json" --src-root "$ROOT"
   python3 "$ROOT/tools/lint/priste_callgraph.py" --self-test
   python3 "$ROOT/tools/lint/priste_callgraph.py" --compile-commands "$BUILD_DIR/compile_commands.json" --src-root "$ROOT"
+  python3 "$ROOT/tools/lint/priste_concurrency.py" --self-test
+  python3 "$ROOT/tools/lint/priste_concurrency.py" --compile-commands "$BUILD_DIR/compile_commands.json" --src-root "$ROOT" --emit-graph "$BUILD_DIR/lock_order.json"
 fi

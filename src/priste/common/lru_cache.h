@@ -169,7 +169,7 @@ class ShardedLruCache {
   /// Per-shard state. Everything mutable is guarded by the shard's own
   /// mutex — -Wthread-safety rejects any access outside a MutexLock on it.
   struct Shard {
-    mutable Mutex mu;
+    mutable Mutex mu PRISTE_LOCK_LEVEL(10);
     std::list<Entry> lru PRISTE_GUARDED_BY(mu);  // front = MRU
     std::unordered_map<Key, typename std::list<Entry>::iterator, Hash> index
         PRISTE_GUARDED_BY(mu);

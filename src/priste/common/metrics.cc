@@ -91,7 +91,7 @@ struct MetricsRegistry::Impl {
   // The registration maps are mu-guarded (machine-checked); the metrics
   // themselves are lock-free and are written through the handed-out
   // references with no lock held — only the DIRECTORY is guarded.
-  Mutex mu;
+  Mutex mu PRISTE_LOCK_LEVEL(40);
   std::map<std::string, std::unique_ptr<Counter>> counters
       PRISTE_GUARDED_BY(mu);
   std::map<std::string, std::unique_ptr<Gauge>> gauges PRISTE_GUARDED_BY(mu);

@@ -61,7 +61,7 @@ class CondVar {
   CondVar(const CondVar&) = delete;
   CondVar& operator=(const CondVar&) = delete;
 
-  void Wait(Mutex* mu) PRISTE_REQUIRES(mu) {
+  PRISTE_BLOCKING void Wait(Mutex* mu) PRISTE_REQUIRES(mu) {
     std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
     cv_.wait(lock);
     lock.release();

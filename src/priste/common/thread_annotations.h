@@ -118,4 +118,41 @@
 #define PRISTE_NO_ABORT
 #endif
 
+/// Assigns a priste::Mutex member to a level in the whole-program lock
+/// hierarchy. Levels are acquired in ASCENDING order only: while a level-N
+/// mutex is held, acquiring another level-N mutex (self-deadlock across
+/// instances) or completing a cycle through lower levels is a lint error.
+/// Enforced transitively by tools/lint/priste_concurrency.py (rule
+/// `lock-order`), which also requires EVERY Mutex member to carry a level —
+/// an unclassified mutex is itself a finding. Current hierarchy:
+///
+///   10  ShardedLruCache::Shard::mu   (leaf: no locks taken under it)
+///   20  ThreadPool::mu_              (queue state)
+///   30  ParallelFor LoopState::mu    (taken by workers while pool runs)
+///   40  MetricsRegistry::Impl::mu    (registry map; leaf-like, level-top)
+///
+/// Under Clang the marker leaves an `annotate("priste_lock_level_<n>")`
+/// attribute in the AST; under other compilers it expands to nothing. The
+/// linter reads the macro lexically, so the annotation works identically in
+/// GCC-only checkouts.
+#if defined(__clang__)
+#define PRISTE_LOCK_LEVEL(n) __attribute__((annotate("priste_lock_level_" #n)))
+#else
+#define PRISTE_LOCK_LEVEL(n)
+#endif
+
+/// Marks a function that may BLOCK the calling thread for an unbounded time:
+/// condition-variable waits, thread-pool submission/joining, file IO, sleeps.
+/// No function transitively reachable while a priste::MutexLock is held may
+/// be PRISTE_BLOCKING — blocking under a lock stalls every thread contending
+/// for it and inverts the pool's forward-progress guarantee. Enforced
+/// transitively by tools/lint/priste_concurrency.py (rule
+/// `blocking-under-lock`); the annotation seeds the blocking set alongside
+/// the linter's built-in token list (sleep/fopen/ifstream/join/...).
+#if defined(__clang__)
+#define PRISTE_BLOCKING __attribute__((annotate("priste_blocking")))
+#else
+#define PRISTE_BLOCKING
+#endif
+
 #endif  // PRISTE_COMMON_THREAD_ANNOTATIONS_H_

@@ -10,30 +10,56 @@
 namespace priste {
 
 ThreadPool::ThreadPool(int num_threads) {
+  // Unlocked guarded-member access: thread-safety analysis (correctly)
+  // exempts constructors — no other thread can hold a reference yet, and the
+  // spawned workers synchronize on mu_ inside WorkerLoop before touching
+  // queue state.
   workers_.reserve(static_cast<size_t>(num_threads > 0 ? num_threads : 0));
   for (int i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
+  std::vector<std::thread> workers;
   {
     MutexLock lock(&mu_);
     shutdown_ = true;
+    workers.swap(workers_);
   }
   cv_.SignalAll();
-  for (auto& worker : workers_) worker.join();
+  // Workers drain the remaining queue before exiting; join them with mu_
+  // released so concurrent Submit callers fail fast instead of stalling.
+  for (auto& worker : workers) worker.join();
 }
 
-void ThreadPool::Submit(std::function<void()> fn) {
+int ThreadPool::num_threads() const {
+  MutexLock lock(&mu_);
+  return static_cast<int>(workers_.size());
+}
+
+bool ThreadPool::Submit(std::function<void()> fn) {
   static Counter& submitted =
       MetricsRegistry::Global().GetCounter("pool.tasks_submitted");
-  submitted.Increment();
+  static Counter& rejected =
+      MetricsRegistry::Global().GetCounter("pool.tasks_rejected");
+  bool accepted = false;
   {
     MutexLock lock(&mu_);
-    queue_.push_back(std::move(fn));
+    if (!shutdown_) {
+      queue_.push_back(std::move(fn));
+      accepted = true;
+    }
   }
+  if (!accepted) {
+    rejected.Increment();
+    return false;
+  }
+  submitted.Increment();
   cv_.Signal();
+  return true;
 }
 
 void ThreadPool::WorkerLoop() {
@@ -41,6 +67,9 @@ void ThreadPool::WorkerLoop() {
     std::function<void()> task;
     {
       MutexLock lock(&mu_);
+      // priste-lint: allow(blocking-under-lock) condvar wait IS the sanctioned
+      // block-under-lock: Wait releases mu_ while sleeping and reacquires it
+      // before returning, so no Submit caller is ever stalled by this line.
       while (!shutdown_ && queue_.empty()) cv_.Wait(&mu_);
       if (queue_.empty()) return;  // shutdown with a drained queue
       task = std::move(queue_.front());
@@ -80,7 +109,7 @@ struct LoopState {
   std::function<void(size_t)> fn;  // copied: outlives the caller's frame
   std::atomic<size_t> next{0};
   std::atomic<size_t> done{0};
-  Mutex mu;
+  Mutex mu PRISTE_LOCK_LEVEL(30);
   CondVar cv;
 
   // Claims and runs iterations until the index space is exhausted.
@@ -116,6 +145,9 @@ void ParallelFor(ThreadPool& pool, size_t n, const std::function<void(size_t)>& 
   state->Drain();
   MutexLock lock(&state->mu);
   while (state->done.load(std::memory_order_acquire) != state->total) {
+    // priste-lint: allow(blocking-under-lock) completion condvar wait: Wait
+    // releases state->mu while sleeping, and the only other acquirer (Drain's
+    // final SignalAll block) holds it for a signal, never to block.
     state->cv.Wait(&state->mu);
   }
 }

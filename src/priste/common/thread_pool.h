@@ -35,10 +35,20 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  int num_threads() const { return static_cast<int>(workers_.size()); }
+  /// Number of live workers; 0 once Shutdown() has run.
+  int num_threads() const PRISTE_EXCLUDES(mu_);
 
-  /// Enqueues `fn` for execution on a worker thread.
-  void Submit(std::function<void()> fn) PRISTE_EXCLUDES(mu_);
+  /// Enqueues `fn` for execution on a worker thread. Returns false — and
+  /// does not run or retain `fn` — if the pool has shut down; rejected
+  /// submissions tick the `pool.tasks_rejected` counter.
+  PRISTE_BLOCKING bool Submit(std::function<void()> fn) PRISTE_EXCLUDES(mu_);
+
+  /// Stops accepting new work, lets workers drain the queued tasks, and
+  /// joins them. Idempotent; the destructor calls it. Workers are joined
+  /// OUTSIDE mu_ — joining under the lock would stall every concurrent
+  /// Submit caller, exactly the `blocking-under-lock` shape the concurrency
+  /// lint forbids.
+  PRISTE_BLOCKING void Shutdown() PRISTE_EXCLUDES(mu_);
 
   /// The process-wide pool, sized by the PRISTE_THREADS environment variable
   /// (read once, at first use; default DefaultThreadCount()). Never
@@ -52,20 +62,23 @@ class ThreadPool {
  private:
   void WorkerLoop() PRISTE_EXCLUDES(mu_);
 
-  Mutex mu_;
+  mutable Mutex mu_ PRISTE_LOCK_LEVEL(20);
   CondVar cv_;
   std::deque<std::function<void()>> queue_ PRISTE_GUARDED_BY(mu_);
   bool shutdown_ PRISTE_GUARDED_BY(mu_) = false;
-  std::vector<std::thread> workers_;
+  std::vector<std::thread> workers_ PRISTE_GUARDED_BY(mu_);
 };
 
 /// Runs fn(0..n-1) with iterations distributed over `pool`'s workers plus
 /// the calling thread. Blocks until every iteration completed. Iterations
-/// must not throw and must write only disjoint per-index state.
-void ParallelFor(ThreadPool& pool, size_t n, const std::function<void(size_t)>& fn);
+/// must not throw and must write only disjoint per-index state. Safe to call
+/// during/after Shutdown(): rejected helper submissions just leave all
+/// iterations to the calling thread.
+PRISTE_BLOCKING void ParallelFor(ThreadPool& pool, size_t n,
+                                 const std::function<void(size_t)>& fn);
 
 /// ParallelFor over the shared pool.
-void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+PRISTE_BLOCKING void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
 }  // namespace priste
 

@@ -91,6 +91,60 @@ TEST(ThreadPoolTest, SubmitExecutesTasks) {
   EXPECT_EQ(done.load(), 10);
 }
 
+TEST(ThreadPoolTest, ShutdownDrainsQueueAndRejectsLateSubmit) {
+  std::atomic<int> done{0};
+  ThreadPool pool(2);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_TRUE(pool.Submit([&done] { done.fetch_add(1); }));
+  }
+  pool.Shutdown();
+  // Every task accepted before Shutdown() ran to completion (workers drain
+  // the queue before exiting), and the pool reports itself empty.
+  EXPECT_EQ(done.load(), 16);
+  EXPECT_EQ(pool.num_threads(), 0);
+  // Submit after shutdown fails cleanly: no execution, no retained task.
+  EXPECT_FALSE(pool.Submit([&done] { done.fetch_add(1); }));
+  EXPECT_EQ(done.load(), 16);
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  pool.Shutdown();  // second call joins nothing and must not hang or crash
+  EXPECT_FALSE(pool.Submit([] {}));
+  // The destructor calls Shutdown() a third time on scope exit.
+}
+
+TEST(ThreadPoolTest, ParallelForAfterShutdownRunsInline) {
+  ThreadPool pool(4);
+  pool.Shutdown();
+  // num_threads() is 0 after shutdown and helper submissions are rejected,
+  // so the caller executes every iteration itself — completion, not
+  // deadlock, is the contract.
+  const size_t n = 64;
+  std::vector<std::atomic<int>> counts(n);
+  for (auto& c : counts) c.store(0);
+  ParallelFor(pool, n, [&](size_t i) { counts[i].fetch_add(1); });
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(counts[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, ParallelForFromWorkerDuringShutdownCompletes) {
+  // A worker task that itself calls ParallelFor while the pool is being
+  // shut down must complete: rejected helper submissions leave all
+  // iterations to the calling (worker) thread, so Shutdown()'s join cannot
+  // deadlock against it.
+  std::atomic<int> inner_done{0};
+  std::atomic<bool> task_ran{false};
+  ThreadPool pool(2);
+  pool.Submit([&] {
+    ParallelFor(pool, 32, [&](size_t) { inner_done.fetch_add(1); });
+    task_ran.store(true);
+  });
+  pool.Shutdown();  // races with the worker's ParallelFor on purpose
+  EXPECT_TRUE(task_ran.load());
+  EXPECT_EQ(inner_done.load(), 32);
+}
+
 TEST(ThreadPoolTest, DefaultThreadCountHonoursEnv) {
   const char* saved = std::getenv("PRISTE_THREADS");
   const std::string saved_value = saved != nullptr ? saved : "";

@@ -1,0 +1,57 @@
+// Seeded-bad fixture for priste_concurrency --self-test. NOT compiled.
+//
+// Expected findings: arena-escape x3:
+//   1. AllocateDoubles result stored straight into a member
+//   2. same, through a wrapped `this->` statement
+//   3. arena-backed local laundered into a member container
+// The Legit() function uses the arena pointer only within the frame and
+// must stay clean.
+#include <vector>
+
+class Arena {
+ public:
+  double* AllocateDoubles(unsigned long n);
+  void Reset();
+};
+
+namespace fixture {
+
+class Holder {
+ public:
+  // arena-escape #1: cache_ outlives the next arena_.Reset().
+  void Ingest(unsigned long n) {
+    cache_ = arena_.AllocateDoubles(n);
+  }
+
+  // arena-escape #2: member store through `this`, statement wrapped across
+  // physical lines.
+  void IngestWrapped(unsigned long n) {
+    this->wrapped_ =
+        arena_.AllocateDoubles(n);
+  }
+
+  // arena-escape #3: the local itself is fine; pushing it into a member
+  // container is the escape.
+  void IngestLaundered(unsigned long n) {
+    double* vals = arena_.AllocateDoubles(n);
+    vals[0] = 0.0;
+    rows_.push_back(vals);
+  }
+
+  // Clean: arena storage consumed before the frame ends.
+  double Legit(unsigned long n) {
+    double* scratch = arena_.AllocateDoubles(n);
+    scratch[0] = 1.0;
+    double out = scratch[0];
+    arena_.Reset();
+    return out;
+  }
+
+ private:
+  Arena arena_;
+  double* cache_ = nullptr;
+  double* wrapped_ = nullptr;
+  std::vector<double*> rows_;
+};
+
+}  // namespace fixture

@@ -1,5 +1,5 @@
 // Seeded-violation fixture for priste_lint --self-test. NOT compiled.
-// Expected findings: 3x hot-path-alloc.
+// Expected findings: 4x hot-path-alloc.
 #include <cstdlib>
 #include <vector>
 
@@ -31,3 +31,15 @@ double Cold(const std::vector<double>& xs) {
 
 // A marked declaration with the body elsewhere must NOT fire.
 PRISTE_HOT_PATH double DeclaredOnly(const std::vector<double>& xs);
+
+// Waiver scope ends WITH the wrapped statement it covers: the waiver spans
+// the two-line malloc statement, but the push_back in the NEXT statement is
+// outside its scope and must still fire.
+PRISTE_HOT_PATH double WaiverScopeEnds(std::vector<double>* scratch) {
+  // priste-lint: allow(hot-path-alloc) covers only this wrapped statement
+  double* block = static_cast<double*>(
+      malloc(sizeof(double)));
+  scratch->push_back(*block);  // hot-path-alloc #4: past the waived statement
+  free(block);
+  return scratch->back();
+}

@@ -17,3 +17,16 @@ PRISTE_HOT_PATH double Warmup(std::vector<double>* scratch) {
   scratch->push_back(1.0);  // priste-lint: allow(hot-path-alloc) amortized
   return scratch->back();
 }
+
+// Waiver scope follows the STATEMENT, not the physical line: the allocation
+// token lands on the continuation line of the waived statement (a
+// clang-format wrap), and the waiver must still cover it.
+PRISTE_HOT_PATH double WrappedStatement(std::vector<double>* scratch) {
+  // priste-lint: allow(hot-path-alloc) one-time warm-up block, wrapped
+  double* block = static_cast<double*>(
+      malloc(sizeof(double) * scratch->size()));
+  block[0] = 1.0;
+  const double out = block[0];
+  free(block);
+  return out;
+}

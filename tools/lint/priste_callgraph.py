@@ -60,10 +60,13 @@ Usage:
 """
 
 import argparse
+import hashlib
 import json
 import os
 import re
 import sys
+import tempfile
+import time
 
 # Reuse the shared lexical helpers (comment/string stripping, waiver parsing)
 # so both linters agree on what a suppression means.
@@ -110,7 +113,23 @@ NON_FUNCTION_HEAD_RE = re.compile(
 
 CALL_RE = re.compile(r"([A-Za-z_]\w*)\s*(?:<[\w\s:,<>*&]*>)?\s*\(")
 
+# A NAMED lambda head: `auto f = [...](...)` (also `std::function<...> f =`,
+# `static const auto f =`). The body braces follow the head, exactly like a
+# function definition. Lambdas defined inline inside a function body are
+# swallowed whole with that body and attribute their calls to the enclosing
+# function; this pattern catches the ones hoisted OUT of the marked body —
+# to namespace or class scope — which used to vanish from the graph entirely
+# (calls to the variable resolved to nothing), letting hot-path/no-abort
+# transitive rules be dodged by hoisting the work into a lambda variable.
+LAMBDA_HEAD_RE = re.compile(
+    r"([A-Za-z_]\w*)\s*=\s*\[[^\[\]]*\]\s*"   # name = [captures]
+    r"(?:\([^()]*\)\s*)?"                     # optional parameter list
+    r"(?:mutable\b\s*)?(?:noexcept\b\s*)?(?:constexpr\b\s*)?"
+    r"(?:->\s*[\w:<>,\s*&]+?)?\s*$")          # optional trailing return type
+
 LINT_EXTENSIONS = (".h", ".cc")
+
+GRAPH_CACHE_VERSION = 1  # bump on any extraction/analysis change
 
 
 class Finding:
@@ -190,6 +209,11 @@ def _matching_brace(text, open_idx):
 def _head_function_name(head):
     """Returns (qualified, simple) when `head` reads like a function
     definition signature, else None. `head` ends right before '{'."""
+    # A named-lambda assignment is a function definition for graph purposes:
+    # the variable name is the callable name call sites use.
+    m = LAMBDA_HEAD_RE.search(head)
+    if m:
+        return (m.group(1), m.group(1))
     # Strip a trailing constructor member-init list: "...)" [: init, init]
     # The ':' must be outside parens and not part of '::'.
     depth = 0
@@ -269,7 +293,10 @@ def extract_functions(rel_path, clean_text):
             i += 1
             continue
         head = clean_text[prev_boundary:i]
-        named = _head_function_name(head) if "(" in head else None
+        # "(" admits ordinary definitions; "[" admits parameterless named
+        # lambdas (`auto f = [] { ... }`), whose heads carry no parens.
+        named = (_head_function_name(head)
+                 if ("(" in head or "[" in head) else None)
         if named is None or named[0] == "<operator>":
             # Not a function definition (or an operator we do not track):
             # descend into the braces. For operators, skip the whole body so
@@ -326,16 +353,25 @@ class CallGraph:
         self.functions = []            # all Function nodes
         self.by_simple = {}            # simple name -> [Function]
         self.waived = {}               # rel_path -> {rule: set(lines)}
-        self.raw_lines = {}            # rel_path -> [original lines]
+        self.clean_text = {}           # rel_path -> fully cleaned text
+        self.cache_hits = 0            # files served from the graph cache
 
     def add_file(self, rel_path, text):
         clean = strip_preprocessor(
             strip_line_comments(strip_comments_and_strings(text)))
         waived = suppressed_lines(text.split("\n"))
-        self.waived[rel_path] = waived
-        self.raw_lines[rel_path] = text.split("\n")
+        fns = []
         for fn in extract_functions(rel_path, clean):
             analyze_function(fn, waived)
+            fns.append(fn)
+        self.install(rel_path, clean, waived, fns)
+        return fns
+
+    def install(self, rel_path, clean, waived, fns):
+        """Registers one file's (possibly cache-restored) scan results."""
+        self.waived[rel_path] = waived
+        self.clean_text[rel_path] = clean
+        for fn in fns:
             self.functions.append(fn)
             self.by_simple.setdefault(fn.simple, []).append(fn)
 
@@ -696,8 +732,74 @@ def collect_sources(compile_commands, src_root):
     return sorted(files), db
 
 
-def build_graph(paths, src_root):
+# --- Graph cache ------------------------------------------------------------
+# The per-file extraction (comment stripping, brace matching, call-site
+# scanning) is the expensive part of every whole-program gate, and three gates
+# now run it over the same tree (priste_lint's libclang cross-check aside:
+# lint.callgraph_src_clean, lint.concurrency_src_clean, and tier1/CI reruns).
+# One JSON cache keyed on each file's CONTENT HASH shares the parse between
+# them: any gate that finds a fresh hash re-extracts just that file and
+# rewrites the cache atomically (os.replace), so parallel ctest gates never
+# read a torn file — at worst both write identical content.
+
+_FN_FIELDS = ("rel_path", "qualified", "simple", "start_line", "end_line",
+              "head", "body", "body_start_line", "hot_path", "no_abort",
+              "calls", "allocs", "aborts")
+
+
+def _fn_to_record(fn):
+    return {field: getattr(fn, field) for field in _FN_FIELDS}
+
+
+def _fn_from_record(rec):
+    fn = Function(rec["rel_path"], rec["qualified"], rec["simple"],
+                  rec["start_line"], rec["end_line"], rec["head"],
+                  rec["body"])
+    fn.body_start_line = rec["body_start_line"]
+    fn.hot_path = rec["hot_path"]
+    fn.no_abort = rec["no_abort"]
+    fn.calls = [tuple(c) for c in rec["calls"]]
+    fn.allocs = [tuple(a) for a in rec["allocs"]]
+    fn.aborts = [tuple(a) for a in rec["aborts"]]
+    return fn
+
+
+def load_graph_cache(cache_path):
+    if not cache_path or not os.path.exists(cache_path):
+        return {}
+    try:
+        with open(cache_path, encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, ValueError):
+        return {}  # unreadable/corrupt cache: rebuild from scratch
+    if data.get("version") != GRAPH_CACHE_VERSION:
+        return {}
+    files = data.get("files", {})
+    return files if isinstance(files, dict) else {}
+
+
+def save_graph_cache(cache_path, entries):
+    payload = {"version": GRAPH_CACHE_VERSION, "files": entries}
+    directory = os.path.dirname(os.path.abspath(cache_path))
+    try:
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, prefix=".lint_graph_cache.")
+        with os.fdopen(fd, "w", encoding="utf-8") as f:
+            json.dump(payload, f)
+        os.replace(tmp, cache_path)
+    except OSError:
+        pass  # the cache is an optimization; gates stay correct without it
+
+
+def default_cache_path(compile_commands):
+    return os.path.join(os.path.dirname(os.path.abspath(compile_commands)),
+                        "lint_graph_cache.json")
+
+
+def build_graph(paths, src_root, cache_path=None):
     graph = CallGraph()
+    cached = load_graph_cache(cache_path)
+    fresh = {}
     for path in paths:
         rel = relpath(path, src_root)
         try:
@@ -706,7 +808,26 @@ def build_graph(paths, src_root):
         except OSError as e:
             print(f"priste_callgraph: cannot read {rel}: {e}", file=sys.stderr)
             continue
-        graph.add_file(rel, text)
+        sha = hashlib.sha1(text.encode("utf-8", "replace")).hexdigest()
+        entry = cached.get(rel)
+        if entry and entry.get("sha") == sha:
+            graph.cache_hits += 1
+            waived = {rule: set(lines)
+                      for rule, lines in entry["waived"].items()}
+            graph.install(rel, entry["clean"], waived,
+                          [_fn_from_record(r) for r in entry["functions"]])
+        else:
+            fns = graph.add_file(rel, text)
+            entry = {
+                "sha": sha,
+                "clean": graph.clean_text[rel],
+                "waived": {rule: sorted(lines)
+                           for rule, lines in graph.waived[rel].items()},
+                "functions": [_fn_to_record(fn) for fn in fns],
+            }
+        fresh[rel] = entry
+    if cache_path and fresh != cached:
+        save_graph_cache(cache_path, fresh)
     return graph
 
 
@@ -718,10 +839,11 @@ def run_rules(graph):
     return findings
 
 
-def run(compile_commands, src_root, dump_graph=False):
+def run(compile_commands, src_root, dump_graph=False, cache_path=None):
     files, db = collect_sources(compile_commands, src_root)
-    graph = build_graph(files, src_root)
-    print(f"priste_callgraph: {len(files)} files, "
+    graph = build_graph(files, src_root, cache_path=cache_path)
+    print(f"priste_callgraph: {len(files)} files "
+          f"({graph.cache_hits} from graph cache), "
           f"{len(graph.functions)} functions, "
           f"{sum(len(f.calls) for f in graph.functions)} call sites",
           file=sys.stderr)
@@ -749,6 +871,7 @@ def run_self_test(src_root):
                             "fixtures")
     cases = {
         "bad_transitive_alloc.cc": {"hot-path-alloc-transitive": 2},
+        "bad_lambda_hoist.cc": {"hot-path-alloc-transitive": 2},
         "bad_no_abort.cc": {"no-abort-reachable": 3},
         "bad_unchecked_result.cc": {"unchecked-result": 4},
         "good_callgraph.cc": {},
@@ -796,20 +919,31 @@ def main():
                         help="run the seeded-fixture negative test")
     parser.add_argument("--dump-graph", action="store_true",
                         help="print the resolved call graph (debug)")
+    parser.add_argument("--cache", default=None,
+                        help="graph-cache JSON path shared between lint "
+                             "gates (default: lint_graph_cache.json next to "
+                             "the compile_commands; pass '' to disable)")
     args = parser.parse_args()
 
+    started = time.monotonic()
     src_root = os.path.abspath(args.src_root)
     if args.self_test:
         return run_self_test(src_root)
     if not args.compile_commands:
         parser.error("--compile-commands is required (or use --self-test)")
-    findings = run(args.compile_commands, src_root, args.dump_graph)
+    cache_path = args.cache
+    if cache_path is None:
+        cache_path = default_cache_path(args.compile_commands)
+    findings = run(args.compile_commands, src_root, args.dump_graph,
+                   cache_path=cache_path or None)
     for f in findings:
         print(f)
+    wall = time.monotonic() - started
     if findings:
-        print(f"priste_callgraph: {len(findings)} finding(s)", file=sys.stderr)
+        print(f"priste_callgraph: {len(findings)} finding(s) "
+              f"[wall {wall:.2f}s]", file=sys.stderr)
         return 1
-    print("priste_callgraph: clean", file=sys.stderr)
+    print(f"priste_callgraph: clean [wall {wall:.2f}s]", file=sys.stderr)
     return 0
 
 

@@ -49,6 +49,7 @@ import json
 import os
 import re
 import sys
+import time
 
 # --- Rule tables -----------------------------------------------------------
 
@@ -164,14 +165,47 @@ def strip_comments_and_strings(text):
     return "".join(out)
 
 
+# Continuation coverage is bounded so a run of unterminated lines (macro
+# soup, broken code) cannot silently waive a whole file.
+MAX_WAIVED_STATEMENT_LINES = 12
+
+
+def _ends_statement(line):
+    """Lexical end-of-statement test for waiver scoping: the line's code
+    portion (before any // comment) closes with ';', '{', or '}' — or is
+    empty, which means the waived statement never started."""
+    code = line.split("//", 1)[0].rstrip()
+    return code == "" or code.endswith((";", "{", "}"))
+
+
 def suppressed_lines(lines):
     """Map rule -> set of 1-based line numbers waived by allow() comments.
-    A suppression covers its own line and the next line."""
+    A suppression covers its own line, any directly following pure-comment
+    lines (the root-cause justification block), and the whole NEXT statement:
+    when the statement beginning on the following physical line continues
+    across lines (a call whose arguments wrap, a condition split for
+    clang-format), coverage extends to the line that closes it — a waiver
+    must never stop applying because a reformat moved the token to the
+    continuation line."""
     waived = {}
     for idx, line in enumerate(lines, start=1):
         for m in SUPPRESS_RE.finditer(line):
             rule = m.group(1)
-            waived.setdefault(rule, set()).update({idx, idx + 1})
+            covered = {idx}
+            j = idx + 1  # 1-based: first line after the waiver comment
+            while (j <= len(lines)
+                   and len(covered) < MAX_WAIVED_STATEMENT_LINES
+                   and lines[j - 1].lstrip().startswith("//")):
+                covered.add(j)  # justification continues across comment lines
+                j += 1
+            if j <= len(lines):
+                covered.add(j)  # the statement the waiver applies to
+                while (j <= len(lines)
+                       and len(covered) < MAX_WAIVED_STATEMENT_LINES
+                       and not _ends_statement(lines[j - 1])):
+                    covered.add(j + 1)
+                    j += 1
+            waived.setdefault(rule, set()).update(covered)
     return waived
 
 
@@ -391,7 +425,7 @@ def run_self_test(src_root):
                             "fixtures")
     expectations = {
         "bad_banned_call.cc": {"banned-call": 3},
-        "bad_hot_path_alloc.cc": {"hot-path-alloc": 3},
+        "bad_hot_path_alloc.cc": {"hot-path-alloc": 4},
         "kernels_bad_fma.cc": {"fma-pattern": 2},
         "good_suppressed.cc": {},
     }
@@ -466,6 +500,7 @@ def main():
                         help="run the seeded-fixture negative test")
     args = parser.parse_args()
 
+    started = time.monotonic()
     src_root = os.path.abspath(args.src_root)
     if args.self_test:
         return run_self_test(src_root)
@@ -474,10 +509,12 @@ def main():
     findings = run(args.compile_commands, src_root)
     for f in findings:
         print(f)
+    wall = time.monotonic() - started
     if findings:
-        print(f"priste_lint: {len(findings)} finding(s)", file=sys.stderr)
+        print(f"priste_lint: {len(findings)} finding(s) [wall {wall:.2f}s]",
+              file=sys.stderr)
         return 1
-    print("priste_lint: clean", file=sys.stderr)
+    print(f"priste_lint: clean [wall {wall:.2f}s]", file=sys.stderr)
     return 0
 
 
